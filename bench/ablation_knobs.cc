@@ -1,0 +1,117 @@
+// Ablation study over the design knobs DESIGN.md calls out: the time-money
+// weight alpha, the fading controller D, the storage window W, the deletion
+// grace period, the interleaving algorithm and the skyline width. Each row
+// runs the Gain policy on the same phase workload, varying one knob.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "service_experiment.h"
+
+namespace dfim {
+namespace {
+
+using Mutator = std::function<void(ServiceOptions*)>;
+
+void RunConfig(const std::string& label, Seconds horizon, const Mutator& mutate) {
+  Catalog catalog;
+  FileDatabase db(&catalog, FileDatabaseOptions{});
+  if (!db.Populate().ok()) std::abort();
+  DataflowGenerator gen(&db, 23);
+  double f = horizon / (720.0 * 60.0);
+  std::vector<WorkloadPhase> phases;
+  for (auto& ph : PhaseWorkloadClient::PaperPhases(60.0)) {
+    phases.push_back({ph.app, ph.duration * f});
+  }
+  PhaseWorkloadClient client(&gen, 60.0, phases, 23);
+
+  ServiceOptions so = bench::PaperServiceOptions(IndexPolicy::kGain);
+  so.total_time = horizon;
+  so.seed = 23;
+  mutate(&so);
+  QaasService service(&catalog, so);
+  auto m = service.Run(&client);
+  if (!m.ok()) {
+    std::printf("%-28s FAILED: %s\n", label.c_str(),
+                m.status().ToString().c_str());
+    return;
+  }
+  PricingModel pricing;
+  std::printf("%-28s %8d %10.2f %10.2f %8d %8d\n", label.c_str(),
+              m->dataflows_finished, m->AvgCostQuantaPerDataflow(pricing),
+              m->AvgTimeQuantaPerDataflow(), m->index_partitions_built,
+              m->indexes_deleted);
+}
+
+}  // namespace
+}  // namespace dfim
+
+int main() {
+  using namespace dfim;
+  bench::Header("Ablation -- tuning knobs on the phase workload (Gain policy)");
+  Seconds horizon = (bench::FastMode() ? 120.0 : 360.0) * 60.0;
+  std::printf("\nHorizon %.0f quanta.\n", horizon / 60.0);
+  std::printf("%-28s %8s %10s %10s %8s %8s\n", "Config", "#DFs", "Cost/DF(q)",
+              "Time/DF(q)", "Built", "Deleted");
+
+  RunConfig("baseline (Table 3)", horizon, [](ServiceOptions*) {});
+
+  // alpha: how much a time quantum is valued vs money (Eq. 1-3).
+  RunConfig("alpha = 0.1 (money-first)", horizon, [](ServiceOptions* so) {
+    so->tuner.gain.alpha = 0.1;
+  });
+  RunConfig("alpha = 0.9 (time-first)", horizon, [](ServiceOptions* so) {
+    so->tuner.gain.alpha = 0.9;
+  });
+
+  // D: the gain fading controller.
+  RunConfig("D = 0.25 quanta", horizon, [](ServiceOptions* so) {
+    so->tuner.gain.fade_d_quanta = 0.25;
+  });
+  RunConfig("D = 10 quanta", horizon, [](ServiceOptions* so) {
+    so->tuner.gain.fade_d_quanta = 10.0;
+  });
+
+  // W: the storage window charged when assessing an index.
+  RunConfig("W = 20 quanta", horizon, [](ServiceOptions* so) {
+    so->tuner.gain.storage_window_quanta = 20.0;
+  });
+  RunConfig("W = 200 quanta", horizon, [](ServiceOptions* so) {
+    so->tuner.gain.storage_window_quanta = 200.0;
+  });
+
+  // Deletion grace.
+  RunConfig("grace = 10 quanta", horizon, [](ServiceOptions* so) {
+    so->deletion_grace_quanta = 10.0;
+  });
+  RunConfig("grace = off (never del.)", horizon, [](ServiceOptions* so) {
+    so->policy = IndexPolicy::kGainNoDelete;
+  });
+
+  // Interleaving algorithm.
+  RunConfig("online interleaving", horizon, [](ServiceOptions* so) {
+    so->tuner.mode = InterleaveMode::kOnline;
+  });
+
+  // Skyline width.
+  RunConfig("skyline cap = 2", horizon, [](ServiceOptions* so) {
+    so->tuner.sched.skyline_cap = 2;
+  });
+  RunConfig("skyline cap = 8", horizon, [](ServiceOptions* so) {
+    so->tuner.sched.skyline_cap = 8;
+  });
+
+  // Paper future-work extensions.
+  RunConfig("resumable builds", horizon, [](ServiceOptions* so) {
+    so->resumable_builds = true;
+  });
+  RunConfig("adaptive fading D", horizon, [](ServiceOptions* so) {
+    so->tuner.gain.adaptive_fading = true;
+  });
+
+  bench::Note("Expected: time-first alpha builds more aggressively; tiny D "
+              "or tiny grace cause churn; huge W suppresses big indexes; "
+              "online interleaving builds fewer indexes per dataflow.");
+  return 0;
+}

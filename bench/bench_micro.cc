@@ -1,0 +1,144 @@
+// Google-benchmark microbenchmarks for the core components: B+Tree
+// operations, the knapsack solvers, the gain model and the schedulers.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/gain.h"
+#include "core/knapsack.h"
+#include "core/tuner.h"
+#include "index/bplus_tree.h"
+#include "sched/load_balance_scheduler.h"
+#include "sched/skyline_scheduler.h"
+
+namespace dfim {
+namespace {
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  auto n = static_cast<int64_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    BPlusTree<int64_t> tree;
+    for (int64_t i = 0; i < n; ++i) {
+      tree.Insert(static_cast<int64_t>(rng.Next() % 1000000),
+                  static_cast<RowId>(i));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BPlusTreeInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BPlusTreeBulkLoad(benchmark::State& state) {
+  auto n = static_cast<int64_t>(state.range(0));
+  std::vector<BPlusTree<int64_t>::Entry> entries;
+  for (int64_t i = 0; i < n; ++i) {
+    entries.push_back({i, static_cast<RowId>(i)});
+  }
+  for (auto _ : state) {
+    BPlusTree<int64_t> tree;
+    tree.BulkLoad(entries);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BPlusTreeBulkLoad)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_BPlusTreeLookup(benchmark::State& state) {
+  BPlusTree<int64_t> tree;
+  Rng rng(2);
+  for (int64_t i = 0; i < 100000; ++i) {
+    tree.Insert(static_cast<int64_t>(rng.Next() % 1000000),
+                static_cast<RowId>(i));
+  }
+  int64_t k = 0;
+  for (auto _ : state) {
+    auto rows = tree.Lookup(k % 1000000);
+    benchmark::DoNotOptimize(rows.size());
+    k += 7919;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreeLookup);
+
+void BM_BPlusTreeRangeScan(benchmark::State& state) {
+  BPlusTree<int64_t> tree;
+  std::vector<BPlusTree<int64_t>::Entry> entries;
+  for (int64_t i = 0; i < 1000000; ++i) {
+    entries.push_back({i, static_cast<RowId>(i)});
+  }
+  tree.BulkLoad(entries);
+  for (auto _ : state) {
+    int64_t sum = 0;
+    tree.ScanRange(250000, 260000,
+                   [&sum](const int64_t& key, RowId) { sum += key; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_BPlusTreeRangeScan);
+
+void BM_KnapsackBranchAndBound(benchmark::State& state) {
+  auto n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  std::vector<KnapsackItem> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back({i, rng.Uniform(0.02, 0.2), rng.Uniform(0.1, 1.0)});
+  }
+  for (auto _ : state) {
+    auto r = SolveKnapsackBranchAndBound(items, 0.6);
+    benchmark::DoNotOptimize(r.total_gain);
+  }
+}
+BENCHMARK(BM_KnapsackBranchAndBound)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_GainEvaluation(benchmark::State& state) {
+  GainModel model(GainOptions{}, PricingModel{});
+  std::vector<GainContribution> uses;
+  for (int i = 0; i < 64; ++i) {
+    uses.push_back({1.0 + i * 0.1, 1.0, static_cast<double>(i)});
+  }
+  for (auto _ : state) {
+    auto g = model.Evaluate(uses, 1.0, 1.0, 500.0);
+    benchmark::DoNotOptimize(g.g);
+  }
+}
+BENCHMARK(BM_GainEvaluation);
+
+void BM_SkylineScheduler(benchmark::State& state) {
+  bench::PaperSetup setup(7);
+  Dataflow df = setup.generator->Generate(AppType::kMontage, 0, 0);
+  std::vector<Seconds> durations;
+  std::vector<SimOpCost> costs;
+  SchedulerOptions so = bench::PaperSchedulerOptions();
+  so.skyline_cap = static_cast<int>(state.range(0));
+  BuildDataflowCosts(df.dag, df, setup.catalog, so.net_mb_per_sec, &durations,
+                     &costs);
+  SkylineScheduler sched(so);
+  for (auto _ : state) {
+    auto skyline = sched.ScheduleDag(df.dag, durations, false);
+    benchmark::DoNotOptimize(skyline.ok());
+  }
+}
+BENCHMARK(BM_SkylineScheduler)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_LoadBalanceScheduler(benchmark::State& state) {
+  bench::PaperSetup setup(7);
+  Dataflow df = setup.generator->Generate(AppType::kMontage, 0, 0);
+  std::vector<Seconds> durations;
+  std::vector<SimOpCost> costs;
+  SchedulerOptions so = bench::PaperSchedulerOptions();
+  BuildDataflowCosts(df.dag, df, setup.catalog, so.net_mb_per_sec, &durations,
+                     &costs);
+  LoadBalanceScheduler sched(so);
+  for (auto _ : state) {
+    auto s = sched.ScheduleDag(df.dag, durations, 10);
+    benchmark::DoNotOptimize(s.ok());
+  }
+}
+BENCHMARK(BM_LoadBalanceScheduler);
+
+}  // namespace
+}  // namespace dfim
+
+BENCHMARK_MAIN();

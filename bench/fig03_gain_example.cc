@@ -1,0 +1,83 @@
+// Reproduces Table 2 + Figure 3: the gain over time of two indexes A
+// (100 MB) and B (500 MB) used by four dataflows, with alpha = 0.5 and
+// D = 60 (the paper's illustrative example in §4).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/gain.h"
+
+namespace dfim {
+namespace {
+
+struct Use {
+  double t;
+  double gtd;
+  double gmd;
+};
+
+// Table 2: dataflows issued at t = 10, 30, 50, 100 and their per-index gains.
+const std::vector<Use> kUsesA = {{50, 2.0, 8.0}, {100, 3.0, 5.0}};
+const std::vector<Use> kUsesB = {{10, 1.0, 3.0}, {30, 2.0, 5.0}, {50, 3.0, 8.0}};
+
+double GainAt(const GainModel& model, const std::vector<Use>& uses, double now,
+              double build_quanta, MegaBytes size_mb) {
+  std::vector<GainContribution> contribs;
+  for (const auto& u : uses) {
+    if (u.t <= now) contribs.push_back({u.gtd, u.gmd, now - u.t});
+  }
+  return model.Evaluate(contribs, build_quanta, build_quanta, size_mb).g;
+}
+
+bool BeneficialAt(const GainModel& model, const std::vector<Use>& uses,
+                  double now, double build_quanta, MegaBytes size_mb) {
+  std::vector<GainContribution> contribs;
+  for (const auto& u : uses) {
+    if (u.t <= now) contribs.push_back({u.gtd, u.gmd, now - u.t});
+  }
+  return model.Evaluate(contribs, build_quanta, build_quanta, size_mb)
+      .beneficial;
+}
+
+}  // namespace
+}  // namespace dfim
+
+int main() {
+  using namespace dfim;
+  bench::Header(
+      "Figure 3 / Table 2 -- gain over time of indexes A (100 MB) and "
+      "B (500 MB), alpha=0.5, D=60");
+
+  GainOptions go;
+  go.alpha = 0.5;
+  go.fade_d_quanta = 60.0;
+  go.storage_window_quanta = 2.0;
+  GainModel model(go, PricingModel{});
+
+  std::printf("\nTable 2 (dataflows and their index gains):\n");
+  std::printf("  d1(t=10):  gtd(B)=1.0 gmd(B)=3.0\n");
+  std::printf("  d2(t=30):  gtd(B)=2.0 gmd(B)=5.0\n");
+  std::printf("  d3(t=50):  gtd(A)=2.0 gmd(A)=8.0, gtd(B)=3.0 gmd(B)=8.0\n");
+  std::printf("  d4(t=100): gtd(A)=3.0 gmd(A)=5.0\n");
+
+  const double kBuild = 1.4;  // illustrative ti = mi (quanta)
+  std::printf("\n%6s %12s %12s %6s %6s\n", "t", "gain(A)", "gain(B)", "A?",
+              "B?");
+  double b_on = -1, b_off = -1;
+  for (int t = 0; t <= 160; t += 5) {
+    double ga = GainAt(model, kUsesA, t, kBuild, 100.0);
+    double gb = GainAt(model, kUsesB, t, kBuild, 500.0);
+    bool ba = BeneficialAt(model, kUsesA, t, kBuild, 100.0);
+    bool bb = BeneficialAt(model, kUsesB, t, kBuild, 500.0);
+    if (bb && b_on < 0) b_on = t;
+    if (!bb && b_on >= 0 && b_off < 0 && t > b_on) b_off = t;
+    std::printf("%6d %12.4f %12.4f %6s %6s\n", t, ga, gb, ba ? "yes" : "-",
+                bb ? "yes" : "-");
+  }
+  std::printf(
+      "\nIndex B beneficial window: [%g, %g]  (paper: becomes beneficial at "
+      "~30, deleted at ~125)\n",
+      b_on, b_off);
+  return 0;
+}

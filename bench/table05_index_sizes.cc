@@ -1,0 +1,67 @@
+// Reproduces Table 5: sizes of indexes on four lineitem columns as a
+// percentage of the table size, from (a) the analytic B+Tree cost model at
+// the paper's scale 2, and (b) a real B+Tree built over generated rows at a
+// smaller scale (page-count footprint), to validate the model.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/index_model.h"
+#include "tpch/lineitem.h"
+#include "tpch/queries.h"
+
+int main() {
+  using namespace dfim;
+  bench::Header("Table 5 -- indexes on table lineitem (TPC-H)");
+
+  // (a) Analytic model at the paper's scale (12M rows, ~1.4 GB).
+  BTreeCostModel model;
+  Schema schema = tpch::LineitemSchema();
+  Table table("lineitem", schema);
+  table.AddPartition(12000000);
+  const Partition& part = table.partitions()[0];
+  MegaBytes table_mb = table.TotalSize();
+  std::printf("\nModelled at scale 2: %lld rows, %.2f GB table\n",
+              static_cast<long long>(table.TotalRecords()), table_mb / 1024.0);
+
+  struct Row {
+    const char* column;
+    const char* type;
+    double paper_mb;
+    double paper_pct;
+  };
+  const Row kPaper[] = {
+      {"comment", "text", 422.30, 30.16},
+      {"shipinstruct", "20 chars", 248.95, 17.78},
+      {"commitdate", "date", 225.91, 16.13},
+      {"orderkey", "integer", 146.99, 10.49},
+  };
+  std::printf("\n%-14s %-10s %12s %10s   %s\n", "Column", "Type", "Size (MB)",
+              "% Table", "(paper: MB / %)");
+  for (const auto& r : kPaper) {
+    MegaBytes size = model.PartitionIndexSize(table, {r.column}, part);
+    std::printf("%-14s %-10s %12.2f %9.2f%%   (%.2f MB / %.2f%%)\n", r.column,
+                r.type, size, 100.0 * size / table_mb, r.paper_mb,
+                r.paper_pct);
+  }
+
+  // (b) Real B+Tree footprint at a reduced scale.
+  double scale = bench::FastMode() ? 0.002 : 0.02;
+  tpch::LineitemGenerator gen(scale, 42);
+  TableHeap<tpch::LineitemRow> heap;
+  int64_t rows = gen.Generate(&heap);
+  auto tree = tpch::BuildOrderkeyIndex(heap);
+  double heap_mb =
+      static_cast<double>(rows) * schema.AvgRecordBytes() / (1024.0 * 1024.0);
+  double tree_mb = static_cast<double>(tree.SizeBytes()) / (1024.0 * 1024.0);
+  std::printf(
+      "\nMeasured B+Tree over generated rows (scale %.3f): %lld rows, "
+      "height %d, %zu nodes\n",
+      scale, static_cast<long long>(rows), tree.height(), tree.node_count());
+  std::printf(
+      "  orderkey index: %.2f MB = %.2f%% of the %.2f MB table "
+      "(model predicts %.2f%%)\n",
+      tree_mb, 100.0 * tree_mb / heap_mb, heap_mb,
+      100.0 * model.PartitionIndexSize(table, {"orderkey"}, part) / table_mb);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Exploratory analytics session: a data scientist issues a stream of
+// scientific dataflows to the QaaS service (the paper's Fig. 1 setting).
+// The service auto-tunes indexes with the Gain policy: watch it build
+// indexes during the Cybershake phase, drop them when the workload moves to
+// Montage, and rebuild when Cybershake returns.
+//
+// Build & run:  cmake --build build && ./build/examples/exploratory_analytics
+
+#include <cstdio>
+
+#include "core/service.h"
+
+using namespace dfim;
+
+int main() {
+  Catalog catalog;
+  FileDatabaseOptions fdo;  // a small corpus keeps the demo fast
+  fdo.montage_files = 6;
+  fdo.ligo_files = 6;
+  fdo.cybershake_files = 6;
+  FileDatabase db(&catalog, fdo);
+  if (!db.Populate().ok()) return 1;
+  std::printf("File database: %d files, %.1f GB, %d partitions, %zu candidate "
+              "indexes\n",
+              db.TotalFiles(), db.TotalSize() / 1024.0, db.TotalPartitions(),
+              db.AllIndexIds().size());
+
+  DataflowGenerator generator(&db, 2024);
+  Seconds horizon = 150.0 * 60.0;
+  std::vector<WorkloadPhase> phases{
+      {AppType::kCybershake, horizon * 0.4},
+      {AppType::kMontage, horizon * 0.35},
+      {AppType::kCybershake, horizon * 0.25},
+  };
+  PhaseWorkloadClient client(&generator, /*mean_interarrival=*/300.0, phases,
+                             2024);
+
+  ServiceOptions so;
+  so.policy = IndexPolicy::kGain;
+  so.total_time = horizon;
+  so.tuner.sched.max_containers = 16;
+  so.tuner.sched.skyline_cap = 3;
+  so.sim.time_error = 0.1;
+  so.sim.data_error = 0.1;
+  QaasService service(&catalog, so);
+
+  auto metrics = service.Run(&client);
+  if (!metrics.ok()) {
+    std::printf("service failed: %s\n", metrics.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nSession over %.0f quanta:\n", horizon / 60.0);
+  std::printf("  dataflows executed : %d\n", metrics->dataflows_finished);
+  std::printf("  avg time/dataflow  : %.2f quanta\n",
+              metrics->AvgTimeQuantaPerDataflow());
+  std::printf("  VM quanta charged  : %lld\n",
+              static_cast<long long>(metrics->total_vm_quanta));
+  std::printf("  index storage bill : $%.4f\n", metrics->storage_cost);
+  std::printf("  index partitions built: %d, index deletions: %d\n",
+              metrics->index_partitions_built, metrics->indexes_deleted);
+
+  std::printf("\nIndex footprint over the session (one row per dataflow):\n");
+  std::printf("%10s %10s %12s\n", "t (q)", "#indexes", "index MB");
+  size_t step = metrics->timeline.size() / 20 + 1;
+  for (size_t i = 0; i < metrics->timeline.size(); i += step) {
+    const auto& pt = metrics->timeline[i];
+    std::printf("%10.1f %10d %12.1f\n", pt.t / 60.0, pt.indexes_built,
+                pt.index_mb);
+  }
+  std::printf("\nThe dips are deletions after the workload phase moved on — "
+              "the tuner's Eq. 3-5 gains went non-positive.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "cloud/cluster.h"
+
+#include <algorithm>
+
+namespace dfim {
+
+Cluster::Cluster(ContainerSpec spec, PricingModel pricing, int max_containers)
+    : spec_(spec), pricing_(pricing), max_containers_(max_containers) {}
+
+Result<std::vector<Container*>> Cluster::Acquire(int n, Seconds now) {
+  if (n <= 0) return Status::InvalidArgument("Acquire: n must be positive");
+  ReapExpired(now);
+  std::vector<Container*> out;
+  out.reserve(static_cast<size_t>(n));
+  // Reuse alive containers first: their caches are warm and their current
+  // quantum is already paid for.
+  for (auto& c : alive_) {
+    if (static_cast<int>(out.size()) == n) break;
+    out.push_back(c.get());
+  }
+  while (static_cast<int>(out.size()) < n) {
+    if (static_cast<int>(alive_.size()) >= max_containers_) {
+      return Status::ResourceExhausted("Acquire: container limit reached");
+    }
+    auto c = std::make_unique<Container>(next_id_++, spec_, pricing_, now);
+    total_quanta_ += c->quanta_charged();
+    out.push_back(c.get());
+    alive_.push_back(std::move(c));
+  }
+  return out;
+}
+
+void Cluster::ChargeThrough(Container* container, Seconds t) {
+  total_quanta_ += container->ExtendLeaseTo(t);
+}
+
+int Cluster::ReapExpired(Seconds now) {
+  int before = static_cast<int>(alive_.size());
+  alive_.erase(std::remove_if(alive_.begin(), alive_.end(),
+                              [now](const std::unique_ptr<Container>& c) {
+                                return !c->AliveAt(now);
+                              }),
+               alive_.end());
+  return before - static_cast<int>(alive_.size());
+}
+
+int Cluster::AliveCount(Seconds now) const {
+  int n = 0;
+  for (const auto& c : alive_) {
+    if (c->AliveAt(now)) ++n;
+  }
+  return n;
+}
+
+}  // namespace dfim

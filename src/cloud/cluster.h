@@ -1,0 +1,68 @@
+#ifndef DFIM_CLOUD_CLUSTER_H_
+#define DFIM_CLOUD_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cloud/container.h"
+#include "cloud/pricing.h"
+#include "common/result.h"
+#include "common/units.h"
+
+namespace dfim {
+
+/// \brief Elastic pool of homogeneous containers with money accounting.
+///
+/// The QaaS service acquires containers per dataflow, reusing alive ones
+/// (whose pre-paid quantum has not yet expired — their cache survives) and
+/// allocating fresh ones up to `max_containers`. Idle containers are reaped
+/// at the end of their leased quantum (paper §3: "An idle VM is deleted when
+/// its currently leased time quantum expires").
+class Cluster {
+ public:
+  Cluster(ContainerSpec spec, PricingModel pricing, int max_containers);
+
+  /// \brief Returns `n` containers usable at `now`, reusing alive ones first.
+  ///
+  /// Fails with ResourceExhausted when more than `max_containers` would be
+  /// alive simultaneously.
+  Result<std::vector<Container*>> Acquire(int n, Seconds now);
+
+  /// \brief Charges `container` through time `t` and accrues the bill.
+  void ChargeThrough(Container* container, Seconds t);
+
+  /// \brief Deletes containers whose lease expired at or before `now`.
+  ///
+  /// Their local caches are lost. Returns how many were deleted.
+  int ReapExpired(Seconds now);
+
+  /// Containers currently alive at `now`.
+  int AliveCount(Seconds now) const;
+
+  /// Total quanta charged across all containers, ever.
+  int64_t total_quanta_charged() const { return total_quanta_; }
+
+  /// Total VM dollars accrued, ever.
+  Dollars total_vm_cost() const {
+    return pricing_.VmCost(total_quanta_);
+  }
+
+  /// Containers allocated over the cluster lifetime (for reuse metrics).
+  int64_t total_allocated() const { return next_id_; }
+
+  const PricingModel& pricing() const { return pricing_; }
+  const ContainerSpec& spec() const { return spec_; }
+
+ private:
+  ContainerSpec spec_;
+  PricingModel pricing_;
+  int max_containers_;
+  int next_id_ = 0;
+  int64_t total_quanta_ = 0;
+  std::vector<std::unique_ptr<Container>> alive_;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_CLOUD_CLUSTER_H_

@@ -1,0 +1,41 @@
+#include "cloud/container.h"
+
+#include <cmath>
+
+namespace dfim {
+
+Container::Container(int id, const ContainerSpec& spec,
+                     const PricingModel& pricing, Seconds lease_start)
+    : id_(id),
+      spec_(spec),
+      pricing_(pricing),
+      lease_start_(lease_start),
+      cache_(spec.disk) {
+  // A freshly allocated container is charged its first quantum immediately:
+  // resources are pre-paid (paper §3).
+  quanta_charged_ = 1;
+}
+
+Seconds Container::lease_end() const {
+  return lease_start_ +
+         static_cast<double>(quanta_charged_) * pricing_.quantum;
+}
+
+int64_t Container::ExtendLeaseTo(Seconds t) {
+  if (t <= lease_end()) return 0;
+  int64_t needed = QuantaCeil(t - lease_start_, pricing_.quantum);
+  if (needed <= quanta_charged_) return 0;
+  int64_t added = needed - quanta_charged_;
+  quanta_charged_ = needed;
+  return added;
+}
+
+Seconds Container::QuantumEndAt(Seconds t) const {
+  if (t <= lease_start_) return lease_start_ + pricing_.quantum;
+  double offset = (t - lease_start_) / pricing_.quantum;
+  // A t exactly on a boundary belongs to the quantum that starts at t.
+  double idx = std::floor(offset + 1e-9);
+  return lease_start_ + (idx + 1.0) * pricing_.quantum;
+}
+
+}  // namespace dfim

@@ -1,0 +1,58 @@
+#include "cloud/lru_cache.h"
+
+#include <vector>
+
+namespace dfim {
+
+std::vector<std::string> LruCache::Put(const std::string& key, MegaBytes size) {
+  std::vector<std::string> evicted;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    used_ -= it->second->size;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  if (size > capacity_) return evicted;  // does not fit at all
+  while (used_ + size > capacity_ && !lru_.empty()) {
+    Entry& victim = lru_.back();
+    used_ -= victim.size;
+    evicted.push_back(victim.key);
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{key, size});
+  map_[key] = lru_.begin();
+  used_ += size;
+  return evicted;
+}
+
+bool LruCache::Touch(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+bool LruCache::Contains(const std::string& key) const {
+  return map_.find(key) != map_.end();
+}
+
+void LruCache::Erase(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  used_ -= it->second->size;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void LruCache::Clear() {
+  lru_.clear();
+  map_.clear();
+  used_ = 0;
+}
+
+}  // namespace dfim

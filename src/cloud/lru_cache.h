@@ -1,0 +1,65 @@
+#ifndef DFIM_CLOUD_LRU_CACHE_H_
+#define DFIM_CLOUD_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dfim {
+
+/// \brief Size-bounded LRU set of named items (container local-disk cache).
+///
+/// Each container caches table/index partitions it has read from the storage
+/// service (paper §6.1: "each container has a local disk to cache input
+/// files... If the container cache gets full, LRU policy is used"). Only
+/// names and sizes are tracked — the simulator never materializes bytes.
+class LruCache {
+ public:
+  /// \param capacity total cache capacity in MB (items beyond it evict LRU).
+  explicit LruCache(MegaBytes capacity) : capacity_(capacity) {}
+
+  /// \brief Inserts (or refreshes) `key` with the given size.
+  ///
+  /// Items larger than the whole capacity are not cached. Returns the list
+  /// of evicted keys so callers can trace cache churn.
+  std::vector<std::string> Put(const std::string& key, MegaBytes size);
+
+  /// True and refreshes recency when present.
+  bool Touch(const std::string& key);
+
+  /// Present without refreshing recency.
+  bool Contains(const std::string& key) const;
+
+  /// Removes `key` if present (e.g. invalidated partition version).
+  void Erase(const std::string& key);
+
+  /// Drops everything (container deleted -> local disk lost).
+  void Clear();
+
+  MegaBytes used() const { return used_; }
+  MegaBytes capacity() const { return capacity_; }
+  size_t item_count() const { return map_.size(); }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    MegaBytes size;
+  };
+
+  MegaBytes capacity_;
+  MegaBytes used_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_CLOUD_LRU_CACHE_H_

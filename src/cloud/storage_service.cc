@@ -1,0 +1,47 @@
+#include "cloud/storage_service.h"
+
+#include <cassert>
+
+namespace dfim {
+
+void StorageService::Settle(Seconds now) {
+  assert(now + 1e-9 >= last_billed_);
+  if (now <= last_billed_) return;
+  double quanta = (now - last_billed_) / pricing_.quantum;
+  accrued_mb_quanta_ += used_ * quanta;
+  accrued_cost_ += pricing_.StorageCost(used_, quanta);
+  last_billed_ = now;
+}
+
+void StorageService::Put(const std::string& path, MegaBytes size, Seconds now) {
+  Settle(now);
+  auto it = objects_.find(path);
+  if (it != objects_.end()) {
+    used_ -= it->second;
+    it->second = size;
+  } else {
+    objects_.emplace(path, size);
+  }
+  used_ += size;
+}
+
+void StorageService::Delete(const std::string& path, Seconds now) {
+  Settle(now);
+  auto it = objects_.find(path);
+  if (it == objects_.end()) return;
+  used_ -= it->second;
+  objects_.erase(it);
+}
+
+bool StorageService::Exists(const std::string& path) const {
+  return objects_.find(path) != objects_.end();
+}
+
+MegaBytes StorageService::SizeOf(const std::string& path) const {
+  auto it = objects_.find(path);
+  return it == objects_.end() ? 0 : it->second;
+}
+
+void StorageService::AdvanceTo(Seconds now) { Settle(now); }
+
+}  // namespace dfim

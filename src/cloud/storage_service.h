@@ -1,0 +1,68 @@
+#ifndef DFIM_CLOUD_STORAGE_SERVICE_H_
+#define DFIM_CLOUD_STORAGE_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "cloud/pricing.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace dfim {
+
+/// \brief The cloud's persistent object store (paper §3, Cloud Model).
+///
+/// Tracks named objects (table partitions, index partitions, intermediate
+/// results) with sizes, and accrues the storage bill over simulated time:
+/// the provider charges `Mst` dollars per MB per quantum for whatever is
+/// stored. `AdvanceTo` integrates the bill; objects added/removed between
+/// advances are charged for the fraction of time they were present.
+class StorageService {
+ public:
+  explicit StorageService(PricingModel pricing) : pricing_(pricing) {}
+
+  /// Stores (or replaces) an object of the given size at simulated `now`.
+  void Put(const std::string& path, MegaBytes size, Seconds now);
+
+  /// Deletes an object; missing paths are ignored (idempotent).
+  void Delete(const std::string& path, Seconds now);
+
+  bool Exists(const std::string& path) const;
+
+  /// Size of an object, or 0 when absent.
+  MegaBytes SizeOf(const std::string& path) const;
+
+  /// Total MB currently stored.
+  MegaBytes used() const { return used_; }
+
+  size_t object_count() const { return objects_.size(); }
+
+  /// \brief Advances the billing clock, accruing storage cost.
+  ///
+  /// Must be called with non-decreasing times; Put/Delete internally settle
+  /// the bill up to their own timestamp first.
+  void AdvanceTo(Seconds now);
+
+  /// Dollars accrued so far (up to the last AdvanceTo/Put/Delete).
+  Dollars accrued_cost() const { return accrued_cost_; }
+
+  /// MB·quanta integral accrued so far (unit used by the gain model).
+  double accrued_mb_quanta() const { return accrued_mb_quanta_; }
+
+  Seconds last_billed() const { return last_billed_; }
+
+ private:
+  void Settle(Seconds now);
+
+  PricingModel pricing_;
+  std::unordered_map<std::string, MegaBytes> objects_;
+  MegaBytes used_ = 0;
+  Seconds last_billed_ = 0;
+  Dollars accrued_cost_ = 0;
+  double accrued_mb_quanta_ = 0;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_CLOUD_STORAGE_SERVICE_H_

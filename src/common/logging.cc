@@ -1,0 +1,37 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace dfim {
+namespace {
+
+LogLevel g_threshold = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Logger::threshold() { return g_threshold; }
+
+void Logger::set_threshold(LogLevel level) { g_threshold = level; }
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (level < g_threshold || level == LogLevel::kOff) return;
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace dfim

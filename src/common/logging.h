@@ -1,0 +1,46 @@
+#ifndef DFIM_COMMON_LOGGING_H_
+#define DFIM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dfim {
+
+/// \brief Log severities in increasing order.
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// \brief Minimal global logger writing to stderr.
+///
+/// Simulation experiments run quietly by default (kWarn); tests and examples
+/// can raise verbosity. The logger is process-global and not synchronized —
+/// the library itself is single-threaded by design (discrete-event sim).
+class Logger {
+ public:
+  static LogLevel threshold();
+  static void set_threshold(LogLevel level);
+  /// Emits one line "[LEVEL] message" if `level` passes the threshold.
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal {
+
+/// RAII stream that emits on destruction; backs the DFIM_LOG macro.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dfim
+
+/// Usage: DFIM_LOG(kInfo) << "scheduled " << n << " ops";
+#define DFIM_LOG(level)                                               \
+  ::dfim::internal::LogMessage(::dfim::LogLevel::level).stream()
+
+#endif  // DFIM_COMMON_LOGGING_H_

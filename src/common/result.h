@@ -1,0 +1,71 @@
+#ifndef DFIM_COMMON_RESULT_H_
+#define DFIM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dfim {
+
+/// \brief A value-or-Status holder, the library's alternative to exceptions.
+///
+/// A Result is either OK and holds a T, or holds a non-OK Status. Accessing
+/// the value of an errored Result is a programming error (asserted in debug
+/// builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (OK result).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK Status.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// \brief Propagates the error of a Result expression, else assigns its value.
+#define DFIM_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto DFIM_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!DFIM_CONCAT_(_res_, __LINE__).ok())        \
+    return DFIM_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(DFIM_CONCAT_(_res_, __LINE__)).value()
+
+#define DFIM_CONCAT_IMPL_(a, b) a##b
+#define DFIM_CONCAT_(a, b) DFIM_CONCAT_IMPL_(a, b)
+
+}  // namespace dfim
+
+#endif  // DFIM_COMMON_RESULT_H_

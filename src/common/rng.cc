@@ -1,0 +1,121 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dfim {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Next() % range);
+}
+
+double Rng::Normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  double u2 = Uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stdev) { return mean + stdev * Normal(); }
+
+double Rng::TruncatedNormal(double mean, double stdev, double lo, double hi) {
+  assert(lo <= hi);
+  for (int i = 0; i < 64; ++i) {
+    double v = Normal(mean, stdev);
+    if (v >= lo && v <= hi) return v;
+  }
+  double v = Normal(mean, stdev);
+  if (v < lo) return lo;
+  if (v > hi) return hi;
+  return v;
+}
+
+double Rng::Exponential(double mean) {
+  double u = 0.0;
+  do {
+    u = Uniform();
+  } while (u <= 1e-300);
+  return -mean * std::log(u);
+}
+
+int64_t Rng::Poisson(double mean) {
+  if (mean <= 0) return 0;
+  if (mean < 30.0) {
+    // Knuth's method.
+    double l = std::exp(-mean);
+    int64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= Uniform();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation for large means.
+  double v = Normal(mean, std::sqrt(mean));
+  return v < 0 ? 0 : static_cast<int64_t>(v + 0.5);
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return 0;
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace dfim

@@ -1,0 +1,112 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace dfim {
+
+void RunningStats::Add(double x) {
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stdev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  int64_t n = n_ + other.n_;
+  double delta = other.mean_ - mean_;
+  double mean = mean_ + delta * static_cast<double>(other.n_) /
+                            static_cast<double>(n);
+  m2_ = m2_ + other.m2_ +
+        delta * delta * static_cast<double>(n_) *
+            static_cast<double>(other.n_) / static_cast<double>(n);
+  mean_ = mean;
+  n_ = n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::string RunningStats::ToString(int precision) const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "min=%.*f max=%.*f mean=%.*f stdev=%.*f n=%lld", precision,
+                min(), precision, max(), precision, mean(), precision, stdev(),
+                static_cast<long long>(n_));
+  return buf;
+}
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / bins) {
+  assert(bins > 0 && hi > lo);
+  counts_.assign(static_cast<size_t>(bins), 0);
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<size_t>((x - lo_) / bin_width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // float edge guard
+  ++counts_[bin];
+}
+
+double Histogram::BinLow(int bin) const { return lo_ + bin * bin_width_; }
+double Histogram::BinHigh(int bin) const { return lo_ + (bin + 1) * bin_width_; }
+
+std::string Histogram::ToAscii(int width) const {
+  int64_t peak = 1;
+  for (int64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char buf[96];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    int bar = static_cast<int>(counts_[i] * width / peak);
+    std::snprintf(buf, sizeof(buf), "[%8.2f, %8.2f) %6lld |",
+                  BinLow(static_cast<int>(i)), BinHigh(static_cast<int>(i)),
+                  static_cast<long long>(counts_[i]));
+    out += buf;
+    out.append(static_cast<size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double Stdev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+}  // namespace dfim

@@ -1,0 +1,83 @@
+#ifndef DFIM_COMMON_STATS_H_
+#define DFIM_COMMON_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dfim {
+
+/// \brief Streaming min/max/mean/stdev accumulator (Welford's algorithm).
+///
+/// Used to report the Table-4 style statistics of generated workloads and to
+/// aggregate per-dataflow metrics in experiments.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return n_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double stdev() const;
+  /// Population variance helper used by stdev().
+  double variance() const;
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStats& other);
+
+  /// "min=.. max=.. mean=.. stdev=.. n=.." with the given float precision.
+  std::string ToString(int precision = 2) const;
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Fixed-width histogram over [lo, hi) with overflow/underflow bins.
+class Histogram {
+ public:
+  /// Creates `bins` equal-width buckets covering [lo, hi).
+  Histogram(double lo, double hi, int bins);
+
+  void Add(double x);
+
+  int bins() const { return static_cast<int>(counts_.size()); }
+  int64_t count(int bin) const { return counts_[static_cast<size_t>(bin)]; }
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+  int64_t total() const { return total_; }
+  /// Inclusive lower edge of `bin`.
+  double BinLow(int bin) const;
+  /// Exclusive upper edge of `bin`.
+  double BinHigh(int bin) const;
+
+  /// Renders an ASCII bar chart, one row per bucket.
+  std::string ToAscii(int width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<int64_t> counts_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  int64_t total_ = 0;
+};
+
+/// \brief Mean of a vector (0 for empty input).
+double Mean(const std::vector<double>& v);
+
+/// \brief Sample standard deviation of a vector (0 for n < 2).
+double Stdev(const std::vector<double>& v);
+
+}  // namespace dfim
+
+#endif  // DFIM_COMMON_STATS_H_

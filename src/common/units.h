@@ -1,0 +1,47 @@
+#ifndef DFIM_COMMON_UNITS_H_
+#define DFIM_COMMON_UNITS_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace dfim {
+
+/// Simulation time, in seconds.
+using Seconds = double;
+/// Money, in dollars.
+using Dollars = double;
+/// Data sizes, in megabytes (the paper prices storage per MB per quantum).
+using MegaBytes = double;
+
+/// \name Size conversions.
+/// @{
+inline constexpr MegaBytes KB(double v) { return v / 1024.0; }
+inline constexpr MegaBytes MB(double v) { return v; }
+inline constexpr MegaBytes GB(double v) { return v * 1024.0; }
+inline constexpr double ToBytes(MegaBytes mb) { return mb * 1024.0 * 1024.0; }
+inline constexpr MegaBytes FromBytes(double bytes) {
+  return bytes / (1024.0 * 1024.0);
+}
+/// @}
+
+/// \brief Number of whole pricing quanta that cover `span` seconds.
+///
+/// A span of exactly n quanta costs n quanta; anything more starts the next
+/// quantum (IaaS pre-pays whole quanta). A zero or negative span costs 0.
+inline int64_t QuantaCeil(Seconds span, Seconds quantum) {
+  if (span <= 0) return 0;
+  double q = span / quantum;
+  int64_t whole = static_cast<int64_t>(q);
+  // Guard against floating error: 3.0000000001 quanta is 3 quanta.
+  if (q - static_cast<double>(whole) > 1e-9) return whole + 1;
+  return whole;
+}
+
+/// \brief True when two simulated time points are equal up to float noise.
+inline bool TimeEq(Seconds a, Seconds b, Seconds eps = 1e-9) {
+  return std::fabs(a - b) <= eps;
+}
+
+}  // namespace dfim
+
+#endif  // DFIM_COMMON_UNITS_H_

@@ -1,0 +1,96 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <set>
+
+namespace dfim {
+
+Status IndexAdvisor::Annotate(Dataflow* df, Catalog* catalog) {
+  DFIM_ASSIGN_OR_RETURN(std::vector<IndexRecommendation> recs, Recommend(*df));
+  for (const auto& rec : recs) {
+    if (!catalog->HasIndex(rec.def.id)) {
+      DFIM_RETURN_NOT_OK(catalog->DefineIndex(rec.def));
+    }
+    if (std::find(df->candidate_indexes.begin(), df->candidate_indexes.end(),
+                  rec.def.id) == df->candidate_indexes.end()) {
+      df->candidate_indexes.push_back(rec.def.id);
+    }
+    df->index_speedup[rec.def.id] = rec.predicted_speedup;
+  }
+  return Status::OK();
+}
+
+double AccessPatternAdvisor::PredictSpeedup(const Operator& op) {
+  // Heuristic what-if analysis: operator names carry the access category in
+  // our generators; unknown names fall back to a random Table 6 draw, the
+  // same calibration the paper's evaluation uses (§6.1).
+  const std::string& n = op.name;
+  auto contains = [&n](const char* s) { return n.find(s) != std::string::npos; };
+  if (contains("Lookup") || contains("PeakValCalc")) {
+    return opts_.lookup_speedup;
+  }
+  if (contains("Extract") || contains("mProject")) {
+    return opts_.large_range_speedup;
+  }
+  if (contains("TmpltBank") || contains("mBackground")) {
+    return opts_.small_range_speedup;
+  }
+  if (contains("Inspiral") || contains("Sort") || contains("Group")) {
+    return opts_.sort_group_speedup;
+  }
+  const double choices[] = {opts_.sort_group_speedup, opts_.large_range_speedup,
+                            opts_.small_range_speedup, opts_.lookup_speedup};
+  return choices[rng_.UniformInt(0, 3)];
+}
+
+Result<std::vector<IndexRecommendation>> AccessPatternAdvisor::Recommend(
+    const Dataflow& df) {
+  // Group accessing operators by table.
+  std::map<std::string, std::vector<const Operator*>> by_table;
+  for (const auto& op : df.dag.ops()) {
+    if (!op.optional && !op.input_table.empty()) {
+      by_table[op.input_table].push_back(&op);
+    }
+  }
+  std::vector<IndexRecommendation> out;
+  for (const auto& [table_name, ops] : by_table) {
+    DFIM_ASSIGN_OR_RETURN(const Table* table, catalog_->GetTable(table_name));
+    // Predicted speedup for the table: the access mix's best category.
+    double speedup = 1.0;
+    for (const Operator* op : ops) {
+      speedup = std::max(speedup, PredictSpeedup(*op));
+    }
+    // Rank candidate columns by speedup per stored megabyte: narrow keys
+    // win (same speedup assumption, smaller footprint).
+    struct Scored {
+      Column col;
+      double bytes;
+    };
+    std::vector<Scored> cols;
+    for (const auto& col : table->schema().columns()) {
+      // Opaque payload columns are not indexable candidates.
+      if (col.name.find("payload") != std::string::npos) continue;
+      cols.push_back({col, col.avg_field_bytes});
+    }
+    std::stable_sort(cols.begin(), cols.end(),
+                     [](const Scored& a, const Scored& b) {
+                       return a.bytes < b.bytes;
+                     });
+    int take = std::min<int>(opts_.max_candidates_per_table,
+                             static_cast<int>(cols.size()));
+    for (int i = 0; i < take; ++i) {
+      IndexRecommendation rec;
+      rec.def.id = "adv:" + table_name + ":" + cols[static_cast<size_t>(i)].col.name;
+      rec.def.table = table_name;
+      rec.def.columns = {cols[static_cast<size_t>(i)].col.name};
+      // Wider keys dilute the benefit per byte scanned.
+      rec.predicted_speedup =
+          std::max(1.0, speedup * cols[0].bytes /
+                            cols[static_cast<size_t>(i)].bytes);
+      out.push_back(std::move(rec));
+    }
+  }
+  return out;
+}
+
+}  // namespace dfim

@@ -1,0 +1,82 @@
+#ifndef DFIM_CORE_ADVISOR_H_
+#define DFIM_CORE_ADVISOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/catalog.h"
+#include "dataflow/dataflow.h"
+
+namespace dfim {
+
+/// \brief One advisor recommendation: a candidate index and the speedup a
+/// what-if analysis predicts for the analysed dataflow.
+struct IndexRecommendation {
+  IndexDef def;
+  double predicted_speedup = 1.0;
+};
+
+/// \brief The index-advisor interface the paper assumes upstream (§1:
+/// "most index advisors can output a set of indexes that might be useful
+/// (e.g., by doing a what-if analysis). This would be the input to our
+/// system."). Implementations annotate dataflows with candidate indexes
+/// and per-dataflow speedups; the tuner takes it from there.
+class IndexAdvisor {
+ public:
+  virtual ~IndexAdvisor() = default;
+
+  /// Candidate indexes (with predicted speedups) for `df`.
+  virtual Result<std::vector<IndexRecommendation>> Recommend(
+      const Dataflow& df) = 0;
+
+  /// Convenience: runs Recommend and installs the results on the dataflow
+  /// (fills candidate_indexes / index_speedup), registering any new index
+  /// definitions in the catalog.
+  Status Annotate(Dataflow* df, Catalog* catalog);
+};
+
+/// \brief A what-if advisor over access patterns: for every table a
+/// dataflow's operators read, it recommends single-column indexes on the
+/// table's indexable columns, predicting speedups from the operator
+/// category mix (§1's lookup / range / sort / group / join complexities)
+/// and the column's selectivity statistics.
+class AccessPatternAdvisor : public IndexAdvisor {
+ public:
+  struct Options {
+    /// Candidate columns per table (widest candidates are usually text
+    /// payloads with poor gain-per-byte; the advisor ranks by predicted
+    /// speedup per stored megabyte and keeps the best).
+    int max_candidates_per_table = 4;
+    /// Speedup predictions for the §1 categories, calibrated from Table 6.
+    double lookup_speedup = 627.14;
+    double small_range_speedup = 307.50;
+    double large_range_speedup = 94.44;
+    double sort_group_speedup = 7.44;
+    /// Seed for tie-breaking between equally-ranked categories.
+    uint64_t seed = 17;
+  };
+
+  explicit AccessPatternAdvisor(const Catalog* catalog)
+      : AccessPatternAdvisor(catalog, Options{}) {}
+  AccessPatternAdvisor(const Catalog* catalog, Options options)
+      : catalog_(catalog), opts_(options), rng_(options.seed) {}
+
+  Result<std::vector<IndexRecommendation>> Recommend(
+      const Dataflow& df) override;
+
+ private:
+  /// Classifies an operator into a §1 category from its name/shape and
+  /// returns the predicted speedup an index would give it.
+  double PredictSpeedup(const Operator& op);
+
+  const Catalog* catalog_;
+  Options opts_;
+  Rng rng_;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_CORE_ADVISOR_H_

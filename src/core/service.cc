@@ -1,0 +1,294 @@
+#include "core/service.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "dataflow/build_index_ops.h"
+
+namespace dfim {
+
+std::string_view IndexPolicyToString(IndexPolicy policy) {
+  switch (policy) {
+    case IndexPolicy::kNoIndex:
+      return "No Index";
+    case IndexPolicy::kRandom:
+      return "Random";
+    case IndexPolicy::kGainNoDelete:
+      return "Gain (no delete)";
+    case IndexPolicy::kGain:
+      return "Gain";
+  }
+  return "?";
+}
+
+QaasService::QaasService(Catalog* catalog, ServiceOptions options)
+    : catalog_(catalog),
+      opts_(options),
+      tuner_(catalog, [&options] {
+        TunerOptions t = options.tuner;
+        if (options.policy == IndexPolicy::kGainNoDelete) {
+          t.delete_nonbeneficial = false;
+        }
+        return t;
+      }()),
+      storage_(options.tuner.pricing),
+      rng_(options.seed) {}
+
+std::vector<Container*> QaasService::AcquireContainers(int n, Seconds start) {
+  // Reap expired containers: their pre-paid quantum is over and their local
+  // disks (caches) are gone (paper §3).
+  std::erase_if(pool_, [start](const std::unique_ptr<Container>& c) {
+    return !c->AliveAt(start);
+  });
+  std::vector<Container*> out;
+  for (int i = 0; i < n; ++i) {
+    if (i < static_cast<int>(pool_.size())) {
+      out.push_back(pool_[static_cast<size_t>(i)].get());
+    } else {
+      pool_.push_back(std::make_unique<Container>(
+          next_container_id_++, opts_.container, opts_.tuner.pricing, start));
+      out.push_back(pool_.back().get());
+    }
+  }
+  return out;
+}
+
+Result<TunerDecision> QaasService::BaselineDecision(const Dataflow& df) {
+  TunerDecision d;
+  d.combined = df.dag;
+
+  if (opts_.policy == IndexPolicy::kRandom) {
+    // §6: "randomly selects indexes from the potential set" — the whole
+    // catalog, not just the current dataflow's candidates — "and randomly
+    // assigns them to containers to be built".
+    std::vector<std::string> cands = catalog_->IndexIds();
+    rng_.Shuffle(&cands);
+    int take = std::min<int>(opts_.random_indexes_per_dataflow,
+                             static_cast<int>(cands.size()));
+    int next_id = static_cast<int>(d.combined.num_ops());
+    for (int i = 0; i < take; ++i) {
+      auto ops = MakeBuildIndexOps(*catalog_, cands[static_cast<size_t>(i)],
+                                   opts_.tuner.sched.net_mb_per_sec, &next_id);
+      if (!ops.ok()) continue;
+      for (auto& op : *ops) d.combined.AddOperator(std::move(op));
+    }
+  }
+
+  BuildDataflowCosts(d.combined, df, *catalog_, opts_.tuner.sched.net_mb_per_sec,
+                     &d.durations, &d.costs);
+
+  SkylineScheduler scheduler(opts_.tuner.sched);
+  DFIM_ASSIGN_OR_RETURN(
+      d.skyline,
+      scheduler.ScheduleDag(d.combined, d.durations, /*place_optional=*/false));
+  if (d.skyline.empty()) return Status::Internal("empty skyline");
+  d.chosen = d.skyline.front();
+
+  if (opts_.policy == IndexPolicy::kRandom) {
+    // Random assignment: each build op goes to the tail of a random
+    // container, extending its lease (and the bill) as needed.
+    int nc = std::max(1, d.chosen.num_containers());
+    std::vector<Seconds> tail(static_cast<size_t>(nc), 0);
+    for (const auto& a : d.chosen.assignments()) {
+      tail[static_cast<size_t>(a.container)] =
+          std::max(tail[static_cast<size_t>(a.container)], a.end);
+    }
+    for (const auto& op : d.combined.ops()) {
+      if (!op.optional) continue;
+      auto c = static_cast<size_t>(rng_.UniformInt(0, nc - 1));
+      Assignment a;
+      a.op_id = op.id;
+      a.container = static_cast<int>(c);
+      a.start = tail[c];
+      a.end = a.start + d.durations[static_cast<size_t>(op.id)];
+      a.optional = true;
+      tail[c] = a.end;
+      d.chosen.Add(a);
+      ++d.build_ops_scheduled;
+    }
+  }
+  return d;
+}
+
+Result<Seconds> QaasService::RunOne(const Dataflow& df, Seconds start,
+                                    ServiceMetrics* metrics) {
+  bool tuned = opts_.policy == IndexPolicy::kGain ||
+               opts_.policy == IndexPolicy::kGainNoDelete;
+  TunerDecision decision;
+  if (tuned) {
+    DFIM_ASSIGN_OR_RETURN(
+        decision,
+        tuner_.OnDataflow(df, history_, start,
+                          opts_.resumable_builds ? &build_progress_ : nullptr));
+  } else {
+    DFIM_ASSIGN_OR_RETURN(decision, BaselineDecision(df));
+  }
+
+  // Execute on pooled containers (warm caches when leases overlap).
+  int nc = std::max(1, decision.chosen.num_containers());
+  std::vector<Container*> containers = AcquireContainers(nc, start);
+  SimOptions sim = opts_.sim;
+  sim.quantum = opts_.tuner.sched.quantum;
+  sim.net_mb_per_sec = opts_.tuner.sched.net_mb_per_sec;
+  sim.seed = opts_.seed ^ (static_cast<uint64_t>(df.id) * 0x9e3779b9ULL);
+  ExecSimulator simulator(sim);
+  DFIM_ASSIGN_OR_RETURN(
+      ExecResult exec,
+      simulator.Run(decision.combined, decision.chosen, decision.costs,
+                    &containers));
+
+  Seconds finish = start + exec.makespan;
+
+  // Lease bookkeeping: extend each container through its realized end.
+  for (int c = 0; c < nc; ++c) {
+    Seconds last = 0;
+    for (const auto& a : exec.actual.ContainerTimeline(c)) {
+      last = std::max(last, a.end);
+    }
+    if (last > 0) containers[static_cast<size_t>(c)]->ExtendLeaseTo(start + last);
+  }
+
+  // Register completed index partitions.
+  for (const auto& b : exec.builds) {
+    Status st = catalog_->MarkIndexPartitionBuilt(b.index_id, b.partition,
+                                                  start + b.finish);
+    if (st.ok()) {
+      auto def = catalog_->GetIndexDef(b.index_id);
+      auto state = catalog_->GetIndexState(b.index_id);
+      if (def.ok() && state.ok()) {
+        const auto& part = (*state)->part(static_cast<size_t>(b.partition));
+        storage_.Put((*def)->PartitionPath(b.partition), part.size,
+                     start + b.finish);
+      }
+      ++metrics->index_partitions_built;
+      // A fresh build counts as a reference: the grace clock starts now.
+      Seconds built_at = start + b.finish;
+      auto [it, inserted] = last_useful_.try_emplace(b.index_id, built_at);
+      if (!inserted) it->second = std::max(it->second, built_at);
+      if (opts_.resumable_builds) {
+        build_progress_.erase({b.index_id, b.partition});
+      }
+    }
+  }
+  if (opts_.resumable_builds) {
+    for (const auto& k : exec.kills) {
+      build_progress_[{k.index_id, k.partition}] += k.ran_for;
+    }
+  }
+
+  // Record history: what-if gains of every candidate index (the paper's Hd
+  // stores each dataflow with its specified indexes and their gains).
+  DataflowRecord rec;
+  rec.dataflow_id = df.id;
+  rec.app = df.app;
+  rec.finished_at = finish;
+  rec.time_quanta = exec.makespan / opts_.tuner.sched.quantum;
+  rec.money_quanta = static_cast<double>(exec.leased_quanta);
+  for (const auto& idx : df.candidate_indexes) {
+    double g = tuner_.EstimateDataflowGain(df, idx);
+    if (g > 0) {
+      rec.time_gain[idx] = g;
+      rec.money_gain[idx] = g;
+      last_useful_[idx] = finish;
+    }
+  }
+
+  // Deletions (Gain policy only; Random/NoDelete never delete). An index is
+  // only dropped once it has gone unreferenced for the grace period, so a
+  // single low-speedup draw does not evict an otherwise hot index.
+  Seconds grace = opts_.deletion_grace_quanta * opts_.tuner.sched.quantum;
+  for (const auto& idx : decision.to_delete) {
+    auto it = last_useful_.find(idx);
+    // Unknown reference times count as fresh (conservative: never delete an
+    // index whose usage we have not observed yet).
+    if (it == last_useful_.end() || finish - it->second < grace) continue;
+    if (std::getenv("DFIM_DEBUG_DELETE") != nullptr) {
+      std::fprintf(stderr, "[delete] t=%.1fq idx=%s age=%.1fq\n",
+                   finish / opts_.tuner.sched.quantum, idx.c_str(),
+                   (finish - it->second) / opts_.tuner.sched.quantum);
+    }
+    auto dropped = catalog_->DropIndex(idx);
+    if (dropped.ok() && !dropped->empty()) {
+      for (const auto& path : *dropped) storage_.Delete(path, finish);
+      ++metrics->indexes_deleted;
+    }
+  }
+  history_.push_back(std::move(rec));
+  while (history_.size() > opts_.max_history) history_.pop_front();
+
+  // Metrics and the Fig. 13 timeline.
+  storage_.AdvanceTo(finish);
+  metrics->total_time_quanta += exec.makespan / opts_.tuner.sched.quantum;
+  metrics->total_vm_quanta += exec.leased_quanta;
+  metrics->total_ops += exec.executed_ops;
+  metrics->killed_ops += exec.killed_builds;
+  TimelinePoint pt;
+  pt.t = finish;
+  pt.storage_cost = storage_.accrued_cost();
+  for (const auto& idx : catalog_->IndexIds()) {
+    auto st = catalog_->GetIndexState(idx);
+    if (st.ok() && (*st)->NumBuilt() > 0) {
+      ++pt.indexes_built;
+      pt.index_mb += (*st)->TotalBuiltSize();
+    }
+  }
+  metrics->timeline.push_back(pt);
+  return finish;
+}
+
+void QaasService::ApplyDueUpdates(Seconds now, ServiceMetrics* metrics) {
+  if (opts_.update_interval_quanta <= 0) return;
+  Seconds interval = opts_.update_interval_quanta * opts_.tuner.sched.quantum;
+  if (next_update_ <= 0) next_update_ = interval;
+  auto tables = catalog_->TableNames();
+  if (tables.empty()) return;
+  while (next_update_ <= now) {
+    for (int t = 0; t < opts_.update_tables_per_batch; ++t) {
+      const std::string& name = tables[static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(tables.size()) - 1))];
+      auto table = catalog_->GetTable(name);
+      if (!table.ok()) continue;
+      int nparts = static_cast<int>((*table)->num_partitions());
+      int touch = std::max(
+          1, static_cast<int>(opts_.update_fraction * nparts + 0.5));
+      std::vector<int> ids;
+      for (int i = 0; i < touch; ++i) {
+        ids.push_back(static_cast<int>(rng_.UniformInt(0, nparts - 1)));
+      }
+      auto invalidated = catalog_->ApplyBatchUpdate(name, ids);
+      if (invalidated.ok()) {
+        for (const auto& path : *invalidated) {
+          storage_.Delete(path, next_update_);
+        }
+        metrics->index_partitions_invalidated +=
+            static_cast<int>(invalidated->size());
+      }
+    }
+    ++metrics->update_batches;
+    next_update_ += interval;
+  }
+}
+
+Result<ServiceMetrics> QaasService::Run(WorkloadClient* client) {
+  ServiceMetrics metrics;
+  Seconds clock = 0;
+  while (true) {
+    std::optional<Dataflow> df = client->Next(clock, opts_.total_time);
+    if (!df.has_value()) break;
+    ++metrics.dataflows_arrived;
+    Seconds start = std::max(df->issued_at, clock);
+    if (start >= opts_.total_time) break;
+    ApplyDueUpdates(start, &metrics);
+    DFIM_ASSIGN_OR_RETURN(Seconds finish, RunOne(*df, start, &metrics));
+    clock = finish;
+    if (finish <= opts_.total_time) ++metrics.dataflows_finished;
+  }
+  storage_.AdvanceTo(opts_.total_time);
+  metrics.storage_cost = storage_.accrued_cost();
+  return metrics;
+}
+
+}  // namespace dfim

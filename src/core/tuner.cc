@@ -1,0 +1,248 @@
+#include "core/tuner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "dataflow/build_index_ops.h"
+
+namespace dfim {
+namespace {
+
+/// Cache key for an op's external input under the current catalog state:
+/// table path + versions + the index it reads alongside.
+std::string CacheKeyFor(const Operator& op, const EffectiveCost& cost,
+                        const Catalog& catalog) {
+  if (op.input_table.empty()) return "";
+  int64_t version_sum = 0;
+  auto table = catalog.GetTable(op.input_table);
+  if (table.ok()) {
+    for (const auto& p : (*table)->partitions()) version_sum += p.version;
+  }
+  std::string key = op.input_table + "|v" + std::to_string(version_sum);
+  if (!cost.index_used.empty()) key += "|" + cost.index_used;
+  return key;
+}
+
+}  // namespace
+
+void BuildDataflowCosts(const Dag& dag, const Dataflow& df,
+                        const Catalog& catalog, double net_mb_per_sec,
+                        std::vector<Seconds>* durations,
+                        std::vector<SimOpCost>* costs) {
+  durations->assign(dag.num_ops(), 0);
+  costs->assign(dag.num_ops(), SimOpCost{});
+  for (const auto& op : dag.ops()) {
+    auto i = static_cast<size_t>(op.id);
+    if (op.optional) {
+      // Build ops: the cost model's build time already includes their IO.
+      (*durations)[i] = op.time;
+      (*costs)[i] = SimOpCost{op.time, 0, ""};
+      continue;
+    }
+    EffectiveCost c = EffectiveOpCost(op, df, catalog);
+    (*durations)[i] = c.cpu_time + c.input_mb / net_mb_per_sec;
+    (*costs)[i] = SimOpCost{c.cpu_time, c.input_mb, CacheKeyFor(op, c, catalog)};
+  }
+}
+
+OnlineIndexTuner::OnlineIndexTuner(Catalog* catalog, TunerOptions options)
+    : catalog_(catalog),
+      opts_(options),
+      gain_model_(options.gain, options.pricing),
+      interleaver_(options.sched, options.mode) {}
+
+double OnlineIndexTuner::MarginalGainQuanta(const Dataflow& df,
+                                            const std::string& index_id,
+                                            bool built) const {
+  auto def = catalog_->GetIndexDef(index_id);
+  if (!def.ok()) return 0;
+  double net = opts_.sched.net_mb_per_sec;
+  double saving = 0;
+  for (const auto& op : df.dag.ops()) {
+    if (op.optional || op.input_table != (*def)->table) continue;
+    EffectiveCost a, b;
+    if (built) {
+      // Retention value: how much slower the dataflow gets without it.
+      a = EffectiveOpCostFiltered(op, df, *catalog_, index_id, "");
+      b = EffectiveOpCostFiltered(op, df, *catalog_, "", "");
+    } else {
+      // Build value: improvement over the currently built indexes.
+      a = EffectiveOpCostFiltered(op, df, *catalog_, "", "");
+      b = EffectiveOpCostFiltered(op, df, *catalog_, "", index_id);
+    }
+    double delta =
+        (a.cpu_time + a.input_mb / net) - (b.cpu_time + b.input_mb / net);
+    if (delta > 0) saving += delta;
+  }
+  return saving / opts_.sched.quantum;
+}
+
+bool OnlineIndexTuner::IsBuilt(const std::string& index_id) const {
+  auto st = catalog_->GetIndexState(index_id);
+  return st.ok() && (*st)->NumBuilt() > 0;
+}
+
+double OnlineIndexTuner::EstimateDataflowGain(const Dataflow& df,
+                                              const std::string& index_id) const {
+  auto def = catalog_->GetIndexDef(index_id);
+  if (!def.ok()) return 0;
+  if (IsBuilt(index_id)) {
+    return MarginalGainQuanta(df, index_id, /*built=*/true);
+  }
+  // Unbuilt candidates compete: only the one with the best marginal
+  // improvement for this dataflow's table earns the gain, because an
+  // operator reads at most one index (crediting runners-up would build
+  // redundant indexes — the index-interaction issue the paper defers,
+  // §2: "delete indexes that become obsolete when index interactions...
+  // are identified").
+  double my = MarginalGainQuanta(df, index_id, /*built=*/false);
+  if (my <= 0) return 0;
+  auto my_size = catalog_->FullSize(index_id);
+  for (const auto& other : df.candidate_indexes) {
+    if (other == index_id || IsBuilt(other)) continue;
+    auto odef = catalog_->GetIndexDef(other);
+    if (!odef.ok() || (*odef)->table != (*def)->table) continue;
+    double others = MarginalGainQuanta(df, other, /*built=*/false);
+    if (others > my) return 0;
+    if (others == my) {
+      auto osize = catalog_->FullSize(other);
+      MegaBytes mine = my_size.ok() ? *my_size : 0;
+      MegaBytes theirs = osize.ok() ? *osize : 0;
+      if (theirs < mine || (theirs == mine && other < index_id)) return 0;
+    }
+  }
+  return my;
+}
+
+double OnlineIndexTuner::FullBuildQuanta(const std::string& index_id) const {
+  // ti(idx) is a constant of the index (Eq. 5 / Table 1), not the remaining
+  // work: a built index keeps justifying its build effort against its faded
+  // gains, which is exactly what lets gt(idx, t) drop to <= 0 and trigger
+  // deletion once the workload moves on.
+  auto t = catalog_->FullBuildTime(index_id, opts_.sched.net_mb_per_sec);
+  return t.ok() ? *t / opts_.sched.quantum : 0;
+}
+
+IndexGains OnlineIndexTuner::EvaluateIndex(
+    const std::string& index_id, const std::deque<DataflowRecord>& history,
+    const Dataflow* current, Seconds now) const {
+  std::vector<GainContribution> uses;
+  std::vector<double> reference_times;  // quanta, for adaptive fading
+  for (const auto& rec : history) {
+    auto it = rec.time_gain.find(index_id);
+    if (it == rec.time_gain.end()) continue;
+    GainContribution c;
+    c.gtd_quanta = it->second;
+    auto im = rec.money_gain.find(index_id);
+    c.gmd_quanta = im == rec.money_gain.end() ? it->second : im->second;
+    c.delta_t_quanta = (now - rec.finished_at) / opts_.sched.quantum;
+    if (c.delta_t_quanta < 0) c.delta_t_quanta = 0;
+    uses.push_back(c);
+    reference_times.push_back(rec.finished_at / opts_.sched.quantum);
+  }
+  if (current != nullptr) {
+    double est = EstimateDataflowGain(*current, index_id);
+    if (est > 0) uses.push_back(GainContribution{est, est, 0});
+  }
+  double ti = FullBuildQuanta(index_id);
+  auto size = catalog_->FullSize(index_id);
+  double d_override = 0;
+  if (opts_.gain.adaptive_fading && reference_times.size() >= 2) {
+    // Learn D from the index's mean inter-reference gap: an index used
+    // every G quanta should not be fully faded between uses.
+    double gap_sum = 0;
+    for (size_t i = 1; i < reference_times.size(); ++i) {
+      gap_sum += reference_times[i] - reference_times[i - 1];
+    }
+    double mean_gap = gap_sum / static_cast<double>(reference_times.size() - 1);
+    d_override = std::clamp(mean_gap, opts_.gain.fade_d_quanta,
+                            opts_.gain.adaptive_fading_max_quanta);
+  }
+  return gain_model_.Evaluate(uses, ti, /*build_cost_quanta=*/ti,
+                              size.ok() ? *size : 0, d_override);
+}
+
+Result<TunerDecision> OnlineIndexTuner::OnDataflow(
+    const Dataflow& df, const std::deque<DataflowRecord>& history, Seconds now,
+    const BuildProgress* progress) const {
+  TunerDecision d;
+
+  // The potential set Pi: the dataflow's candidates plus indexes seen in
+  // the history window plus everything currently built.
+  std::set<std::string> potential(df.candidate_indexes.begin(),
+                                  df.candidate_indexes.end());
+  for (const auto& rec : history) {
+    for (const auto& [idx, _] : rec.time_gain) potential.insert(idx);
+  }
+  std::vector<std::string> available;  // Ai: indexes with built partitions
+  for (const auto& idx : catalog_->IndexIds()) {
+    auto st = catalog_->GetIndexState(idx);
+    if (st.ok() && (*st)->NumBuilt() > 0) {
+      available.push_back(idx);
+      potential.insert(idx);
+    }
+  }
+
+  // Lines 2-9: evaluate gains, collect beneficial indexes.
+  std::vector<std::pair<std::string, double>> beneficial;  // (idx, g)
+  for (const auto& idx : potential) {
+    IndexGains g = EvaluateIndex(idx, history, &df, now);
+    d.gains[idx] = g;
+    if (g.beneficial) beneficial.emplace_back(idx, g.g);
+  }
+  std::stable_sort(
+      beneficial.begin(), beneficial.end(),
+      [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  // Build the combined DAG: dataflow ops + build ops of beneficial indexes.
+  d.combined = df.dag;
+  int next_id = static_cast<int>(d.combined.num_ops());
+  for (const auto& [idx, g] : beneficial) {
+    auto ops = MakeBuildIndexOps(*catalog_, idx, opts_.sched.net_mb_per_sec,
+                                 &next_id, progress);
+    if (!ops.ok() || ops->empty()) continue;
+    double per_op_gain = g / static_cast<double>(ops->size());
+    for (auto& op : *ops) {
+      op.gain = per_op_gain;
+      d.combined.AddOperator(std::move(op));
+    }
+  }
+  // Recompute next ids after AddOperator reassigned them densely.
+  BuildDataflowCosts(d.combined, df, *catalog_, opts_.sched.net_mb_per_sec,
+                     &d.durations, &d.costs);
+
+  // Lines 10-11: interleave and select the fastest schedule.
+  DFIM_ASSIGN_OR_RETURN(d.skyline,
+                        interleaver_.Interleave(d.combined, d.durations));
+  if (d.skyline.empty()) return Status::Internal("empty schedule skyline");
+  d.chosen = d.skyline.front();
+  for (const auto& a : d.chosen.assignments()) {
+    if (a.optional) ++d.build_ops_scheduled;
+  }
+
+  // Lines 13-19: flag non-beneficial available indexes for deletion.
+  if (opts_.delete_nonbeneficial) {
+    for (const auto& idx : available) {
+      auto it = d.gains.find(idx);
+      if (it != d.gains.end() && it->second.deletable) {
+        d.to_delete.push_back(idx);
+      }
+    }
+  }
+  return d;
+}
+
+Result<std::vector<std::string>> OnlineIndexTuner::EvaluateDeletions(
+    const std::deque<DataflowRecord>& history, Seconds now) const {
+  std::vector<std::string> out;
+  if (!opts_.delete_nonbeneficial) return out;
+  for (const auto& idx : catalog_->IndexIds()) {
+    auto st = catalog_->GetIndexState(idx);
+    if (!st.ok() || (*st)->NumBuilt() == 0) continue;
+    IndexGains g = EvaluateIndex(idx, history, nullptr, now);
+    if (g.deletable) out.push_back(idx);
+  }
+  return out;
+}
+
+}  // namespace dfim

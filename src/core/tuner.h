@@ -1,0 +1,123 @@
+#ifndef DFIM_CORE_TUNER_H_
+#define DFIM_CORE_TUNER_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/gain.h"
+#include "core/interleave.h"
+#include "data/catalog.h"
+#include "dataflow/build_index_ops.h"
+#include "dataflow/cost.h"
+#include "dataflow/dataflow.h"
+#include "sched/exec_simulator.h"
+
+namespace dfim {
+
+/// \brief Tuner configuration (paper Table 3 defaults).
+struct TunerOptions {
+  GainOptions gain;
+  SchedulerOptions sched;
+  /// Provider prices; `pricing.quantum` should match `sched.quantum`.
+  PricingModel pricing;
+  InterleaveMode mode = InterleaveMode::kLp;
+  /// When false, non-beneficial indexes are kept (the paper's
+  /// "Gain (no delete)" arm of Fig. 12/14).
+  bool delete_nonbeneficial = true;
+};
+
+/// \brief Output of one tuning step (Algorithm 1's return values).
+struct TunerDecision {
+  /// The dataflow DAG with candidate build-index ops appended (optional).
+  Dag combined;
+  /// Estimated durations per combined op id (input transfer + CPU).
+  std::vector<Seconds> durations;
+  /// Execution-simulator costs per combined op id.
+  std::vector<SimOpCost> costs;
+  /// The skyline of interleaved schedules (Sdf + SBI).
+  std::vector<Schedule> skyline;
+  /// The selected schedule — the fastest, per §5.2.
+  Schedule chosen;
+  /// Indexes to delete (DI).
+  std::vector<std::string> to_delete;
+  /// Diagnostic: evaluated gains of every considered index.
+  std::map<std::string, IndexGains> gains;
+  /// Build ops included in `chosen`.
+  int build_ops_scheduled = 0;
+};
+
+/// \brief Algorithm 1: Online Index Tuning.
+///
+/// On every issued dataflow, evaluates each potential index's gains
+/// (Eq. 3-5) against the historical dataflows Hd plus a what-if estimate
+/// for the issued dataflow, ranks beneficial ones, interleaves their build
+/// ops into the dataflow's schedule, and flags non-beneficial available
+/// indexes for deletion.
+class OnlineIndexTuner {
+ public:
+  OnlineIndexTuner(Catalog* catalog, TunerOptions options);
+
+  /// Runs the tuning step for the issued dataflow `df` at time `now`.
+  /// `progress` (optional) enables resumable builds: build ops are emitted
+  /// with their remaining (not full) build time.
+  Result<TunerDecision> OnDataflow(const Dataflow& df,
+                                   const std::deque<DataflowRecord>& history,
+                                   Seconds now,
+                                   const BuildProgress* progress = nullptr) const;
+
+  /// \brief Deletion-only sweep (Algorithm 1 is also "triggered
+  /// periodically... to delete indexes that become non beneficial when
+  /// there is not any new dataflow").
+  Result<std::vector<std::string>> EvaluateDeletions(
+      const std::deque<DataflowRecord>& history, Seconds now) const;
+
+  /// \brief What-if time gain (quanta) of `index_id` for dataflow `df`
+  /// (feeds Eq. 4-5 at δT = 0).
+  ///
+  /// Built indexes earn their retention value (how much the dataflow would
+  /// slow down without them); unbuilt candidates compete and only the best
+  /// marginal improvement per table earns a gain — an operator reads at
+  /// most one index, so crediting runners-up would build redundant indexes.
+  double EstimateDataflowGain(const Dataflow& df,
+                              const std::string& index_id) const;
+
+  /// Marginal what-if gain (quanta) of one index for `df`: retention value
+  /// when `built` (cost without it minus cost with it), build value
+  /// otherwise (cost now minus cost with it fully built).
+  double MarginalGainQuanta(const Dataflow& df, const std::string& index_id,
+                            bool built) const;
+
+  /// True when the index has at least one built partition.
+  bool IsBuilt(const std::string& index_id) const;
+
+  /// Evaluates one index against history + optional current estimate.
+  IndexGains EvaluateIndex(const std::string& index_id,
+                           const std::deque<DataflowRecord>& history,
+                           const Dataflow* current, Seconds now) const;
+
+  const TunerOptions& options() const { return opts_; }
+  const GainModel& gain_model() const { return gain_model_; }
+
+ private:
+  /// ti(idx): the index's total build time in quanta — a constant of the
+  /// index, charged in Eq. 4-5 whether or not partitions are already built.
+  double FullBuildQuanta(const std::string& index_id) const;
+
+  Catalog* catalog_;
+  TunerOptions opts_;
+  GainModel gain_model_;
+  Interleaver interleaver_;
+};
+
+/// \brief Builds the simulator costs + durations for a dataflow DAG under
+/// the current catalog state (shared by the tuner and the baselines).
+void BuildDataflowCosts(const Dag& dag, const Dataflow& df,
+                        const Catalog& catalog, double net_mb_per_sec,
+                        std::vector<Seconds>* durations,
+                        std::vector<SimOpCost>* costs);
+
+}  // namespace dfim
+
+#endif  // DFIM_CORE_TUNER_H_

@@ -1,0 +1,146 @@
+#include "data/catalog.h"
+
+namespace dfim {
+
+Status Catalog::AddTable(Table table) {
+  if (tables_.count(table.name())) {
+    return Status::AlreadyExists("table " + table.name());
+  }
+  tables_.emplace(table.name(), std::move(table));
+  return Status::OK();
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return &it->second;
+}
+
+Result<Table*> Catalog::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return &it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Catalog::DefineIndex(const IndexDef& def) {
+  if (defs_.count(def.id)) return Status::AlreadyExists("index " + def.id);
+  DFIM_ASSIGN_OR_RETURN(const Table* t, GetTable(def.table));
+  for (const auto& col : def.columns) {
+    DFIM_RETURN_NOT_OK(t->schema().GetColumn(col).status());
+  }
+  defs_.emplace(def.id, def);
+  states_.emplace(def.id, IndexState(t->num_partitions()));
+  return Status::OK();
+}
+
+Result<const IndexDef*> Catalog::GetIndexDef(const std::string& id) const {
+  auto it = defs_.find(id);
+  if (it == defs_.end()) return Status::NotFound("index " + id);
+  return &it->second;
+}
+
+Result<const IndexState*> Catalog::GetIndexState(const std::string& id) const {
+  auto it = states_.find(id);
+  if (it == states_.end()) return Status::NotFound("index state " + id);
+  return &it->second;
+}
+
+std::vector<std::string> Catalog::IndexIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(defs_.size());
+  for (const auto& [id, _] : defs_) ids.push_back(id);
+  return ids;
+}
+
+bool Catalog::HasIndex(const std::string& id) const {
+  return defs_.count(id) > 0;
+}
+
+Status Catalog::MarkIndexPartitionBuilt(const std::string& id, int pid,
+                                        Seconds now) {
+  DFIM_ASSIGN_OR_RETURN(const IndexDef* def, GetIndexDef(id));
+  DFIM_ASSIGN_OR_RETURN(const Table* t, GetTable(def->table));
+  DFIM_ASSIGN_OR_RETURN(Partition p, t->GetPartition(pid));
+  auto it = states_.find(id);
+  MegaBytes size = cost_model_.PartitionIndexSize(*t, def->columns, p);
+  it->second.MarkBuilt(static_cast<size_t>(pid), now, p.version, size);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> Catalog::DropIndex(const std::string& id) {
+  DFIM_ASSIGN_OR_RETURN(const IndexDef* def, GetIndexDef(id));
+  auto it = states_.find(id);
+  std::vector<std::string> dropped;
+  for (size_t i = 0; i < it->second.num_partitions(); ++i) {
+    if (it->second.part(i).built) {
+      dropped.push_back(def->PartitionPath(static_cast<int>(i)));
+      it->second.MarkNotBuilt(i);
+    }
+  }
+  return dropped;
+}
+
+Result<double> Catalog::BuiltFraction(const std::string& id) const {
+  DFIM_ASSIGN_OR_RETURN(const IndexDef* def, GetIndexDef(id));
+  DFIM_ASSIGN_OR_RETURN(const Table* t, GetTable(def->table));
+  DFIM_ASSIGN_OR_RETURN(const IndexState* st, GetIndexState(id));
+  std::vector<int64_t> versions;
+  versions.reserve(t->num_partitions());
+  for (const auto& p : t->partitions()) versions.push_back(p.version);
+  return st->CurrentFraction(versions);
+}
+
+Result<MegaBytes> Catalog::BuiltSize(const std::string& id) const {
+  DFIM_ASSIGN_OR_RETURN(const IndexState* st, GetIndexState(id));
+  return st->TotalBuiltSize();
+}
+
+Result<MegaBytes> Catalog::FullSize(const std::string& id) const {
+  DFIM_ASSIGN_OR_RETURN(const IndexDef* def, GetIndexDef(id));
+  DFIM_ASSIGN_OR_RETURN(const Table* t, GetTable(def->table));
+  MegaBytes total = 0;
+  for (const auto& p : t->partitions()) {
+    total += cost_model_.PartitionIndexSize(*t, def->columns, p);
+  }
+  return total;
+}
+
+Result<Seconds> Catalog::FullBuildTime(const std::string& id,
+                                       double net_mb_per_sec) const {
+  DFIM_ASSIGN_OR_RETURN(const IndexDef* def, GetIndexDef(id));
+  DFIM_ASSIGN_OR_RETURN(const Table* t, GetTable(def->table));
+  Seconds total = 0;
+  for (const auto& p : t->partitions()) {
+    total += cost_model_.PartitionBuildTime(*t, def->columns, p,
+                                            net_mb_per_sec);
+  }
+  return total;
+}
+
+Result<std::vector<std::string>> Catalog::ApplyBatchUpdate(
+    const std::string& table, const std::vector<int>& partition_ids) {
+  DFIM_ASSIGN_OR_RETURN(Table* t, GetMutableTable(table));
+  std::vector<std::string> invalidated;
+  for (int pid : partition_ids) {
+    DFIM_RETURN_NOT_OK(t->BumpPartitionVersion(pid).status());
+    for (auto& [id, def] : defs_) {
+      if (def.table != table) continue;
+      auto& st = states_[id];
+      auto i = static_cast<size_t>(pid);
+      if (i < st.num_partitions() && st.part(i).built) {
+        invalidated.push_back(def.PartitionPath(pid));
+        st.MarkNotBuilt(i);
+      }
+    }
+  }
+  return invalidated;
+}
+
+}  // namespace dfim

@@ -1,0 +1,89 @@
+#ifndef DFIM_DATA_CATALOG_H_
+#define DFIM_DATA_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/index_meta.h"
+#include "data/index_model.h"
+#include "data/table.h"
+
+namespace dfim {
+
+/// \brief Metadata hub: tables, index definitions and index build states.
+///
+/// The catalog is pure metadata — sizes and times come from the
+/// BTreeCostModel; actual storage billing is done by whoever owns the
+/// StorageService (the QaaS service syncs built/deleted index partitions to
+/// it). Iteration order is deterministic (std::map) so experiments are
+/// reproducible.
+class Catalog {
+ public:
+  explicit Catalog(BTreeCostModel cost_model = BTreeCostModel{})
+      : cost_model_(cost_model) {}
+
+  /// \name Tables
+  /// @{
+  Status AddTable(Table table);
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<Table*> GetMutableTable(const std::string& name);
+  std::vector<std::string> TableNames() const;
+  /// @}
+
+  /// \name Index definitions & state
+  /// @{
+
+  /// Registers a potential index; its state starts all-not-built.
+  Status DefineIndex(const IndexDef& def);
+
+  Result<const IndexDef*> GetIndexDef(const std::string& id) const;
+  Result<const IndexState*> GetIndexState(const std::string& id) const;
+  std::vector<std::string> IndexIds() const;
+  bool HasIndex(const std::string& id) const;
+
+  /// Marks one index partition built at `now`; size comes from the cost
+  /// model and the current table-partition version is recorded.
+  Status MarkIndexPartitionBuilt(const std::string& id, int pid, Seconds now);
+
+  /// Drops all built partitions of an index (delete decision). Returns the
+  /// paths of the dropped index partitions so storage can be released.
+  Result<std::vector<std::string>> DropIndex(const std::string& id);
+
+  /// Fraction of `id`'s partitions built and current.
+  Result<double> BuiltFraction(const std::string& id) const;
+
+  /// Total built size (MB) of `id`.
+  Result<MegaBytes> BuiltSize(const std::string& id) const;
+
+  /// Modelled full size (MB) of `id` when completely built.
+  Result<MegaBytes> FullSize(const std::string& id) const;
+
+  /// Modelled total build time of `id` at the given network speed
+  /// (`ti(idx)` = sum over partitions, paper §3).
+  Result<Seconds> FullBuildTime(const std::string& id,
+                                double net_mb_per_sec) const;
+  /// @}
+
+  /// \brief Applies a batch update: bumps versions of the given table
+  /// partitions and invalidates index partitions built on them.
+  ///
+  /// Returns the storage paths of invalidated index partitions (§3: indexes
+  /// built on updated partitions are "deleted and marked as not built").
+  Result<std::vector<std::string>> ApplyBatchUpdate(
+      const std::string& table, const std::vector<int>& partition_ids);
+
+  const BTreeCostModel& cost_model() const { return cost_model_; }
+
+ private:
+  BTreeCostModel cost_model_;
+  std::map<std::string, Table> tables_;
+  std::map<std::string, IndexDef> defs_;
+  std::map<std::string, IndexState> states_;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_DATA_CATALOG_H_

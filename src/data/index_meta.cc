@@ -1,0 +1,54 @@
+#include "data/index_meta.h"
+
+#include <cassert>
+
+namespace dfim {
+
+void IndexState::MarkBuilt(size_t i, Seconds now, int64_t version,
+                           MegaBytes size) {
+  assert(i < parts_.size());
+  parts_[i].built = true;
+  parts_[i].built_at = now;
+  parts_[i].built_version = version;
+  parts_[i].size = size;
+}
+
+void IndexState::MarkNotBuilt(size_t i) {
+  assert(i < parts_.size());
+  parts_[i] = IndexPartitionState{};
+}
+
+void IndexState::MarkAllNotBuilt() {
+  for (auto& p : parts_) p = IndexPartitionState{};
+}
+
+bool IndexState::IsCurrent(size_t i, int64_t current_version) const {
+  assert(i < parts_.size());
+  return parts_[i].built && parts_[i].built_version == current_version;
+}
+
+size_t IndexState::NumBuilt() const {
+  size_t n = 0;
+  for (const auto& p : parts_) n += p.built ? 1 : 0;
+  return n;
+}
+
+double IndexState::CurrentFraction(const std::vector<int64_t>& versions) const {
+  if (parts_.empty()) return 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    int64_t v = i < versions.size() ? versions[i] : 1;
+    if (IsCurrent(i, v)) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(parts_.size());
+}
+
+MegaBytes IndexState::TotalBuiltSize() const {
+  MegaBytes total = 0;
+  for (const auto& p : parts_) {
+    if (p.built) total += p.size;
+  }
+  return total;
+}
+
+}  // namespace dfim

@@ -1,0 +1,74 @@
+#ifndef DFIM_DATA_INDEX_META_H_
+#define DFIM_DATA_INDEX_META_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dfim {
+
+/// \brief Definition of a (potential) index idx(t, C): the table it covers
+/// and the ordered key columns. Whether it is built — and on which
+/// partitions — lives in IndexState.
+struct IndexDef {
+  /// Unique id, e.g. "idx:lineitem:orderkey".
+  std::string id;
+  std::string table;
+  std::vector<std::string> columns;
+
+  /// Storage-service path of the index partition over table partition `pid`.
+  std::string PartitionPath(int pid) const {
+    return id + "/p." + std::to_string(pid);
+  }
+};
+
+/// \brief Build state of one index partition (the `T` in idx(t, C, T)).
+struct IndexPartitionState {
+  bool built = false;
+  /// Simulated time the partition finished building (valid when built).
+  Seconds built_at = 0;
+  /// Table-partition version the index was built against; a mismatch with
+  /// the current partition version means the index partition is stale.
+  int64_t built_version = 0;
+  /// Size in MB as charged to the storage service (valid when built).
+  MegaBytes size = 0;
+};
+
+/// \brief Build state of an index across all partitions of its table.
+///
+/// Indexes are built incrementally: any subset of partitions may be built
+/// at any time (paper §3: "not all index partitions need to be built in
+/// order to use the index").
+class IndexState {
+ public:
+  IndexState() = default;
+  explicit IndexState(size_t num_partitions) : parts_(num_partitions) {}
+
+  size_t num_partitions() const { return parts_.size(); }
+  const IndexPartitionState& part(size_t i) const { return parts_[i]; }
+
+  void MarkBuilt(size_t i, Seconds now, int64_t version, MegaBytes size);
+  void MarkNotBuilt(size_t i);
+  void MarkAllNotBuilt();
+
+  /// True when partition `i` is built against `current_version`.
+  bool IsCurrent(size_t i, int64_t current_version) const;
+
+  /// Number of built partitions (regardless of staleness).
+  size_t NumBuilt() const;
+
+  /// Fraction of partitions built and current, given per-partition versions.
+  double CurrentFraction(const std::vector<int64_t>& versions) const;
+
+  /// Total MB across built partitions.
+  MegaBytes TotalBuiltSize() const;
+
+ private:
+  std::vector<IndexPartitionState> parts_;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_DATA_INDEX_META_H_

@@ -1,0 +1,68 @@
+#ifndef DFIM_DATA_INDEX_MODEL_H_
+#define DFIM_DATA_INDEX_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "data/table.h"
+
+namespace dfim {
+
+/// \brief Analytic B+Tree cost model (paper §3, Data Model).
+///
+/// Sizes: an index record is the concatenation of the key columns plus a
+/// row pointer. With tree width `k = block_bytes / RecSize`, a balanced tree
+/// over N records has `sum_{i=0..m} k^i ~= N * k / (k - 1)` records across
+/// all levels (geometric series with m = log_k N), so
+/// `size = RecSize * N * k / (k - 1)`.
+///
+/// Build time: `tip(idx, p) = tio(idx, p) + c_build * n * log_k(n)`, where
+/// `tio = (n * TableRecSize + size(idx, p)) / net` is the time to read the
+/// partition and write the index through the container's network. The
+/// paper's `C(idx)` constant is `c_build` scaled by the number and width of
+/// key columns.
+struct BTreeCostModel {
+  /// Disk block size used to derive the tree fanout.
+  double block_bytes = 4096.0;
+  /// Bytes of the row pointer carried by every index record.
+  double row_pointer_bytes = 8.0;
+  /// Per record-comparison cost in seconds, per key byte at build time.
+  /// Calibrated so that sorting ~1.5M records/partition costs seconds, not
+  /// minutes (matches the Fig. 10 build-op times of ~0.05-0.15 quanta).
+  double build_cost_per_record_byte = 4e-9;
+
+  /// Index record size in bytes for an index over `columns` of `schema`.
+  double RecordBytes(const Schema& schema,
+                     const std::vector<std::string>& columns) const;
+
+  /// Tree width `k` (>= 2).
+  double Fanout(double record_bytes) const;
+
+  /// Size of the index partition over `p` of `table`, in MB.
+  MegaBytes PartitionIndexSize(const Table& table,
+                               const std::vector<std::string>& columns,
+                               const Partition& p) const;
+
+  /// Seconds to read the partition and write the index partition at
+  /// `net_mb_per_sec` (the `tio` term).
+  Seconds PartitionIoTime(const Table& table,
+                          const std::vector<std::string>& columns,
+                          const Partition& p, double net_mb_per_sec) const;
+
+  /// Total seconds to build the index partition (`tip` = tio + CPU sort).
+  Seconds PartitionBuildTime(const Table& table,
+                             const std::vector<std::string>& columns,
+                             const Partition& p, double net_mb_per_sec) const;
+
+  /// Storage dollars to keep the index partition for `window_quanta`.
+  Dollars PartitionStorageCost(const Table& table,
+                               const std::vector<std::string>& columns,
+                               const Partition& p, double window_quanta,
+                               Dollars mst_per_mb_quantum) const;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_DATA_INDEX_MODEL_H_

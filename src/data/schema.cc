@@ -1,0 +1,41 @@
+#include "data/schema.h"
+
+namespace dfim {
+
+std::string_view ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt32:
+      return "int32";
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kDate:
+      return "date";
+    case ColumnType::kChar:
+      return "char";
+    case ColumnType::kText:
+      return "text";
+  }
+  return "?";
+}
+
+Result<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("column not in schema: " + name);
+}
+
+Result<Column> Schema::GetColumn(const std::string& name) const {
+  DFIM_ASSIGN_OR_RETURN(size_t i, FindColumn(name));
+  return columns_[i];
+}
+
+double Schema::AvgRecordBytes() const {
+  double total = 0.0;
+  for (const auto& c : columns_) total += c.avg_field_bytes;
+  return total;
+}
+
+}  // namespace dfim

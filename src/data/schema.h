@@ -1,0 +1,78 @@
+#ifndef DFIM_DATA_SCHEMA_H_
+#define DFIM_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/units.h"
+
+namespace dfim {
+
+/// \brief Column value types; sizes follow the TPC-H-style statistics the
+/// paper uses (Table 5).
+enum class ColumnType {
+  kInt32,
+  kInt64,
+  kDouble,
+  kDate,     // stored as 'yyyy-mm-dd' text in the size model
+  kChar,     // fixed-capacity string; avg_size carries the observed mean
+  kText,     // variable-length string
+};
+
+std::string_view ColumnTypeToString(ColumnType type);
+
+/// \brief A column with the statistics needed by the index cost model.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  /// Average stored size of one field in bytes (column statistic, §3).
+  double avg_field_bytes = 8.0;
+
+  /// Convenience factories with sensible default field sizes.
+  static Column Int32(std::string name) {
+    return Column{std::move(name), ColumnType::kInt32, 4.0};
+  }
+  static Column Int64(std::string name) {
+    return Column{std::move(name), ColumnType::kInt64, 8.0};
+  }
+  static Column Double(std::string name) {
+    return Column{std::move(name), ColumnType::kDouble, 8.0};
+  }
+  static Column Date(std::string name) {
+    return Column{std::move(name), ColumnType::kDate, 10.0};
+  }
+  static Column Char(std::string name, double avg_bytes) {
+    return Column{std::move(name), ColumnType::kChar, avg_bytes};
+  }
+  static Column Text(std::string name, double avg_bytes) {
+    return Column{std::move(name), ColumnType::kText, avg_bytes};
+  }
+};
+
+/// \brief An ordered list of columns; lookups are by name.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of a column by name, or NotFound.
+  Result<size_t> FindColumn(const std::string& name) const;
+
+  /// The column itself, or NotFound.
+  Result<Column> GetColumn(const std::string& name) const;
+
+  /// Average record size in bytes: sum of field sizes.
+  double AvgRecordBytes() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_DATA_SCHEMA_H_

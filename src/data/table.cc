@@ -1,0 +1,61 @@
+#include "data/table.h"
+
+#include <cmath>
+
+namespace dfim {
+
+Result<Partition> Table::GetPartition(int id) const {
+  for (const auto& p : partitions_) {
+    if (p.id == id) return p;
+  }
+  return Status::NotFound("partition " + std::to_string(id) + " of table " +
+                          name_);
+}
+
+Partition Table::AddPartition(int64_t num_records) {
+  Partition p;
+  p.id = static_cast<int>(partitions_.size());
+  p.num_records = num_records;
+  p.path = name_ + "/part." + std::to_string(p.id);
+  partitions_.push_back(p);
+  return partitions_.back();
+}
+
+int64_t Table::TotalRecords() const {
+  int64_t n = 0;
+  for (const auto& p : partitions_) n += p.num_records;
+  return n;
+}
+
+MegaBytes Table::TotalSize() const {
+  MegaBytes total = 0;
+  for (const auto& p : partitions_) total += PartitionSize(p);
+  return total;
+}
+
+void Table::PartitionBySize(int64_t total_records, MegaBytes max_partition_mb) {
+  partitions_.clear();
+  double rec_bytes = AvgRecordBytes();
+  if (rec_bytes <= 0 || total_records <= 0) return;
+  auto per_part = static_cast<int64_t>(ToBytes(max_partition_mb) / rec_bytes);
+  if (per_part < 1) per_part = 1;
+  int64_t remaining = total_records;
+  while (remaining > 0) {
+    int64_t n = remaining < per_part ? remaining : per_part;
+    AddPartition(n);
+    remaining -= n;
+  }
+}
+
+Result<int64_t> Table::BumpPartitionVersion(int id) {
+  for (auto& p : partitions_) {
+    if (p.id == id) {
+      ++p.version;
+      return p.version;
+    }
+  }
+  return Status::NotFound("partition " + std::to_string(id) + " of table " +
+                          name_);
+}
+
+}  // namespace dfim

@@ -1,0 +1,78 @@
+#ifndef DFIM_DATA_TABLE_H_
+#define DFIM_DATA_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/units.h"
+#include "data/schema.h"
+
+namespace dfim {
+
+/// \brief One horizontal partition of a table: p(id, n, path), plus a
+/// version bumped by batch updates (paper §3: each update creates a new
+/// version of the changed partitions, invalidating indexes built on them).
+struct Partition {
+  int id = 0;
+  /// Number of records `n`.
+  int64_t num_records = 0;
+  /// Location in the storage service.
+  std::string path;
+  /// Monotonic version; starts at 1.
+  int64_t version = 1;
+};
+
+/// \brief A partitioned table t(schema, P, S) stored in the cloud store.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  const std::vector<Partition>& partitions() const { return partitions_; }
+  std::vector<Partition>& mutable_partitions() { return partitions_; }
+  size_t num_partitions() const { return partitions_.size(); }
+
+  Result<Partition> GetPartition(int id) const;
+
+  /// Appends a partition with the next id and a generated path. Returns a
+  /// copy (references into the partition vector would not survive growth).
+  Partition AddPartition(int64_t num_records);
+
+  /// Total record count across partitions.
+  int64_t TotalRecords() const;
+
+  /// Average record size (bytes) from the schema statistics.
+  double AvgRecordBytes() const { return schema_.AvgRecordBytes(); }
+
+  /// Size of one partition in MB under the record-size statistic.
+  MegaBytes PartitionSize(const Partition& p) const {
+    return FromBytes(static_cast<double>(p.num_records) * AvgRecordBytes());
+  }
+
+  /// Total table size in MB.
+  MegaBytes TotalSize() const;
+
+  /// \brief Splits `total_records` into partitions capped at
+  /// `max_partition_mb` MB each (paper §6.1 uses 128 MB).
+  void PartitionBySize(int64_t total_records, MegaBytes max_partition_mb);
+
+  /// \brief Applies a batch update to partition `id`: bumps its version.
+  ///
+  /// Returns the new version, or NotFound.
+  Result<int64_t> BumpPartitionVersion(int id);
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Partition> partitions_;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_DATA_TABLE_H_

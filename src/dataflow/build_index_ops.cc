@@ -1,0 +1,39 @@
+#include "dataflow/build_index_ops.h"
+
+#include <algorithm>
+
+namespace dfim {
+
+Result<std::vector<Operator>> MakeBuildIndexOps(const Catalog& catalog,
+                                                const std::string& index_id,
+                                                double net_mb_per_sec,
+                                                int* next_id,
+                                                const BuildProgress* progress) {
+  DFIM_ASSIGN_OR_RETURN(const IndexDef* def, catalog.GetIndexDef(index_id));
+  DFIM_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(def->table));
+  DFIM_ASSIGN_OR_RETURN(const IndexState* state,
+                        catalog.GetIndexState(index_id));
+  const auto& model = catalog.cost_model();
+  std::vector<Operator> ops;
+  for (const auto& p : table->partitions()) {
+    auto i = static_cast<size_t>(p.id);
+    if (i < state->num_partitions() && state->IsCurrent(i, p.version)) {
+      continue;  // already built against the current version
+    }
+    Seconds t =
+        model.PartitionBuildTime(*table, def->columns, p, net_mb_per_sec);
+    if (progress != nullptr) {
+      auto it = progress->find({index_id, p.id});
+      if (it != progress->end()) {
+        // Resume: at least a sliver of work remains to finalize the build.
+        t = std::max(0.1, t - it->second);
+      }
+    }
+    // Building needs to hold roughly one partition in memory.
+    MegaBytes mem = table->PartitionSize(p);
+    ops.push_back(Operator::BuildIndex((*next_id)++, index_id, p.id, t, mem));
+  }
+  return ops;
+}
+
+}  // namespace dfim

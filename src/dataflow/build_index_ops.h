@@ -1,0 +1,37 @@
+#ifndef DFIM_DATAFLOW_BUILD_INDEX_OPS_H_
+#define DFIM_DATAFLOW_BUILD_INDEX_OPS_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/units.h"
+#include "data/catalog.h"
+#include "dataflow/operator.h"
+
+namespace dfim {
+
+/// Partial build progress per (index id, partition): seconds of build work
+/// already performed by preempted build ops (the paper's future-work
+/// "delayed building" extension — by default preempted work is discarded).
+using BuildProgress = std::map<std::pair<std::string, int>, Seconds>;
+
+/// \brief Expands an index into its per-partition build operators.
+///
+/// The build-index DAG has no edges (paper §3: "Operators are independent
+/// to each other... as a result there is a large degree of parallelism"),
+/// so the result is a flat list. Only partitions that are not already
+/// built-and-current are emitted. Ids are assigned from `*next_id`.
+///
+/// When `progress` is non-null, each op's build time is reduced by the
+/// recorded partial progress (clamped to a small positive remainder), so
+/// builds resume across dataflows instead of restarting.
+Result<std::vector<Operator>> MakeBuildIndexOps(
+    const Catalog& catalog, const std::string& index_id, double net_mb_per_sec,
+    int* next_id, const BuildProgress* progress = nullptr);
+
+}  // namespace dfim
+
+#endif  // DFIM_DATAFLOW_BUILD_INDEX_OPS_H_

@@ -1,0 +1,96 @@
+#include "dataflow/dag.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace dfim {
+
+int Dag::AddOperator(Operator op) {
+  int id = static_cast<int>(ops_.size());
+  op.id = id;
+  ops_.push_back(std::move(op));
+  parents_.emplace_back();
+  children_.emplace_back();
+  in_flows_.emplace_back();
+  return id;
+}
+
+Status Dag::AddFlow(int from, int to, MegaBytes size) {
+  if (from < 0 || to < 0 || from >= static_cast<int>(ops_.size()) ||
+      to >= static_cast<int>(ops_.size())) {
+    return Status::InvalidArgument("flow endpoint out of range");
+  }
+  if (from == to) return Status::InvalidArgument("self-loop flow");
+  int fid = static_cast<int>(flows_.size());
+  flows_.push_back(Flow{from, to, size});
+  children_[static_cast<size_t>(from)].push_back(to);
+  parents_[static_cast<size_t>(to)].push_back(from);
+  in_flows_[static_cast<size_t>(to)].push_back(fid);
+  return Status::OK();
+}
+
+std::vector<int> Dag::EntryOps() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (parents_[i].empty()) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> Dag::ExitOps() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (children_[i].empty()) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+Result<std::vector<int>> Dag::TopologicalOrder() const {
+  std::vector<int> indegree(ops_.size(), 0);
+  for (const auto& f : flows_) ++indegree[static_cast<size_t>(f.to)];
+  std::queue<int> ready;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (indegree[i] == 0) ready.push(static_cast<int>(i));
+  }
+  std::vector<int> order;
+  order.reserve(ops_.size());
+  while (!ready.empty()) {
+    int id = ready.front();
+    ready.pop();
+    order.push_back(id);
+    for (int c : children_[static_cast<size_t>(id)]) {
+      if (--indegree[static_cast<size_t>(c)] == 0) ready.push(c);
+    }
+  }
+  if (order.size() != ops_.size()) {
+    return Status::FailedPrecondition("dataflow graph has a cycle");
+  }
+  return order;
+}
+
+Status Dag::Validate() const {
+  return TopologicalOrder().status();
+}
+
+Seconds Dag::TotalWork() const {
+  Seconds total = 0;
+  for (const auto& op : ops_) total += op.time;
+  return total;
+}
+
+Result<Seconds> Dag::CriticalPath() const {
+  DFIM_ASSIGN_OR_RETURN(std::vector<int> order, TopologicalOrder());
+  std::vector<Seconds> finish(ops_.size(), 0);
+  Seconds best = 0;
+  for (int id : order) {
+    Seconds start = 0;
+    for (int p : parents_[static_cast<size_t>(id)]) {
+      start = std::max(start, finish[static_cast<size_t>(p)]);
+    }
+    finish[static_cast<size_t>(id)] = start + ops_[static_cast<size_t>(id)].time;
+    best = std::max(best, finish[static_cast<size_t>(id)]);
+  }
+  return best;
+}
+
+}  // namespace dfim

@@ -1,0 +1,86 @@
+#ifndef DFIM_DATAFLOW_DAG_H_
+#define DFIM_DATAFLOW_DAG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/units.h"
+#include "dataflow/operator.h"
+
+namespace dfim {
+
+/// \brief A directed edge (flow) labelled with the transferred data size
+/// (paper §3: "A flow between two operators is labelled with the size of
+/// the data transferred between them").
+struct Flow {
+  int from = 0;
+  int to = 0;
+  MegaBytes size = 0;
+};
+
+/// \brief Directed acyclic graph of operators with data flows.
+///
+/// Operator ids are dense indices assigned by AddOperator. The DAG owns the
+/// operators; schedulers reference them by id.
+class Dag {
+ public:
+  /// Adds an operator; overwrites its id with the next dense index.
+  int AddOperator(Operator op);
+
+  /// Adds a flow from -> to of `size` MB. Ids must exist; self-loops are
+  /// rejected. (Cycle checking is done by Validate.)
+  Status AddFlow(int from, int to, MegaBytes size);
+
+  size_t num_ops() const { return ops_.size(); }
+  size_t num_flows() const { return flows_.size(); }
+
+  const Operator& op(int id) const { return ops_[static_cast<size_t>(id)]; }
+  Operator& mutable_op(int id) { return ops_[static_cast<size_t>(id)]; }
+  const std::vector<Operator>& ops() const { return ops_; }
+  const std::vector<Flow>& flows() const { return flows_; }
+
+  /// Ids of direct predecessors of `id`.
+  const std::vector<int>& parents(int id) const {
+    return parents_[static_cast<size_t>(id)];
+  }
+  /// Ids of direct successors of `id`.
+  const std::vector<int>& children(int id) const {
+    return children_[static_cast<size_t>(id)];
+  }
+
+  /// Incoming flows of `id` (indices into flows()).
+  const std::vector<int>& in_flows(int id) const {
+    return in_flows_[static_cast<size_t>(id)];
+  }
+
+  /// Operators with no predecessors.
+  std::vector<int> EntryOps() const;
+
+  /// Operators with no successors.
+  std::vector<int> ExitOps() const;
+
+  /// Topological order, or FailedPrecondition when the graph has a cycle.
+  Result<std::vector<int>> TopologicalOrder() const;
+
+  /// OK when acyclic and all flow endpoints are valid.
+  Status Validate() const;
+
+  /// Sum of operator estimated runtimes (sequential work).
+  Seconds TotalWork() const;
+
+  /// Length of the longest path weighted by op runtimes (ignores
+  /// transfers) — a makespan lower bound on infinitely many containers.
+  Result<Seconds> CriticalPath() const;
+
+ private:
+  std::vector<Operator> ops_;
+  std::vector<Flow> flows_;
+  std::vector<std::vector<int>> parents_;
+  std::vector<std::vector<int>> children_;
+  std::vector<std::vector<int>> in_flows_;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_DATAFLOW_DAG_H_

@@ -1,0 +1,17 @@
+#include "dataflow/dataflow.h"
+
+namespace dfim {
+
+std::string_view AppTypeToString(AppType app) {
+  switch (app) {
+    case AppType::kMontage:
+      return "Montage";
+    case AppType::kLigo:
+      return "Ligo";
+    case AppType::kCybershake:
+      return "Cybershake";
+  }
+  return "?";
+}
+
+}  // namespace dfim

@@ -1,0 +1,72 @@
+#ifndef DFIM_DATAFLOW_FILE_DATABASE_H_
+#define DFIM_DATAFLOW_FILE_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/catalog.h"
+#include "dataflow/dataflow.h"
+
+namespace dfim {
+
+/// \brief Options mirroring the paper's database of files (§6.1): 125 files
+/// (20 Montage + 53 Ligo + 52 Cybershake), ~76.69 GB total, partitioned at
+/// 128 MB into ~713 partitions, with 4 potential indexes per file whose
+/// sizes follow the Table 5 percentages.
+struct FileDatabaseOptions {
+  int montage_files = 20;
+  int ligo_files = 53;
+  int cybershake_files = 52;
+  MegaBytes max_partition_mb = 128;
+  uint64_t seed = 7;
+};
+
+/// \brief Builds and owns the names of the evaluation file database.
+///
+/// Each file becomes a Table in the catalog with a synthetic 125-byte
+/// record schema whose four indexable columns are calibrated so candidate
+/// index sizes land at roughly 30%/18%/16%/10% of the file size (Table 5).
+/// File sizes per application follow the Table 4 input statistics.
+class FileDatabase {
+ public:
+  FileDatabase(Catalog* catalog, FileDatabaseOptions options)
+      : catalog_(catalog), opts_(options) {}
+
+  /// Creates all tables and candidate index definitions in the catalog.
+  Status Populate();
+
+  /// File (table) names owned by an application family.
+  const std::vector<std::string>& FilesOf(AppType app) const;
+
+  /// The four candidate index ids of a file (empty vector if unknown).
+  const std::vector<std::string>& IndexesOf(const std::string& file) const;
+
+  /// All candidate index ids across the database.
+  std::vector<std::string> AllIndexIds() const;
+
+  int TotalFiles() const;
+  int TotalPartitions() const;
+  MegaBytes TotalSize() const;
+
+  /// The synthetic per-file record schema (shared by all files).
+  static Schema FileSchema();
+
+  /// Indexable column names, widest first (text, char, date, int).
+  static std::vector<std::string> IndexableColumns();
+
+ private:
+  Status PopulateApp(AppType app, int count, Rng* rng);
+  MegaBytes SampleFileSize(AppType app, Rng* rng) const;
+
+  Catalog* catalog_;
+  FileDatabaseOptions opts_;
+  std::map<AppType, std::vector<std::string>> files_;
+  std::map<std::string, std::vector<std::string>> indexes_;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_DATAFLOW_FILE_DATABASE_H_

@@ -1,0 +1,299 @@
+#include "dataflow/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace dfim {
+namespace {
+
+/// Table 4 runtime statistics (seconds).
+struct TimeStats {
+  double min, max, mean, stdev;
+};
+constexpr TimeStats kMontageTimes{3.82, 49.32, 11.32, 2.95};
+constexpr TimeStats kLigoTimes{4.03, 689.39, 222.33, 241.42};
+constexpr TimeStats kCybershakeTimes{0.55, 199.43, 22.97, 25.08};
+
+}  // namespace
+
+Seconds DataflowGenerator::SampleTime(AppType app) {
+  switch (app) {
+    case AppType::kMontage:
+      return rng_.TruncatedNormal(kMontageTimes.mean, kMontageTimes.stdev,
+                                  kMontageTimes.min, kMontageTimes.max);
+    case AppType::kLigo: {
+      // Bimodal: half the operators (Inspiral) are long-running, the rest
+      // short — reproducing mean ~222 s with stdev ~241 s.
+      if (rng_.Uniform() < 0.5) {
+        return rng_.Uniform(kLigoTimes.min, 40.0);
+      }
+      return rng_.Uniform(300.0, kLigoTimes.max);
+    }
+    case AppType::kCybershake: {
+      // Log-normal body: exp(N(2.7, 1.0)) has mean ~24.5 s, heavy tail.
+      double v = std::exp(rng_.Normal(2.7, 1.0));
+      return std::clamp(v, kCybershakeTimes.min, kCybershakeTimes.max);
+    }
+  }
+  return 1.0;
+}
+
+int DataflowGenerator::AddOp(Dag* dag, AppType app, const std::string& name,
+                             Seconds time, MegaBytes output_mb) {
+  Operator op;
+  op.name = name;
+  op.kind = OpKind::kDataflow;
+  op.priority = kDataflowPriority;
+  op.time = time * opts_.cpu_scale;
+  op.memory = static_cast<MegaBytes>(rng_.UniformInt(64, 512));
+  op.output_mb = output_mb * opts_.data_scale;
+  (void)app;
+  return dag->AddOperator(std::move(op));
+}
+
+std::string DataflowGenerator::NextFile(std::vector<std::string>* shuffled,
+                                        size_t* cursor) {
+  if (shuffled->empty()) return "";
+  if (*cursor >= shuffled->size()) {
+    rng_.Shuffle(shuffled);
+    *cursor = 0;
+  }
+  return (*shuffled)[(*cursor)++];
+}
+
+void DataflowGenerator::AttachIndexes(Dataflow* df) {
+  std::set<std::string> files;
+  for (const auto& op : df->dag.ops()) {
+    if (!op.input_table.empty()) files.insert(op.input_table);
+  }
+  df->input_tables.assign(files.begin(), files.end());
+  for (const auto& f : df->input_tables) {
+    for (const auto& idx : db_->IndexesOf(f)) {
+      df->candidate_indexes.push_back(idx);
+      size_t choice = static_cast<size_t>(rng_.UniformInt(
+          0, static_cast<int64_t>(opts_.speedup_choices.size()) - 1));
+      df->index_speedup[idx] = opts_.speedup_choices[choice];
+    }
+  }
+}
+
+Dataflow DataflowGenerator::Generate(AppType app, int seq, Seconds issued_at) {
+  switch (app) {
+    case AppType::kMontage:
+      return GenerateMontage(seq, issued_at);
+    case AppType::kLigo:
+      return GenerateLigo(seq, issued_at);
+    case AppType::kCybershake:
+      return GenerateCybershake(seq, issued_at);
+  }
+  return Dataflow{};
+}
+
+Dataflow DataflowGenerator::GenerateMontage(int seq, Seconds issued_at) {
+  // Fig. 5A: mProject* -> mDiffFit* -> mConcatFit -> mBgModel ->
+  // mBackground* -> mImgtbl -> mShrink* -> mAdd -> mJPEG  (100 ops).
+  Dataflow df;
+  df.app = AppType::kMontage;
+  df.id = seq;
+  df.expr = "montage#" + std::to_string(seq);
+  df.issued_at = issued_at;
+  Dag& g = df.dag;
+  auto files = db_->FilesOf(AppType::kMontage);
+  rng_.Shuffle(&files);
+  size_t cursor = 0;
+
+  constexpr int kProjects = 24;
+  constexpr int kDiffs = 35;
+  constexpr int kBackgrounds = 24;
+  constexpr int kShrinks = 12;
+
+  std::vector<int> projects;
+  for (int i = 0; i < kProjects; ++i) {
+    int id = AddOp(&g, df.app, "mProject", SampleTime(df.app),
+                   rng_.Uniform(0.5, 4.0));
+    g.mutable_op(id).input_table = NextFile(&files, &cursor);
+    projects.push_back(id);
+  }
+  std::vector<int> diffs;
+  for (int i = 0; i < kDiffs; ++i) {
+    int id = AddOp(&g, df.app, "mDiffFit", SampleTime(df.app),
+                   rng_.Uniform(0.1, 1.0));
+    // Each diff consumes two adjacent projections (overlapping tiles).
+    int a = i % kProjects;
+    int b = (i + 1) % kProjects;
+    (void)g.AddFlow(projects[static_cast<size_t>(a)], id,
+                    g.op(projects[static_cast<size_t>(a)]).output_mb);
+    (void)g.AddFlow(projects[static_cast<size_t>(b)], id,
+                    g.op(projects[static_cast<size_t>(b)]).output_mb);
+    diffs.push_back(id);
+  }
+  int concat = AddOp(&g, df.app, "mConcatFit", SampleTime(df.app),
+                     rng_.Uniform(0.1, 0.5));
+  for (int d : diffs) (void)g.AddFlow(d, concat, g.op(d).output_mb);
+  int bgmodel = AddOp(&g, df.app, "mBgModel", SampleTime(df.app),
+                      rng_.Uniform(0.1, 0.5));
+  (void)g.AddFlow(concat, bgmodel, g.op(concat).output_mb);
+  std::vector<int> backgrounds;
+  for (int i = 0; i < kBackgrounds; ++i) {
+    int id = AddOp(&g, df.app, "mBackground", SampleTime(df.app),
+                   rng_.Uniform(0.5, 4.0));
+    // Background correction re-reads the source tile (range selects).
+    g.mutable_op(id).input_table =
+        g.op(projects[static_cast<size_t>(i)]).input_table;
+    (void)g.AddFlow(bgmodel, id, g.op(bgmodel).output_mb);
+    (void)g.AddFlow(projects[static_cast<size_t>(i)], id,
+                    g.op(projects[static_cast<size_t>(i)]).output_mb);
+    backgrounds.push_back(id);
+  }
+  int imgtbl = AddOp(&g, df.app, "mImgtbl", SampleTime(df.app),
+                     rng_.Uniform(0.5, 2.0) * 1.0);
+  for (int b : backgrounds) (void)g.AddFlow(b, imgtbl, g.op(b).output_mb);
+  std::vector<int> shrinks;
+  for (int i = 0; i < kShrinks; ++i) {
+    int id = AddOp(&g, df.app, "mShrink", SampleTime(df.app),
+                   rng_.Uniform(0.2, 1.0));
+    (void)g.AddFlow(imgtbl, id, g.op(imgtbl).output_mb);
+    shrinks.push_back(id);
+  }
+  int madd =
+      AddOp(&g, df.app, "mAdd", SampleTime(df.app), rng_.Uniform(1.0, 4.0));
+  for (int s : shrinks) (void)g.AddFlow(s, madd, g.op(s).output_mb);
+  int jpeg =
+      AddOp(&g, df.app, "mJPEG", SampleTime(df.app), 0.5);
+  (void)g.AddFlow(madd, jpeg, g.op(madd).output_mb);
+
+  AttachIndexes(&df);
+  return df;
+}
+
+Dataflow DataflowGenerator::GenerateLigo(int seq, Seconds issued_at) {
+  // Fig. 5B: TmpltBank* -> Inspiral* -> Thinca -> TrigBank* -> Inspiral2*
+  // -> Thinca2  (100 ops).
+  Dataflow df;
+  df.app = AppType::kLigo;
+  df.id = seq;
+  df.expr = "ligo#" + std::to_string(seq);
+  df.issued_at = issued_at;
+  Dag& g = df.dag;
+  auto files = db_->FilesOf(AppType::kLigo);
+  rng_.Shuffle(&files);
+  size_t cursor = 0;
+
+  constexpr int kBanks = 25;
+  constexpr int kInspirals = 25;
+  constexpr int kThincas = 2;
+  constexpr int kTrigBanks = 20;
+  constexpr int kInspirals2 = 25;
+  constexpr int kThincas2 = 3;
+
+  std::vector<int> banks;
+  for (int i = 0; i < kBanks; ++i) {
+    // Template banks are short ops.
+    int id = AddOp(&g, df.app, "TmpltBank", rng_.Uniform(4.03, 40.0),
+                   rng_.Uniform(1.0, 15.0));
+    g.mutable_op(id).input_table = NextFile(&files, &cursor);
+    banks.push_back(id);
+  }
+  std::vector<int> inspirals;
+  for (int i = 0; i < kInspirals; ++i) {
+    // Matched-filter inspirals dominate the runtime (long ops).
+    int id = AddOp(&g, df.app, "Inspiral", rng_.Uniform(300.0, 689.39),
+                   rng_.Uniform(1.0, 15.0));
+    // Matched filtering re-accesses the bank's template file: an index on
+    // it accelerates the lookup-heavy inner loop (paper §1 categories).
+    g.mutable_op(id).input_table =
+        g.op(banks[static_cast<size_t>(i)]).input_table;
+    (void)g.AddFlow(banks[static_cast<size_t>(i)], id,
+                    g.op(banks[static_cast<size_t>(i)]).output_mb);
+    inspirals.push_back(id);
+  }
+  std::vector<int> thincas;
+  for (int t = 0; t < kThincas; ++t) {
+    int id = AddOp(&g, df.app, "Thinca", rng_.Uniform(4.03, 40.0),
+                   rng_.Uniform(1.0, 10.0));
+    for (int i = t; i < kInspirals; i += kThincas) {
+      (void)g.AddFlow(inspirals[static_cast<size_t>(i)], id,
+                      g.op(inspirals[static_cast<size_t>(i)]).output_mb);
+    }
+    thincas.push_back(id);
+  }
+  std::vector<int> trigbanks;
+  for (int i = 0; i < kTrigBanks; ++i) {
+    int id = AddOp(&g, df.app, "TrigBank", rng_.Uniform(4.03, 40.0),
+                   rng_.Uniform(1.0, 10.0));
+    int t = i % kThincas;
+    (void)g.AddFlow(thincas[static_cast<size_t>(t)], id,
+                    g.op(thincas[static_cast<size_t>(t)]).output_mb);
+    trigbanks.push_back(id);
+  }
+  std::vector<int> inspirals2;
+  for (int i = 0; i < kInspirals2; ++i) {
+    int id = AddOp(&g, df.app, "Inspiral2", rng_.Uniform(300.0, 689.39),
+                   rng_.Uniform(1.0, 15.0));
+    g.mutable_op(id).input_table =
+        g.op(banks[static_cast<size_t>(i % kBanks)]).input_table;
+    int t = i % kTrigBanks;
+    (void)g.AddFlow(trigbanks[static_cast<size_t>(t)], id,
+                    g.op(trigbanks[static_cast<size_t>(t)]).output_mb);
+    inspirals2.push_back(id);
+  }
+  for (int t = 0; t < kThincas2; ++t) {
+    int id = AddOp(&g, df.app, "Thinca2", rng_.Uniform(4.03, 40.0),
+                   rng_.Uniform(1.0, 10.0));
+    for (int i = t; i < kInspirals2; i += kThincas2) {
+      (void)g.AddFlow(inspirals2[static_cast<size_t>(i)], id,
+                      g.op(inspirals2[static_cast<size_t>(i)]).output_mb);
+    }
+  }
+
+  AttachIndexes(&df);
+  return df;
+}
+
+Dataflow DataflowGenerator::GenerateCybershake(int seq, Seconds issued_at) {
+  // Fig. 5C: ExtractSGT(2) -> SeismogramSynthesis* -> PeakValCalc* plus two
+  // Zip aggregators  (100 ops).
+  Dataflow df;
+  df.app = AppType::kCybershake;
+  df.id = seq;
+  df.expr = "cybershake#" + std::to_string(seq);
+  df.issued_at = issued_at;
+  Dag& g = df.dag;
+  auto files = db_->FilesOf(AppType::kCybershake);
+  rng_.Shuffle(&files);
+  size_t cursor = 0;
+
+  constexpr int kExtracts = 2;
+  constexpr int kSynths = 48;
+
+  std::vector<int> extracts;
+  for (int i = 0; i < kExtracts; ++i) {
+    // SGT extraction is the long pole (~max runtime, Table 4).
+    int id = AddOp(&g, df.app, "ExtractSGT", rng_.Uniform(150.0, 199.43),
+                   rng_.Uniform(50.0, 400.0));
+    g.mutable_op(id).input_table = NextFile(&files, &cursor);
+    extracts.push_back(id);
+  }
+  int zip_seis = AddOp(&g, df.app, "ZipSeis", SampleTime(df.app), 10.0);
+  int zip_psa = AddOp(&g, df.app, "ZipPSA", SampleTime(df.app), 10.0);
+  for (int i = 0; i < kSynths; ++i) {
+    int synth = AddOp(&g, df.app, "SeismogramSynthesis", SampleTime(df.app),
+                      rng_.Uniform(1.0, 60.0));
+    g.mutable_op(synth).input_table = NextFile(&files, &cursor);
+    (void)g.AddFlow(extracts[static_cast<size_t>(i % kExtracts)], synth,
+                    g.op(extracts[static_cast<size_t>(i % kExtracts)]).output_mb);
+    int peak = AddOp(&g, df.app, "PeakValCalc", SampleTime(df.app),
+                     rng_.Uniform(0.1, 2.0));
+    // Peak extraction re-accesses the rupture file (point lookups).
+    g.mutable_op(peak).input_table = g.op(synth).input_table;
+    (void)g.AddFlow(synth, peak, g.op(synth).output_mb);
+    (void)g.AddFlow(synth, zip_seis, g.op(synth).output_mb);
+    (void)g.AddFlow(peak, zip_psa, g.op(peak).output_mb);
+  }
+
+  AttachIndexes(&df);
+  return df;
+}
+
+}  // namespace dfim

@@ -1,0 +1,71 @@
+#ifndef DFIM_DATAFLOW_GENERATORS_H_
+#define DFIM_DATAFLOW_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataflow/dataflow.h"
+#include "dataflow/file_database.h"
+
+namespace dfim {
+
+/// \brief Knobs for the synthetic scientific-workflow generator.
+///
+/// Defaults reproduce the paper's setup: 100 operators per dataflow
+/// (Table 3), runtime and input-size distributions matched to Table 4, and
+/// per-dataflow index speedups sampled from the Table 6 calibration set.
+struct GeneratorOptions {
+  /// Multiplies every operator runtime (Fig. 7 scales CPU up to 10x).
+  double cpu_scale = 1.0;
+  /// Multiplies every data size: inputs and flows (Fig. 7 scales up to 100x).
+  double data_scale = 1.0;
+  /// The Table 6 speedups an index may offer a dataflow.
+  std::vector<double> speedup_choices = {7.44, 94.44, 307.50, 627.14};
+};
+
+/// \brief Generates Montage, Ligo and Cybershake dataflow DAGs with the
+/// level structure of Fig. 5 and the operator statistics of Table 4.
+///
+/// Entry operators read files from the FileDatabase of their application
+/// family; every file read contributes its four candidate indexes to the
+/// dataflow's index set N, each with a freshly sampled speedup.
+class DataflowGenerator {
+ public:
+  DataflowGenerator(const FileDatabase* db, uint64_t seed,
+                    GeneratorOptions options = GeneratorOptions{})
+      : db_(db), rng_(seed), opts_(options) {}
+
+  /// Generates the `seq`-th dataflow of the given family, issued at
+  /// `issued_at` seconds.
+  Dataflow Generate(AppType app, int seq, Seconds issued_at);
+
+  const GeneratorOptions& options() const { return opts_; }
+
+ private:
+  Dataflow GenerateMontage(int seq, Seconds issued_at);
+  Dataflow GenerateLigo(int seq, Seconds issued_at);
+  Dataflow GenerateCybershake(int seq, Seconds issued_at);
+
+  /// Samples an operator runtime for the family (Table 4 distributions).
+  Seconds SampleTime(AppType app);
+
+  /// Adds an operator with sampled memory and the family runtime.
+  int AddOp(Dag* dag, AppType app, const std::string& name, Seconds time,
+            MegaBytes output_mb);
+
+  /// Picks an input file for the next entry op (round-robin over a
+  /// per-dataflow shuffle so repeats are spread evenly).
+  std::string NextFile(std::vector<std::string>* shuffled, size_t* cursor);
+
+  /// Fills candidate indexes + speedups from the files the dataflow reads.
+  void AttachIndexes(Dataflow* df);
+
+  const FileDatabase* db_;
+  Rng rng_;
+  GeneratorOptions opts_;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_DATAFLOW_GENERATORS_H_

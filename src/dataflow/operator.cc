@@ -1,0 +1,20 @@
+#include "dataflow/operator.h"
+
+namespace dfim {
+
+Operator Operator::BuildIndex(int id, std::string index_id, int partition,
+                              Seconds build_time, MegaBytes memory_mb) {
+  Operator op;
+  op.id = id;
+  op.name = "build:" + index_id + "/p." + std::to_string(partition);
+  op.kind = OpKind::kBuildIndex;
+  op.priority = kBuildIndexPriority;
+  op.optional = true;
+  op.time = build_time;
+  op.memory = memory_mb;
+  op.index_id = std::move(index_id);
+  op.index_partition = partition;
+  return op;
+}
+
+}  // namespace dfim

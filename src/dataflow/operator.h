@@ -1,0 +1,67 @@
+#ifndef DFIM_DATAFLOW_OPERATOR_H_
+#define DFIM_DATAFLOW_OPERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dfim {
+
+/// Operator kinds: regular dataflow computation vs index building.
+enum class OpKind { kDataflow, kBuildIndex };
+
+/// Scheduling priorities (paper §6.1): dataflow operators run at priority 1;
+/// build-index operators run at -1 and are preempted by positive-priority
+/// arrivals or quantum expiry.
+inline constexpr int kDataflowPriority = 1;
+inline constexpr int kBuildIndexPriority = -1;
+
+/// \brief One dataflow operator op(cpu, memory, disk, time) (paper §3).
+///
+/// `time` is the *estimated* standalone runtime; the execution simulator may
+/// perturb it (estimation errors, Fig. 6) and index availability may shrink
+/// it. Entry operators additionally read a file from the storage service
+/// (`input_table`), which costs transfer time unless cached.
+struct Operator {
+  int id = 0;
+  std::string name;
+  OpKind kind = OpKind::kDataflow;
+
+  /// Fraction of a container's CPU needed (homogeneous 1-CPU containers).
+  double cpu = 1.0;
+  /// Peak memory needed for normal operation (MB).
+  MegaBytes memory = 128;
+  /// Scratch disk needed (MB).
+  MegaBytes disk = 0;
+  /// Estimated runtime in seconds, exclusive of input transfers.
+  Seconds time = 0;
+
+  int priority = kDataflowPriority;
+  /// Optional operators may be dropped by the scheduler (online
+  /// interleaving, §5.3.2). All build-index ops are optional.
+  bool optional = false;
+
+  /// Name of the table/file this op reads from the storage service
+  /// (empty for ops that only consume upstream flows).
+  std::string input_table;
+  /// Size of the produced output (MB), carried on outgoing edges.
+  MegaBytes output_mb = 0;
+
+  /// \name Build-index payload (kind == kBuildIndex only)
+  /// @{
+  std::string index_id;
+  int index_partition = -1;
+  /// Ranking gain of this build op (set by the tuner before interleaving).
+  double gain = 0;
+  /// @}
+
+  /// Factory for a build-index operator over one table partition.
+  static Operator BuildIndex(int id, std::string index_id, int partition,
+                             Seconds build_time, MegaBytes memory_mb);
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_DATAFLOW_OPERATOR_H_

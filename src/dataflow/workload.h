@@ -1,0 +1,82 @@
+#ifndef DFIM_DATAFLOW_WORKLOAD_H_
+#define DFIM_DATAFLOW_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataflow/generators.h"
+
+namespace dfim {
+
+/// \brief Produces the stream of dataflows issued to the QaaS service.
+///
+/// The paper's QaaS user issues dataflows *sequentially*, "usually
+/// observing the results obtained from the execution of a single dataflow
+/// before submitting the next one" (§3) — a closed loop: the next dataflow
+/// is issued an Exp(λ) think-time after the previous one finished (Table 3:
+/// λ = 1 quantum = 60 s). Concrete clients decide which application family
+/// each issue belongs to.
+class WorkloadClient {
+ public:
+  virtual ~WorkloadClient() = default;
+
+  /// The next dataflow issued no earlier than `not_before` (the previous
+  /// dataflow's finish time; pass 0 for an open stream), or nullopt when
+  /// the issue time would pass `horizon`. Issue times are non-decreasing.
+  virtual std::optional<Dataflow> Next(Seconds not_before, Seconds horizon) = 0;
+};
+
+/// \brief Uniformly random application mix (the paper's "random generator").
+class RandomWorkloadClient : public WorkloadClient {
+ public:
+  RandomWorkloadClient(DataflowGenerator* gen, double mean_interarrival_sec,
+                       uint64_t seed);
+
+  std::optional<Dataflow> Next(Seconds not_before, Seconds horizon) override;
+
+ private:
+  DataflowGenerator* gen_;
+  double mean_interarrival_;
+  Rng rng_;
+  Seconds clock_ = 0;
+  int seq_ = 0;
+};
+
+/// \brief One phase of the phase generator: a family and its duration.
+struct WorkloadPhase {
+  AppType app;
+  Seconds duration;
+};
+
+/// \brief The paper's "phase generator" (§6.1): Cybershake for 33.3 quanta,
+/// Ligo for 16.6, Montage for 66.6, Cybershake again for 27.3, measuring
+/// how the tuner adapts to workload changes.
+class PhaseWorkloadClient : public WorkloadClient {
+ public:
+  PhaseWorkloadClient(DataflowGenerator* gen, double mean_interarrival_sec,
+                      std::vector<WorkloadPhase> phases, uint64_t seed);
+
+  /// The paper's default phase sequence, with quantum-denominated durations
+  /// converted at `quantum` seconds.
+  static std::vector<WorkloadPhase> PaperPhases(Seconds quantum);
+
+  std::optional<Dataflow> Next(Seconds not_before, Seconds horizon) override;
+
+  /// Family active at time `t` (last phase extends to infinity).
+  AppType AppAt(Seconds t) const;
+
+ private:
+  DataflowGenerator* gen_;
+  double mean_interarrival_;
+  std::vector<WorkloadPhase> phases_;
+  Rng rng_;
+  Seconds clock_ = 0;
+  int seq_ = 0;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_DATAFLOW_WORKLOAD_H_

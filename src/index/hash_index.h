@@ -1,0 +1,56 @@
+#ifndef DFIM_INDEX_HASH_INDEX_H_
+#define DFIM_INDEX_HASH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "index/bplus_tree.h"
+
+namespace dfim {
+
+/// \brief Hash index mapping Key -> RowId with duplicates (paper §1:
+/// lookup in O(1) with a hash index).
+///
+/// Backed by a bucketed chain table so the memory footprint can be reported
+/// like a disk structure (bucket directory + entry pages).
+template <typename Key, typename Hash = std::hash<Key>>
+class HashIndex {
+ public:
+  struct Options {
+    size_t key_bytes = 8;
+    size_t pointer_bytes = 8;
+  };
+
+  explicit HashIndex(Options options = Options{}) : opts_(options) {}
+
+  void Insert(const Key& key, RowId row) { map_.emplace(key, row); }
+
+  /// All rows with the given key (unordered).
+  std::vector<RowId> Lookup(const Key& key) const {
+    std::vector<RowId> rows;
+    auto [lo, hi] = map_.equal_range(key);
+    for (auto it = lo; it != hi; ++it) rows.push_back(it->second);
+    return rows;
+  }
+
+  bool Contains(const Key& key) const { return map_.count(key) > 0; }
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void Clear() { map_.clear(); }
+
+  /// Emulated footprint: directory pointers plus one record per entry.
+  size_t SizeBytes() const {
+    return map_.bucket_count() * opts_.pointer_bytes +
+           map_.size() * (opts_.key_bytes + opts_.pointer_bytes);
+  }
+
+ private:
+  Options opts_;
+  std::unordered_multimap<Key, RowId, Hash> map_;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_INDEX_HASH_INDEX_H_

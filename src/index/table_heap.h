@@ -1,0 +1,46 @@
+#ifndef DFIM_INDEX_TABLE_HEAP_H_
+#define DFIM_INDEX_TABLE_HEAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "index/bplus_tree.h"
+
+namespace dfim {
+
+/// \brief Append-only row store addressed by RowId.
+///
+/// The unindexed baseline for the Table 6 calibration queries is a full
+/// scan over this heap; index plans fetch rows by RowId.
+template <typename Row>
+class TableHeap {
+ public:
+  /// Appends a row, returning its RowId.
+  RowId Append(Row row) {
+    rows_.push_back(std::move(row));
+    return static_cast<RowId>(rows_.size() - 1);
+  }
+
+  const Row& Get(RowId id) const { return rows_[static_cast<size_t>(id)]; }
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Full sequential scan.
+  void Scan(const std::function<void(RowId, const Row&)>& fn) const {
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      fn(static_cast<RowId>(i), rows_[i]);
+    }
+  }
+
+  void Reserve(size_t n) { rows_.reserve(n); }
+  void Clear() { rows_.clear(); }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_INDEX_TABLE_HEAP_H_

@@ -1,0 +1,189 @@
+#include "sched/exec_simulator.h"
+
+#include <algorithm>
+#include <set>
+#include <limits>
+#include <cmath>
+
+namespace dfim {
+
+Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
+                                      const std::vector<SimOpCost>& costs,
+                                      std::vector<Container*>* containers) {
+  if (costs.size() != dag.num_ops()) {
+    return Status::InvalidArgument("costs size != number of ops");
+  }
+  Rng rng(opts_.seed);
+  auto perturb = [&rng](double v, double err) {
+    if (err <= 0) return v;
+    return v * rng.Uniform(1.0 - err, 1.0 + err);
+  };
+
+  // Draw per-op actual values once, in op-id order (deterministic).
+  std::vector<Seconds> actual_cpu(dag.num_ops());
+  std::vector<MegaBytes> actual_input(dag.num_ops());
+  for (size_t i = 0; i < dag.num_ops(); ++i) {
+    actual_cpu[i] = perturb(costs[i].cpu_time, opts_.time_error);
+    actual_input[i] = perturb(costs[i].input_mb, opts_.data_error);
+  }
+  std::vector<MegaBytes> actual_flow(dag.num_flows());
+  for (size_t i = 0; i < dag.num_flows(); ++i) {
+    actual_flow[i] = perturb(dag.flows()[i].size, opts_.data_error);
+  }
+
+  auto sorted = plan.SortedByContainer();
+  // Per-container planned sequences (already sorted by start within each).
+  int nc = plan.num_containers();
+  std::vector<std::vector<const Assignment*>> seq(static_cast<size_t>(nc));
+  for (const auto& a : sorted) {
+    seq[static_cast<size_t>(a.container)].push_back(&a);
+  }
+
+  // Container placement per op (for flow transfer decisions).
+  std::vector<int> placed(dag.num_ops(), -1);
+  for (const auto& a : sorted) placed[static_cast<size_t>(a.op_id)] = a.container;
+
+  auto cache_of = [containers](int c) -> LruCache* {
+    if (containers == nullptr) return nullptr;
+    auto i = static_cast<size_t>(c);
+    if (i >= containers->size() || (*containers)[i] == nullptr) return nullptr;
+    return &(*containers)[i]->cache();
+  };
+
+  ExecResult result;
+
+  // ---- Phase 1: dataflow operators. --------------------------------------
+  // Global planned-start order is a topological order for schedules built by
+  // our schedulers (children always start after parents end in the plan).
+  std::vector<const Assignment*> df_plan;
+  for (const auto& a : sorted) {
+    if (!a.optional) df_plan.push_back(&a);
+  }
+  std::stable_sort(df_plan.begin(), df_plan.end(),
+                   [](const Assignment* x, const Assignment* y) {
+                     if (x->start != y->start) return x->start < y->start;
+                     return x->op_id < y->op_id;
+                   });
+  std::vector<Seconds> finish(dag.num_ops(), -1.0);
+  std::vector<Seconds> df_cursor(static_cast<size_t>(nc), 0);
+  std::vector<Seconds> df_start(dag.num_ops(), -1.0);
+  // Producer outputs staged per container (transfer paid once, then local).
+  std::vector<std::set<int>> delivered(static_cast<size_t>(nc));
+  for (const Assignment* a : df_plan) {
+    auto id = static_cast<size_t>(a->op_id);
+    Seconds est = df_cursor[static_cast<size_t>(a->container)];
+    // Cross-container flows serialize on the consumer's NIC: they extend
+    // the op's busy time instead of merely delaying its start.
+    Seconds flow_transfer = 0;
+    for (int fid : dag.in_flows(a->op_id)) {
+      const Flow& f = dag.flows()[static_cast<size_t>(fid)];
+      Seconds pf = finish[static_cast<size_t>(f.from)];
+      if (pf < 0) {
+        return Status::Internal(
+            "plan is not dependency-ordered: parent of op " +
+            std::to_string(a->op_id) + " not finished");
+      }
+      est = std::max(est, pf);
+      if (placed[static_cast<size_t>(f.from)] != a->container &&
+          delivered[static_cast<size_t>(a->container)].insert(f.from).second) {
+        flow_transfer +=
+            actual_flow[static_cast<size_t>(fid)] / opts_.net_mb_per_sec;
+      }
+    }
+    // Input transfer from the storage service, absorbed by a warm cache.
+    Seconds transfer = 0;
+    if (actual_input[id] > 0) {
+      LruCache* cache = cache_of(a->container);
+      bool hit = cache != nullptr && !costs[id].cache_key.empty() &&
+                 cache->Touch(costs[id].cache_key);
+      if (!hit) {
+        transfer = actual_input[id] / opts_.net_mb_per_sec;
+        if (cache != nullptr && !costs[id].cache_key.empty()) {
+          cache->Put(costs[id].cache_key, actual_input[id]);
+        }
+      }
+    }
+    Seconds start = est;
+    Seconds end = start + flow_transfer + transfer + actual_cpu[id];
+    finish[id] = end;
+    df_start[id] = start;
+    df_cursor[static_cast<size_t>(a->container)] = end;
+    result.makespan = std::max(result.makespan, end);
+    ++result.executed_ops;
+    Assignment actual = *a;
+    actual.start = start;
+    actual.end = end;
+    result.actual.Add(actual);
+  }
+
+  // ---- Phase 2: build-index operators, preempted as needed. --------------
+  // A container's lease covers the quanta needed by its planned assignments
+  // and by the realized dataflow ops (which must run regardless). Build ops
+  // may run up to the lease end — interior quantum boundaries are already
+  // paid for — and are stopped there (Fig. 2c: B2) or when a dataflow op
+  // arrives (Fig. 2c: A1).
+  int64_t leased_total = 0;
+  Seconds busy_total = 0;
+  for (int c = 0; c < nc; ++c) {
+    const auto& items = seq[static_cast<size_t>(c)];
+    Seconds planned_end = 0;
+    for (const Assignment* a : items) {
+      planned_end = std::max(planned_end, a->end);
+    }
+    Seconds actual_df_end = df_cursor[static_cast<size_t>(c)];
+    int64_t leased_q = std::max<int64_t>(
+        1, QuantaCeil(std::max(planned_end, actual_df_end), opts_.quantum));
+    Seconds lease_end = static_cast<double>(leased_q) * opts_.quantum;
+    leased_total += leased_q;
+    // Next dataflow op's actual start, per position in the planned sequence.
+    std::vector<Seconds> next_df(items.size() + 1,
+                                 std::numeric_limits<double>::infinity());
+    for (size_t i = items.size(); i-- > 0;) {
+      next_df[i] = next_df[i + 1];
+      if (!items[i]->optional) {
+        next_df[i] = df_start[static_cast<size_t>(items[i]->op_id)];
+      }
+    }
+    Seconds cursor = 0;
+    for (size_t i = 0; i < items.size(); ++i) {
+      const Assignment* a = items[i];
+      auto id = static_cast<size_t>(a->op_id);
+      if (!a->optional) {
+        cursor = std::max(cursor, finish[id]);
+        continue;
+      }
+      Seconds start = cursor;
+      Seconds dur = actual_cpu[id];  // build time includes its IO
+      Seconds kill_at = std::max(std::min(next_df[i + 1], lease_end), start);
+      Seconds end;
+      ++result.executed_ops;
+      if (start + dur <= kill_at + 1e-9) {
+        end = start + dur;
+        result.builds.push_back(BuildCompletion{
+            dag.op(a->op_id).index_id, dag.op(a->op_id).index_partition, end});
+      } else {
+        end = kill_at;
+        ++result.killed_builds;
+        result.kills.push_back(BuildKill{dag.op(a->op_id).index_id,
+                                         dag.op(a->op_id).index_partition,
+                                         end - start});
+      }
+      cursor = end;
+      Assignment actual = *a;
+      actual.start = start;
+      actual.end = end;
+      result.actual.Add(actual);
+    }
+    // Busy time on this container (assignments never overlap).
+    for (const auto& a : result.actual.ContainerTimeline(c)) {
+      busy_total += a.duration();
+    }
+  }
+
+  result.leased_quanta = leased_total;
+  result.total_idle =
+      static_cast<double>(leased_total) * opts_.quantum - busy_total;
+  return result;
+}
+
+}  // namespace dfim

@@ -1,0 +1,101 @@
+#ifndef DFIM_SCHED_EXEC_SIMULATOR_H_
+#define DFIM_SCHED_EXEC_SIMULATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "cloud/container.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "dataflow/dag.h"
+#include "sched/schedule.h"
+
+namespace dfim {
+
+/// \brief Per-op execution inputs for the simulator.
+struct SimOpCost {
+  /// CPU seconds (post index speedup) — perturbed by time_error.
+  Seconds cpu_time = 0;
+  /// MB pulled from the storage service before the op starts — perturbed by
+  /// data_error, skipped on a warm container cache.
+  MegaBytes input_mb = 0;
+  /// Cache key of the input (table/index path + version); empty when the op
+  /// reads no external input or caching should not apply.
+  std::string cache_key;
+};
+
+/// \brief Execution-simulator knobs.
+struct SimOptions {
+  Seconds quantum = 60.0;
+  double net_mb_per_sec = 125.0;
+  /// Runtime estimation error e: actual = estimate * U(1-e, 1+e) (Fig. 6).
+  double time_error = 0.0;
+  /// Data-size estimation error, same convention.
+  double data_error = 0.0;
+  uint64_t seed = 1;
+};
+
+/// \brief One completed index-build operator.
+struct BuildCompletion {
+  std::string index_id;
+  int partition = -1;
+  Seconds finish = 0;
+};
+
+/// \brief One preempted index-build operator and how long it ran before
+/// being stopped (feeds the resumable-builds extension).
+struct BuildKill {
+  std::string index_id;
+  int partition = -1;
+  Seconds ran_for = 0;
+};
+
+/// \brief Outcome of executing one schedule.
+struct ExecResult {
+  /// Completion time of the last dataflow operator (actual).
+  Seconds makespan = 0;
+  /// Leased quanta actually charged (sum over containers).
+  int64_t leased_quanta = 0;
+  /// Idle seconds inside leased quanta (actual fragmentation).
+  Seconds total_idle = 0;
+  /// Operators attempted (dataflow + build).
+  int executed_ops = 0;
+  /// Build ops stopped by preemption or quantum expiry (Table 7).
+  int killed_builds = 0;
+  /// Build ops that finished: their index partitions are now built.
+  std::vector<BuildCompletion> builds;
+  /// Preempted build ops with their partial progress.
+  std::vector<BuildKill> kills;
+  /// The realized timeline.
+  Schedule actual;
+};
+
+/// \brief Replays a planned schedule against actual conditions (paper §6.1
+/// simulator): estimation errors perturb runtimes and data sizes, container
+/// caches absorb repeat reads, and build-index operators (priority -1) are
+/// stopped when a dataflow operator arrives at their container or the
+/// current time quantum expires.
+///
+/// Dataflow operators keep their planned per-container order but start as
+/// soon as their dependencies allow — never waiting for build ops, which
+/// are preempted instead.
+class ExecSimulator {
+ public:
+  explicit ExecSimulator(SimOptions options) : opts_(options) {}
+
+  /// \brief Executes `plan` for `dag`.
+  ///
+  /// `costs` is indexed by op id. `containers`, when non-null, maps the
+  /// schedule's container indices to live Container objects whose LRU
+  /// caches are consulted and updated (pass null for cold, cacheless runs).
+  Result<ExecResult> Run(const Dag& dag, const Schedule& plan,
+                         const std::vector<SimOpCost>& costs,
+                         std::vector<Container*>* containers = nullptr);
+
+ private:
+  SimOptions opts_;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_SCHED_EXEC_SIMULATOR_H_

@@ -1,0 +1,201 @@
+#include "sched/hetero_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dfim {
+namespace {
+
+struct Partial {
+  std::vector<std::vector<Assignment>> timelines;
+  std::vector<int> ctype;  // VM type per used container
+  std::vector<std::vector<int>> delivered;
+  std::vector<Seconds> op_finish;
+  std::vector<int> op_container;
+  Seconds makespan = 0;
+  Dollars money = 0;
+  int num_ops = 0;
+};
+
+Dollars MoneyOf(const Partial& p, Seconds quantum,
+                const std::vector<VmType>& types) {
+  Dollars total = 0;
+  for (size_t c = 0; c < p.timelines.size(); ++c) {
+    if (p.timelines[c].empty()) continue;
+    int64_t q = std::max<int64_t>(
+        1, QuantaCeil(p.timelines[c].back().end, quantum));
+    total += static_cast<double>(q) *
+             types[static_cast<size_t>(p.ctype[c])].price_per_quantum;
+  }
+  return total;
+}
+
+Seconds FindSlot(const std::vector<Assignment>& tl, Seconds est,
+                 Seconds duration) {
+  Seconds cursor = 0;
+  for (const auto& a : tl) {
+    Seconds candidate = std::max(est, cursor);
+    if (a.start - candidate >= duration - 1e-9) return candidate;
+    cursor = std::max(cursor, a.end);
+  }
+  return std::max(est, cursor);
+}
+
+bool Assign(const Partial& base, const Dag& dag, const Operator& op,
+            Seconds base_dur, int c, int type_idx, Seconds quantum,
+            const std::vector<VmType>& types, Partial* out) {
+  const VmType& vt = types[static_cast<size_t>(type_idx)];
+  Seconds est = 0;
+  Seconds transfer_in = 0;
+  std::vector<int> newly;
+  const std::vector<int>* delivered_c =
+      c < static_cast<int>(base.delivered.size())
+          ? &base.delivered[static_cast<size_t>(c)]
+          : nullptr;
+  for (int fid : dag.in_flows(op.id)) {
+    const Flow& f = dag.flows()[static_cast<size_t>(fid)];
+    Seconds pf = base.op_finish[static_cast<size_t>(f.from)];
+    if (pf < 0) return false;
+    est = std::max(est, pf);
+    if (base.op_container[static_cast<size_t>(f.from)] != c) {
+      bool staged = delivered_c != nullptr &&
+                    std::binary_search(delivered_c->begin(),
+                                       delivered_c->end(), f.from);
+      if (!staged) {
+        transfer_in += f.size / vt.net_mb_per_sec;
+        newly.push_back(f.from);
+      }
+    }
+  }
+  Seconds occupancy = base_dur / vt.speed + transfer_in;
+  *out = base;
+  if (c >= static_cast<int>(out->timelines.size())) {
+    out->timelines.resize(static_cast<size_t>(c) + 1);
+    out->delivered.resize(static_cast<size_t>(c) + 1);
+    out->ctype.resize(static_cast<size_t>(c) + 1, type_idx);
+  }
+  // An existing container keeps its type; a fresh one takes type_idx.
+  if (!out->timelines[static_cast<size_t>(c)].empty() &&
+      out->ctype[static_cast<size_t>(c)] != type_idx) {
+    return false;  // caller enumerates types only for fresh containers
+  }
+  out->ctype[static_cast<size_t>(c)] = type_idx;
+  auto& tl = out->timelines[static_cast<size_t>(c)];
+  auto& dl = out->delivered[static_cast<size_t>(c)];
+  for (int p : newly) {
+    dl.insert(std::lower_bound(dl.begin(), dl.end(), p), p);
+  }
+  Seconds start = FindSlot(tl, est, occupancy);
+  Assignment a;
+  a.op_id = op.id;
+  a.container = c;
+  a.start = start;
+  a.end = start + occupancy;
+  a.optional = op.optional;
+  auto it = std::lower_bound(
+      tl.begin(), tl.end(), a,
+      [](const Assignment& x, const Assignment& y) { return x.start < y.start; });
+  tl.insert(it, a);
+  if (!op.optional) out->makespan = std::max(out->makespan, a.end);
+  out->money = MoneyOf(*out, quantum, types);
+  out->op_finish[static_cast<size_t>(op.id)] = a.end;
+  out->op_container[static_cast<size_t>(op.id)] = c;
+  out->num_ops = base.num_ops + 1;
+  return true;
+}
+
+void ParetoPrune(std::vector<Partial>* pool, int cap) {
+  std::sort(pool->begin(), pool->end(), [](const Partial& a, const Partial& b) {
+    if (std::fabs(a.makespan - b.makespan) > 1e-9) {
+      return a.makespan < b.makespan;
+    }
+    return a.money < b.money;
+  });
+  std::vector<Partial> kept;
+  Dollars best_money = std::numeric_limits<double>::infinity();
+  for (auto& p : *pool) {
+    if (p.money < best_money - 1e-12) {
+      kept.push_back(std::move(p));
+      best_money = kept.back().money;
+    }
+  }
+  if (cap > 0 && static_cast<int>(kept.size()) > cap) {
+    std::vector<Partial> sampled;
+    double step =
+        static_cast<double>(kept.size() - 1) / static_cast<double>(cap - 1);
+    size_t prev = std::numeric_limits<size_t>::max();
+    for (int i = 0; i < cap; ++i) {
+      auto idx = static_cast<size_t>(std::llround(i * step));
+      if (idx == prev) continue;
+      sampled.push_back(std::move(kept[idx]));
+      prev = idx;
+    }
+    kept = std::move(sampled);
+  }
+  *pool = std::move(kept);
+}
+
+}  // namespace
+
+Result<std::vector<TypedSchedule>> HeteroSkylineScheduler::ScheduleDag(
+    const Dag& dag, const std::vector<Seconds>& durations) const {
+  if (durations.size() != dag.num_ops()) {
+    return Status::InvalidArgument("durations size != number of ops");
+  }
+  if (types_.empty()) {
+    return Status::InvalidArgument("need at least one VM type");
+  }
+  DFIM_ASSIGN_OR_RETURN(std::vector<int> order, dag.TopologicalOrder());
+
+  Partial empty;
+  empty.op_finish.assign(dag.num_ops(), -1.0);
+  empty.op_container.assign(dag.num_ops(), -1);
+  std::vector<Partial> skyline{empty};
+
+  for (int id : order) {
+    const Operator& op = dag.op(id);
+    if (op.optional) continue;  // interleaving handled by the homogeneous path
+    Seconds dur = durations[static_cast<size_t>(id)];
+    std::vector<Partial> pool;
+    for (const Partial& base : skyline) {
+      int used = static_cast<int>(base.timelines.size());
+      int limit = std::min(opts_.max_containers, used + 1);
+      for (int c = 0; c < limit; ++c) {
+        bool fresh = c >= used ||
+                     base.timelines[static_cast<size_t>(c)].empty();
+        int t_begin = 0;
+        int t_end = static_cast<int>(types_.size());
+        if (!fresh) {
+          // Existing container: only its own type applies.
+          t_begin = base.ctype[static_cast<size_t>(c)];
+          t_end = t_begin + 1;
+        }
+        for (int t = t_begin; t < t_end; ++t) {
+          Partial next;
+          if (Assign(base, dag, op, dur, c, t, opts_.quantum, types_, &next)) {
+            pool.push_back(std::move(next));
+          }
+        }
+      }
+    }
+    if (pool.empty()) return Status::Internal("no feasible assignment");
+    ParetoPrune(&pool, opts_.skyline_cap);
+    skyline = std::move(pool);
+  }
+
+  std::vector<TypedSchedule> out;
+  out.reserve(skyline.size());
+  for (const Partial& p : skyline) {
+    TypedSchedule ts;
+    for (const auto& tl : p.timelines) {
+      for (const auto& a : tl) ts.schedule.Add(a);
+    }
+    ts.container_type = p.ctype;
+    ts.money = p.money;
+    out.push_back(std::move(ts));
+  }
+  return out;
+}
+
+}  // namespace dfim

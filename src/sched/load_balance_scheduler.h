@@ -1,0 +1,44 @@
+#ifndef DFIM_SCHED_LOAD_BALANCE_SCHEDULER_H_
+#define DFIM_SCHED_LOAD_BALANCE_SCHEDULER_H_
+
+#include "common/result.h"
+#include "dataflow/dag.h"
+#include "sched/schedule.h"
+#include "sched/skyline_scheduler.h"
+
+namespace dfim {
+
+/// \brief The paper's baseline: "an online load balance scheduler typically
+/// deployed in elastic clouds" (§6).
+///
+/// Operators are visited in an online greedy fashion (topological order)
+/// and each is assigned to the container with the least accumulated work,
+/// ignoring data placement. Communication costs are still *paid* (flows
+/// crossing containers transfer at net speed) — they are just not
+/// considered when choosing the container, which is exactly why the
+/// baseline collapses on data-intensive dataflows (Fig. 7).
+class LoadBalanceScheduler {
+ public:
+  explicit LoadBalanceScheduler(SchedulerOptions options) : opts_(options) {}
+
+  /// \brief Schedules `dag` onto `num_containers` containers.
+  ///
+  /// Pass a positive count to hold elasticity constant against another
+  /// scheduler, or `kAutoContainers` to let the baseline scale out the way
+  /// an elastic load balancer does: one container per operator of the
+  /// widest dependency level (capped by SchedulerOptions::max_containers).
+  static constexpr int kAutoContainers = -1;
+  Result<Schedule> ScheduleDag(const Dag& dag,
+                               const std::vector<Seconds>& durations,
+                               int num_containers) const;
+
+  /// The auto container count: the DAG's maximum level width.
+  static int AutoContainerCount(const Dag& dag, int max_containers);
+
+ private:
+  SchedulerOptions opts_;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_SCHED_LOAD_BALANCE_SCHEDULER_H_

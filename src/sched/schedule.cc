@@ -1,0 +1,155 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dfim {
+
+void Schedule::Add(Assignment a) { assignments_.push_back(a); }
+
+int Schedule::num_containers() const {
+  int max_c = -1;
+  for (const auto& a : assignments_) max_c = std::max(max_c, a.container);
+  return max_c + 1;
+}
+
+Seconds Schedule::makespan() const {
+  Seconds end = 0;
+  for (const auto& a : assignments_) {
+    if (!a.optional) end = std::max(end, a.end);
+  }
+  return end;
+}
+
+Seconds Schedule::TotalSpan() const {
+  Seconds end = 0;
+  for (const auto& a : assignments_) end = std::max(end, a.end);
+  return end;
+}
+
+int64_t Schedule::LeasedQuanta(Seconds quantum) const {
+  int nc = num_containers();
+  std::vector<Seconds> last(static_cast<size_t>(nc), 0);
+  for (const auto& a : assignments_) {
+    last[static_cast<size_t>(a.container)] =
+        std::max(last[static_cast<size_t>(a.container)], a.end);
+  }
+  int64_t total = 0;
+  for (Seconds t : last) {
+    // A used container is charged at least one quantum.
+    total += std::max<int64_t>(1, QuantaCeil(t, quantum));
+  }
+  return total;
+}
+
+std::vector<Assignment> Schedule::ContainerTimeline(int container) const {
+  std::vector<Assignment> out;
+  for (const auto& a : assignments_) {
+    if (a.container == container) out.push_back(a);
+  }
+  std::sort(out.begin(), out.end(), [](const Assignment& x, const Assignment& y) {
+    return x.start < y.start;
+  });
+  return out;
+}
+
+std::vector<Assignment> Schedule::SortedByContainer() const {
+  std::vector<Assignment> out = assignments_;
+  std::sort(out.begin(), out.end(), [](const Assignment& x, const Assignment& y) {
+    if (x.container != y.container) return x.container < y.container;
+    if (x.start != y.start) return x.start < y.start;
+    return x.op_id < y.op_id;
+  });
+  return out;
+}
+
+std::vector<IdleSlot> Schedule::FindIdleSlots(Seconds quantum) const {
+  std::vector<IdleSlot> slots;
+  int nc = num_containers();
+  for (int c = 0; c < nc; ++c) {
+    auto timeline = ContainerTimeline(c);
+    if (timeline.empty()) continue;
+    Seconds last_end = timeline.back().end;
+    auto leased =
+        static_cast<double>(std::max<int64_t>(1, QuantaCeil(last_end, quantum)));
+    Seconds lease_end = leased * quantum;
+    // Walk gaps between assignments plus the tail up to the lease end.
+    Seconds cursor = 0;
+    size_t i = 0;
+    auto emit = [&slots, quantum, c](Seconds lo, Seconds hi) {
+      // Split [lo, hi) at quantum boundaries.
+      while (hi - lo > 1e-9) {
+        auto q = static_cast<int64_t>(std::floor(lo / quantum + 1e-9));
+        Seconds q_end = static_cast<double>(q + 1) * quantum;
+        Seconds piece_end = std::min(hi, q_end);
+        if (piece_end - lo > 1e-9) {
+          slots.push_back(IdleSlot{c, q, lo, piece_end});
+        }
+        lo = piece_end;
+      }
+    };
+    while (i < timeline.size()) {
+      if (timeline[i].start - cursor > 1e-9) {
+        emit(cursor, timeline[i].start);
+      }
+      cursor = std::max(cursor, timeline[i].end);
+      ++i;
+    }
+    if (lease_end - cursor > 1e-9) emit(cursor, lease_end);
+  }
+  return slots;
+}
+
+Seconds Schedule::TotalIdle(Seconds quantum) const {
+  Seconds total = 0;
+  for (const auto& s : FindIdleSlots(quantum)) total += s.size();
+  return total;
+}
+
+bool Schedule::CheckNoOverlap() const {
+  int nc = num_containers();
+  for (int c = 0; c < nc; ++c) {
+    auto timeline = ContainerTimeline(c);
+    for (size_t i = 0; i < timeline.size(); ++i) {
+      if (timeline[i].end < timeline[i].start - 1e-9) return false;
+      if (i > 0 && timeline[i].start < timeline[i - 1].end - 1e-9) return false;
+    }
+  }
+  return true;
+}
+
+std::string Schedule::ToAscii(Seconds quantum, int cols) const {
+  int nc = num_containers();
+  Seconds span = 0;
+  for (const auto& a : assignments_) span = std::max(span, a.end);
+  // Round the horizon up to a whole quantum for readability.
+  span = static_cast<double>(std::max<int64_t>(1, QuantaCeil(span, quantum))) *
+         quantum;
+  std::string out;
+  double per_col = span / cols;
+  for (int c = 0; c < nc; ++c) {
+    std::string row(static_cast<size_t>(cols), '.');
+    for (const auto& a : ContainerTimeline(c)) {
+      auto lo = static_cast<int>(a.start / per_col);
+      auto hi = static_cast<int>(std::ceil(a.end / per_col));
+      for (int x = lo; x < hi && x < cols; ++x) {
+        row[static_cast<size_t>(x)] = a.optional ? '+' : '#';
+      }
+    }
+    out += "c";
+    out += std::to_string(c);
+    out += (c < 10 ? "  |" : " |");
+    out += row;
+    out += "|\n";
+  }
+  // Quantum ruler.
+  std::string ruler(static_cast<size_t>(cols), ' ');
+  for (Seconds q = quantum; q < span + 1e-9; q += quantum) {
+    auto x = static_cast<size_t>(q / per_col);
+    if (x > 0 && x <= static_cast<size_t>(cols)) ruler[x - 1] = '|';
+  }
+  out += "     " + ruler + "\n";
+  return out;
+}
+
+}  // namespace dfim

@@ -1,0 +1,94 @@
+#ifndef DFIM_SCHED_SCHEDULE_H_
+#define DFIM_SCHED_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "dataflow/dag.h"
+
+namespace dfim {
+
+/// \brief One operator placed on a container for an estimated time window.
+struct Assignment {
+  int op_id = 0;
+  int container = 0;
+  Seconds start = 0;
+  Seconds end = 0;
+  /// Mirrors Operator::optional (build-index ops).
+  bool optional = false;
+
+  Seconds duration() const { return end - start; }
+};
+
+/// \brief An idle slot f(id, q, c, S): a maximal operator-free interval
+/// inside one leased quantum of one container (paper §3).
+struct IdleSlot {
+  int container = 0;
+  /// Zero-based quantum index within the schedule.
+  int64_t quantum_index = 0;
+  Seconds start = 0;
+  Seconds end = 0;
+
+  Seconds size() const { return end - start; }
+};
+
+/// \brief An execution schedule Sd: assignments of operators to containers,
+/// with derived time/money/fragmentation metrics (paper §3).
+///
+/// Time is relative to the schedule start (t = 0). Containers are leased
+/// from t = 0 through the quantum covering their last assignment.
+class Schedule {
+ public:
+  Schedule() = default;
+
+  void Add(Assignment a);
+
+  const std::vector<Assignment>& assignments() const { return assignments_; }
+  bool empty() const { return assignments_.empty(); }
+  size_t size() const { return assignments_.size(); }
+
+  /// Number of distinct containers used (max index + 1).
+  int num_containers() const;
+
+  /// Completion time of the last *mandatory* operator — index builds in the
+  /// paid tail do not delay the dataflow (Fig. 2c).
+  Seconds makespan() const;
+
+  /// Completion time including optional operators.
+  Seconds TotalSpan() const;
+
+  /// Leased quanta summed over containers: each container is charged
+  /// ceil(last assignment end / quantum) quanta (paper §3: md(Sd) is "the
+  /// sum of the total time quanta of the VMs leased").
+  int64_t LeasedQuanta(Seconds quantum) const;
+
+  /// The fragmentation of the schedule: all idle slots in leased quanta,
+  /// split at quantum boundaries, ordered by (container, start).
+  std::vector<IdleSlot> FindIdleSlots(Seconds quantum) const;
+
+  /// Total idle seconds across FindIdleSlots.
+  Seconds TotalIdle(Seconds quantum) const;
+
+  /// Assignments of one container sorted by start time.
+  std::vector<Assignment> ContainerTimeline(int container) const;
+
+  /// All assignments sorted by (container, start).
+  std::vector<Assignment> SortedByContainer() const;
+
+  /// OK when no two assignments on the same container overlap in time and
+  /// all durations are non-negative.
+  bool CheckNoOverlap() const;
+
+  /// Renders an ASCII Gantt chart (one row per container), `cols` wide.
+  /// Dataflow ops print '#', build ops '+', idle '.' (Fig. 9 style).
+  std::string ToAscii(Seconds quantum, int cols = 100) const;
+
+ private:
+  std::vector<Assignment> assignments_;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_SCHED_SCHEDULE_H_

@@ -1,0 +1,260 @@
+#include "sched/skyline_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dfim {
+namespace {
+
+/// A partial schedule kept in the working skyline.
+struct Partial {
+  /// Per-container sorted, non-overlapping assignments.
+  std::vector<std::vector<Assignment>> timelines;
+  /// Per-container sorted list of producer ops whose output has already
+  /// been staged there (an output is transferred once per container and
+  /// then served from local disk — paper §3/§6.1 caching).
+  std::vector<std::vector<int>> delivered;
+  /// Finish time per op id (-1 when unassigned).
+  std::vector<Seconds> op_finish;
+  /// Container per op id (-1 when unassigned).
+  std::vector<int> op_container;
+  Seconds makespan = 0;  // mandatory ops only
+  int64_t money = 0;     // leased quanta
+  int num_ops = 0;
+  /// Largest contiguous idle gap (tie-break: most sequential idle time).
+  Seconds max_gap = 0;
+};
+
+int64_t MoneyOf(const Partial& p, Seconds quantum) {
+  int64_t total = 0;
+  for (const auto& tl : p.timelines) {
+    if (tl.empty()) continue;
+    total += std::max<int64_t>(1, QuantaCeil(tl.back().end, quantum));
+  }
+  return total;
+}
+
+Seconds MaxGapOf(const Partial& p, Seconds quantum) {
+  Seconds best = 0;
+  for (const auto& tl : p.timelines) {
+    if (tl.empty()) continue;
+    Seconds cursor = 0;
+    for (const auto& a : tl) {
+      best = std::max(best, a.start - cursor);
+      cursor = std::max(cursor, a.end);
+    }
+    Seconds lease_end =
+        static_cast<double>(std::max<int64_t>(1, QuantaCeil(cursor, quantum))) *
+        quantum;
+    best = std::max(best, lease_end - cursor);
+  }
+  return best;
+}
+
+/// Earliest feasible start >= est of a `duration`-long interval on the
+/// timeline (gap insertion). Returns the start time.
+Seconds FindSlot(const std::vector<Assignment>& tl, Seconds est,
+                 Seconds duration) {
+  Seconds cursor = 0;
+  for (const auto& a : tl) {
+    Seconds candidate = std::max(est, cursor);
+    if (a.start - candidate >= duration - 1e-9) return candidate;
+    cursor = std::max(cursor, a.end);
+  }
+  return std::max(est, cursor);
+}
+
+void InsertSorted(std::vector<Assignment>* tl, const Assignment& a) {
+  auto it = std::lower_bound(
+      tl->begin(), tl->end(), a,
+      [](const Assignment& x, const Assignment& y) { return x.start < y.start; });
+  tl->insert(it, a);
+}
+
+/// Expands `base` by assigning `op` (duration `dur`) to container `c`.
+/// Returns false (and leaves `out` untouched) when the placement is
+/// infeasible or, for optional ops, when it would worsen time or money.
+bool Assign(const Partial& base, const Dag& dag, const Operator& op,
+            Seconds dur, int c, Seconds quantum, double net, Partial* out) {
+  // Earliest start: all parents finished. Cross-container flows are pulled
+  // over the consumer's NIC, serialized, so they extend the op's occupancy
+  // rather than just shifting its start. A producer's output is staged on a
+  // container once; colocated siblings read it from local disk for free.
+  Seconds est = 0;
+  Seconds transfer_in = 0;
+  std::vector<int> newly_delivered;
+  const std::vector<int>* delivered_c =
+      c < static_cast<int>(base.delivered.size())
+          ? &base.delivered[static_cast<size_t>(c)]
+          : nullptr;
+  for (int fid : dag.in_flows(op.id)) {
+    const Flow& f = dag.flows()[static_cast<size_t>(fid)];
+    Seconds pf = base.op_finish[static_cast<size_t>(f.from)];
+    if (pf < 0) return false;  // parent unassigned (cannot happen in order)
+    est = std::max(est, pf);
+    if (base.op_container[static_cast<size_t>(f.from)] != c) {
+      bool staged =
+          delivered_c != nullptr &&
+          std::binary_search(delivered_c->begin(), delivered_c->end(), f.from);
+      if (!staged) {
+        transfer_in += f.size / net;
+        newly_delivered.push_back(f.from);
+      }
+    }
+  }
+  Seconds occupancy = dur + transfer_in;
+  *out = base;
+  if (c >= static_cast<int>(out->timelines.size())) {
+    out->timelines.resize(static_cast<size_t>(c) + 1);
+    out->delivered.resize(static_cast<size_t>(c) + 1);
+  }
+  auto& tl = out->timelines[static_cast<size_t>(c)];
+  auto& dl = out->delivered[static_cast<size_t>(c)];
+  for (int p : newly_delivered) {
+    dl.insert(std::lower_bound(dl.begin(), dl.end(), p), p);
+  }
+  Seconds start = FindSlot(tl, est, occupancy);
+  Assignment a;
+  a.op_id = op.id;
+  a.container = c;
+  a.start = start;
+  a.end = start + occupancy;
+  a.optional = op.optional;
+  if (op.optional) {
+    // Optional ops must not extend the lease (paper §5.3.2: schedules where
+    // they do are dominated and dropped). They may run past the dataflow
+    // makespan inside an already-paid quantum (Fig. 2c, B2), and gap
+    // insertion never delays mandatory ops.
+    int64_t money_before = base.money;
+    InsertSorted(&tl, a);
+    out->money = MoneyOf(*out, quantum);
+    if (out->money > money_before) return false;
+  } else {
+    InsertSorted(&tl, a);
+    out->makespan = std::max(out->makespan, a.end);
+    out->money = MoneyOf(*out, quantum);
+  }
+  out->op_finish[static_cast<size_t>(op.id)] = a.end;
+  out->op_container[static_cast<size_t>(op.id)] = c;
+  out->num_ops = base.num_ops + 1;
+  out->max_gap = MaxGapOf(*out, quantum);
+  return true;
+}
+
+/// Non-dominated filtering on (makespan, money) with deterministic
+/// tie-breaks: more ops first (optional-op preference), then larger
+/// sequential idle gap (§5.3.1), capped at `cap` evenly spaced survivors.
+void ParetoPrune(std::vector<Partial>* pool, int cap) {
+  std::sort(pool->begin(), pool->end(), [](const Partial& a, const Partial& b) {
+    if (std::fabs(a.makespan - b.makespan) > 1e-9) {
+      return a.makespan < b.makespan;
+    }
+    if (a.money != b.money) return a.money < b.money;
+    if (a.num_ops != b.num_ops) return a.num_ops > b.num_ops;
+    return a.max_gap > b.max_gap;
+  });
+  std::vector<Partial> kept;
+  int64_t best_money = std::numeric_limits<int64_t>::max();
+  Seconds last_time = -1;
+  for (auto& p : *pool) {
+    if (p.money < best_money) {
+      // First (fastest) entry at this money level; skip duplicates of the
+      // same makespan (the sort already ordered preferred ones first).
+      if (!kept.empty() && TimeEq(kept.back().makespan, p.makespan) &&
+          kept.back().money == p.money) {
+        continue;
+      }
+      kept.push_back(std::move(p));
+      best_money = kept.back().money;
+      last_time = kept.back().makespan;
+    }
+  }
+  (void)last_time;
+  if (cap > 0 && static_cast<int>(kept.size()) > cap) {
+    // Keep evenly spaced representatives, always including the fastest and
+    // the cheapest endpoints.
+    std::vector<Partial> sampled;
+    sampled.reserve(static_cast<size_t>(cap));
+    double step =
+        static_cast<double>(kept.size() - 1) / static_cast<double>(cap - 1);
+    size_t prev = std::numeric_limits<size_t>::max();
+    for (int i = 0; i < cap; ++i) {
+      auto idx = static_cast<size_t>(std::llround(i * step));
+      if (idx == prev) continue;
+      sampled.push_back(std::move(kept[idx]));
+      prev = idx;
+    }
+    kept = std::move(sampled);
+  }
+  *pool = std::move(kept);
+}
+
+Schedule ToSchedule(const Partial& p) {
+  Schedule s;
+  for (const auto& tl : p.timelines) {
+    for (const auto& a : tl) s.Add(a);
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<std::vector<Schedule>> SkylineScheduler::ScheduleDag(
+    const Dag& dag, const std::vector<Seconds>& durations,
+    bool place_optional) const {
+  if (durations.size() != dag.num_ops()) {
+    return Status::InvalidArgument("durations size != number of ops");
+  }
+  DFIM_ASSIGN_OR_RETURN(std::vector<int> order, dag.TopologicalOrder());
+
+  // Split mandatory (scheduled in topological order) from optional ops
+  // (offered afterwards, best gain first).
+  std::vector<int> mandatory;
+  std::vector<int> optional;
+  for (int id : order) {
+    (dag.op(id).optional ? optional : mandatory).push_back(id);
+  }
+  std::stable_sort(optional.begin(), optional.end(), [&dag](int a, int b) {
+    return dag.op(a).gain > dag.op(b).gain;
+  });
+
+  Partial empty;
+  empty.op_finish.assign(dag.num_ops(), -1.0);
+  empty.op_container.assign(dag.num_ops(), -1);
+  std::vector<Partial> skyline{empty};
+
+  auto expand = [this, &dag, &durations, &skyline](int op_id, bool keep_base) {
+    const Operator& op = dag.op(op_id);
+    Seconds dur = durations[static_cast<size_t>(op_id)];
+    std::vector<Partial> pool;
+    for (const Partial& base : skyline) {
+      if (keep_base) pool.push_back(base);
+      int used = static_cast<int>(base.timelines.size());
+      int limit = std::min(opts_.max_containers, used + 1);
+      for (int c = 0; c < limit; ++c) {
+        Partial next;
+        if (Assign(base, dag, op, dur, c, opts_.quantum, opts_.net_mb_per_sec,
+                   &next)) {
+          pool.push_back(std::move(next));
+        }
+      }
+    }
+    if (!pool.empty()) {
+      ParetoPrune(&pool, opts_.skyline_cap);
+      skyline = std::move(pool);
+    }
+  };
+
+  for (int id : mandatory) expand(id, /*keep_base=*/false);
+  if (place_optional) {
+    for (int id : optional) expand(id, /*keep_base=*/true);
+  }
+
+  std::vector<Schedule> out;
+  out.reserve(skyline.size());
+  for (const Partial& p : skyline) out.push_back(ToSchedule(p));
+  return out;
+}
+
+}  // namespace dfim

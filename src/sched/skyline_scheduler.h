@@ -1,0 +1,68 @@
+#ifndef DFIM_SCHED_SKYLINE_SCHEDULER_H_
+#define DFIM_SCHED_SKYLINE_SCHEDULER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "dataflow/dag.h"
+#include "sched/schedule.h"
+
+namespace dfim {
+
+/// \brief Options plugged into the schedulers (paper: "a pricing model is
+/// plugged to the scheduler").
+struct SchedulerOptions {
+  /// Maximum containers a schedule may use (Table 3: 100).
+  int max_containers = 100;
+  /// Pricing quantum TQ in seconds.
+  Seconds quantum = 60.0;
+  /// Network bandwidth between containers / storage (1 Gbps = 125 MB/s).
+  double net_mb_per_sec = 125.0;
+  /// Maximum number of non-dominated partial schedules kept per iteration.
+  /// The skyline is capped for tractability (the underlying scheduler of
+  /// the paper's reference [12] prunes the same way); capping keeps the
+  /// evenly-spaced representatives along the time axis.
+  int skyline_cap = 8;
+};
+
+/// \brief The skyline dataflow scheduler (Algorithm 4) plus the optional-
+/// operator extension used by online interleaving (§5.3.2).
+///
+/// Mandatory operators are assigned in topological order; each partial
+/// schedule in the skyline is expanded over every candidate container (all
+/// used ones plus one fresh). The new skyline keeps the non-dominated
+/// (time, money) points; among equals the schedule with the largest
+/// sequential idle slot wins (§5.3.1: "the schedule with the most
+/// sequential idle compute time is selected"). Optional (index-build)
+/// operators are then offered to every schedule: placements that would
+/// increase time or money are discarded, and among equal (time, money)
+/// points the schedule with more operators wins.
+///
+/// Operators are placed into the earliest gap that fits (insertion-based
+/// list scheduling), so dependency stalls become usable idle slots.
+class SkylineScheduler {
+ public:
+  explicit SkylineScheduler(SchedulerOptions options) : opts_(options) {}
+
+  /// \brief Schedules `dag`, whose per-op effective durations (input
+  /// transfer + CPU) are given by `durations`, indexed by op id.
+  ///
+  /// When `place_optional` is true, optional ops in the dag
+  /// (OpKind::kBuildIndex / optional flag) are interleaved after all
+  /// mandatory ops, best-gain first (the online interleaving algorithm);
+  /// when false they are ignored (the LP interleaver packs them into idle
+  /// slots itself). Returns the skyline ordered by makespan ascending
+  /// (fastest first); never empty on success.
+  Result<std::vector<Schedule>> ScheduleDag(
+      const Dag& dag, const std::vector<Seconds>& durations,
+      bool place_optional = true) const;
+
+  const SchedulerOptions& options() const { return opts_; }
+
+ private:
+  SchedulerOptions opts_;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_SCHED_SKYLINE_SCHEDULER_H_

@@ -1,0 +1,118 @@
+#include "tpch/extended_queries.h"
+
+#include <chrono>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace dfim {
+namespace tpch {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Seconds Time(const std::function<void()>& fn) {
+  auto t0 = Clock::now();
+  fn();
+  auto t1 = Clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+volatile int64_t g_sink = 0;
+
+}  // namespace
+
+TableHeap<OrderRow> GenerateOrders(int32_t max_orderkey, uint64_t seed) {
+  TableHeap<OrderRow> heap;
+  heap.Reserve(static_cast<size_t>(max_orderkey));
+  Rng rng(seed);
+  for (int32_t k = 1; k <= max_orderkey; ++k) {
+    heap.Append(OrderRow{k, static_cast<int32_t>(rng.UniformInt(0, 4))});
+  }
+  return heap;
+}
+
+QueryTiming ExtendedQueries::GroupBy() const {
+  QueryTiming t;
+  t.name = "Group by";
+  int64_t groups_scan = 0;
+  t.no_index_sec = Time([this, &groups_scan] {
+    // Hash aggregation over an unordered heap scan.
+    std::unordered_map<int32_t, int64_t> counts;
+    counts.reserve(lineitem_->size() / 4);
+    lineitem_->Scan([&counts](RowId, const LineitemRow& row) {
+      ++counts[row.orderkey];
+    });
+    groups_scan = static_cast<int64_t>(counts.size());
+    g_sink = g_sink + groups_scan;
+  });
+  int64_t groups_idx = 0;
+  t.index_sec = Time([this, &groups_idx] {
+    // The leaf chain is sorted: stream group boundaries, no hash table.
+    int32_t current = -1;
+    int64_t count = 0;
+    int64_t sum = 0;
+    index_->ScanAll([&](const int32_t& key, RowId) {
+      if (key != current) {
+        sum += count;
+        current = key;
+        count = 0;
+        ++groups_idx;
+      }
+      ++count;
+    });
+    g_sink = g_sink + (sum + count);
+  });
+  t.result_rows = groups_scan;
+  if (groups_scan != groups_idx) t.result_rows = -1;  // disagreement marker
+  return t;
+}
+
+QueryTiming ExtendedQueries::Join(int32_t selectivity_keys) const {
+  QueryTiming t;
+  t.name = "Join";
+  // Qualifying orders: priority = 0 and orderkey < selectivity_keys.
+  auto qualifies = [selectivity_keys](const OrderRow& o) {
+    return o.priority == 0 && o.orderkey < selectivity_keys;
+  };
+  int64_t matches_hash = 0;
+  t.no_index_sec = Time([this, &matches_hash, &qualifies] {
+    // Hash join: build on the qualifying orders, probe with a full scan.
+    std::unordered_set<int32_t> build;
+    orders_->Scan([&build, &qualifies](RowId, const OrderRow& o) {
+      if (qualifies(o)) build.insert(o.orderkey);
+    });
+    int64_t sum = 0;
+    lineitem_->Scan([&build, &sum, &matches_hash](RowId,
+                                                  const LineitemRow& row) {
+      if (build.count(row.orderkey)) {
+        sum += row.orderkey;
+        ++matches_hash;
+      }
+    });
+    g_sink = g_sink + sum;
+  });
+  int64_t matches_idx = 0;
+  t.index_sec = Time([this, &matches_idx, &qualifies] {
+    // Index nested-loop join: one B+Tree probe per qualifying order.
+    int64_t sum = 0;
+    orders_->Scan([this, &sum, &matches_idx, &qualifies](RowId,
+                                                         const OrderRow& o) {
+      if (!qualifies(o)) return;
+      index_->ScanRange(o.orderkey, o.orderkey,
+                        [&sum, &matches_idx](const int32_t& key, RowId) {
+                          sum += key;
+                          ++matches_idx;
+                        });
+    });
+    g_sink = g_sink + sum;
+  });
+  t.result_rows = matches_hash;
+  if (matches_hash != matches_idx) t.result_rows = -1;
+  return t;
+}
+
+}  // namespace tpch
+}  // namespace dfim

@@ -1,0 +1,59 @@
+#ifndef DFIM_TPCH_EXTENDED_QUERIES_H_
+#define DFIM_TPCH_EXTENDED_QUERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tpch/queries.h"
+
+namespace dfim {
+namespace tpch {
+
+/// \brief A minimal orders-side table for join calibration: one row per
+/// orderkey with a priority class used as the join predicate.
+struct OrderRow {
+  int32_t orderkey = 0;
+  int32_t priority = 0;  // 0..4, ~uniform
+};
+
+/// Deterministically generates one OrderRow per orderkey in [1, max_key].
+TableHeap<OrderRow> GenerateOrders(int32_t max_orderkey, uint64_t seed = 43);
+
+/// \brief The remaining §1 operator categories, measured on real data
+/// structures (Table 6 covers lookup/range/sort; these add grouping and
+/// join).
+///
+///   Group by: SELECT orderkey, COUNT(*) FROM lineitem GROUP BY orderkey
+///     — hash aggregation over a heap scan vs streaming aggregation over
+///     the sorted B+Tree leaf chain.
+///   Join: SELECT ... FROM lineitem l JOIN orders o ON l.orderkey =
+///         o.orderkey WHERE o.priority = 0 AND o.orderkey < K
+///     — hash join (build on qualifying orders, probe by full lineitem
+///     scan) vs index nested-loop join (one B+Tree lookup per qualifying
+///     order).
+class ExtendedQueries {
+ public:
+  ExtendedQueries(const TableHeap<LineitemRow>* lineitem,
+                  const TableHeap<OrderRow>* orders,
+                  const BPlusTree<int32_t>* orderkey_index)
+      : lineitem_(lineitem), orders_(orders), index_(orderkey_index) {}
+
+  /// Grouping (paper §1: "Grouping can be efficiently performed using
+  /// sorting", which the B+Tree provides for free).
+  QueryTiming GroupBy() const;
+
+  /// Join (paper §1: index nested loops / sort-merge beat re-hashing when
+  /// an appropriate index exists). `selectivity_keys` bounds the
+  /// qualifying orders (orderkey < selectivity_keys, priority = 0).
+  QueryTiming Join(int32_t selectivity_keys) const;
+
+ private:
+  const TableHeap<LineitemRow>* lineitem_;
+  const TableHeap<OrderRow>* orders_;
+  const BPlusTree<int32_t>* index_;
+};
+
+}  // namespace tpch
+}  // namespace dfim
+
+#endif  // DFIM_TPCH_EXTENDED_QUERIES_H_

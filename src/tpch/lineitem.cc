@@ -1,0 +1,100 @@
+#include "tpch/lineitem.h"
+
+#include <algorithm>
+
+namespace dfim {
+namespace tpch {
+namespace {
+
+const char* kShipInstruct[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                               "TAKE BACK RETURN"};
+const char* kShipMode[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL",
+                           "FOB"};
+constexpr int kDateRangeDays = 2526;  // 1992-01-01 .. 1998-12-01
+
+std::string RandomComment(Rng* rng) {
+  auto len = static_cast<size_t>(rng->UniformInt(10, 43));
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('a' + rng->UniformInt(0, 25)));
+  }
+  return s;
+}
+
+}  // namespace
+
+Schema LineitemSchema() {
+  return Schema({
+      Column::Int32("orderkey"),
+      Column::Int32("partkey"),
+      Column::Int32("suppkey"),
+      Column::Int32("linenumber"),
+      Column::Double("quantity"),
+      Column::Double("extendedprice"),
+      Column::Double("discount"),
+      Column::Double("tax"),
+      Column::Char("returnflag", 1),
+      Column::Char("linestatus", 1),
+      Column::Date("shipdate"),
+      Column::Date("commitdate"),
+      Column::Date("receiptdate"),
+      Column::Char("shipinstruct", 12.0),
+      Column::Char("shipmode", 4.3),
+      Column::Text("comment", 26.5),
+  });
+}
+
+int64_t LineitemGenerator::Generate(TableHeap<LineitemRow>* heap) const {
+  heap->Clear();
+  Rng rng(seed_);
+  int64_t orders = NumOrders();
+  heap->Reserve(static_cast<size_t>(orders * 4));
+  for (int64_t o = 1; o <= orders; ++o) {
+    int lines = static_cast<int>(rng.UniformInt(1, 7));
+    for (int l = 1; l <= lines; ++l) {
+      LineitemRow row;
+      row.orderkey = static_cast<int32_t>(o);
+      row.partkey = static_cast<int32_t>(rng.UniformInt(1, 200000));
+      row.suppkey = static_cast<int32_t>(rng.UniformInt(1, 10000));
+      row.linenumber = l;
+      row.quantity = static_cast<double>(rng.UniformInt(1, 50));
+      row.extendedprice = row.quantity * rng.Uniform(900.0, 105000.0) / 100.0;
+      row.discount = rng.Uniform(0.0, 0.10);
+      row.tax = rng.Uniform(0.0, 0.08);
+      row.returnflag = "RAN"[rng.UniformInt(0, 2)];
+      row.linestatus = "OF"[rng.UniformInt(0, 1)];
+      row.shipdate = static_cast<int32_t>(rng.UniformInt(0, kDateRangeDays));
+      row.commitdate = std::min<int32_t>(
+          kDateRangeDays,
+          row.shipdate + static_cast<int32_t>(rng.UniformInt(-30, 60)));
+      row.receiptdate = std::min<int32_t>(
+          kDateRangeDays,
+          row.shipdate + static_cast<int32_t>(rng.UniformInt(1, 30)));
+      row.shipinstruct = kShipInstruct[rng.UniformInt(0, 3)];
+      row.shipmode = kShipMode[rng.UniformInt(0, 6)];
+      row.comment = RandomComment(&rng);
+      heap->Append(std::move(row));
+    }
+  }
+  return static_cast<int64_t>(heap->size());
+}
+
+QueryConstants QueryConstants::ForMaxKey(int32_t max_orderkey) {
+  // The paper's constants assume max orderkey 3,000,000 (lineitem scale 2).
+  constexpr double kPaperMax = 3000000.0;
+  auto scaled = [max_orderkey](double paper_value) {
+    double v = paper_value * static_cast<double>(max_orderkey) / kPaperMax;
+    return static_cast<int32_t>(std::max(1.0, v));
+  };
+  QueryConstants qc;
+  qc.lookup_key = scaled(1000000.0);
+  qc.range_large_lo = scaled(1000000.0);
+  qc.range_large_hi = scaled(2000000.0);
+  qc.range_small_lo = scaled(10000.0);
+  qc.range_small_hi = scaled(20000.0);
+  return qc;
+}
+
+}  // namespace tpch
+}  // namespace dfim

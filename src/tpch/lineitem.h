@@ -1,0 +1,83 @@
+#ifndef DFIM_TPCH_LINEITEM_H_
+#define DFIM_TPCH_LINEITEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/schema.h"
+#include "index/table_heap.h"
+
+namespace dfim {
+namespace tpch {
+
+/// \brief One row of the TPC-H lineitem table (the columns the paper's
+/// calibration uses, §6.1 / Tables 5-6).
+struct LineitemRow {
+  int32_t orderkey = 0;
+  int32_t partkey = 0;
+  int32_t suppkey = 0;
+  int32_t linenumber = 0;
+  double quantity = 0;
+  double extendedprice = 0;
+  double discount = 0;
+  double tax = 0;
+  char returnflag = 'N';
+  char linestatus = 'O';
+  int32_t shipdate = 0;     // days since 1992-01-01
+  int32_t commitdate = 0;   // days since 1992-01-01
+  int32_t receiptdate = 0;  // days since 1992-01-01
+  std::string shipinstruct;
+  std::string shipmode;
+  std::string comment;
+};
+
+/// \brief Size-model schema of lineitem with TPC-H average field widths.
+///
+/// Dates are modelled at their textual width (10 bytes) as in the paper's
+/// Table 5 statistics; comment averages (10+43)/2 = 26.5 bytes.
+Schema LineitemSchema();
+
+/// \brief Deterministic dbgen-like generator.
+///
+/// `scale` follows TPC-H: scale 1 is ~1.5M orders with 1-7 lineitems each
+/// (~6M rows). The paper uses scale 2 (~12M rows, ~1.4 GB). Generation is a
+/// pure function of (scale, seed).
+class LineitemGenerator {
+ public:
+  explicit LineitemGenerator(double scale, uint64_t seed = 42)
+      : scale_(scale), seed_(seed) {}
+
+  /// Number of orders at this scale.
+  int64_t NumOrders() const {
+    return static_cast<int64_t>(1500000.0 * scale_);
+  }
+
+  /// Largest orderkey that will be generated.
+  int32_t MaxOrderKey() const { return static_cast<int32_t>(NumOrders()); }
+
+  /// Generates all rows into `heap` (cleared first). Returns the row count.
+  int64_t Generate(TableHeap<LineitemRow>* heap) const;
+
+ private:
+  double scale_;
+  uint64_t seed_;
+};
+
+/// \brief Scales the paper's query constants (written for scale 2, max
+/// orderkey 3M) to an arbitrary max orderkey, preserving selectivity.
+struct QueryConstants {
+  int32_t lookup_key;        // paper: orderkey = 1,000,000
+  int32_t range_large_lo;    // paper: 1,000,000 <
+  int32_t range_large_hi;    // paper: < 2,000,000
+  int32_t range_small_lo;    // paper: 10,000 <
+  int32_t range_small_hi;    // paper: < 20,000
+
+  static QueryConstants ForMaxKey(int32_t max_orderkey);
+};
+
+}  // namespace tpch
+}  // namespace dfim
+
+#endif  // DFIM_TPCH_LINEITEM_H_

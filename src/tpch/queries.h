@@ -1,0 +1,64 @@
+#ifndef DFIM_TPCH_QUERIES_H_
+#define DFIM_TPCH_QUERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "index/bplus_tree.h"
+#include "tpch/lineitem.h"
+
+namespace dfim {
+namespace tpch {
+
+/// \brief Wall-clock result of running one calibration query both ways.
+struct QueryTiming {
+  std::string name;
+  Seconds no_index_sec = 0;
+  Seconds index_sec = 0;
+  int64_t result_rows = 0;
+  double Speedup() const {
+    return index_sec > 0 ? no_index_sec / index_sec : 0.0;
+  }
+};
+
+/// \brief Runs the paper's four index-speedup queries (§6.1) against a
+/// generated lineitem heap and an orderkey B+Tree, measuring wall time.
+///
+/// The queries, verbatim from the paper:
+///   Order by:      SELECT orderkey FROM lineitem ORDER BY orderkey
+///   Range (large): WHERE orderkey > L AND orderkey < H  (1M..2M at SF2)
+///   Range (small): WHERE orderkey > l AND orderkey < h  (10k..20k at SF2)
+///   Lookup:        WHERE orderkey = K                   (1M at SF2)
+class CalibrationQueries {
+ public:
+  CalibrationQueries(const TableHeap<LineitemRow>* heap,
+                     const BPlusTree<int32_t>* orderkey_index,
+                     QueryConstants constants)
+      : heap_(heap), index_(orderkey_index), qc_(constants) {}
+
+  QueryTiming OrderBy() const;
+  QueryTiming RangeLarge() const;
+  QueryTiming RangeSmall() const;
+  QueryTiming Lookup() const;
+
+  /// All four in paper order.
+  std::vector<QueryTiming> RunAll() const;
+
+ private:
+  QueryTiming Range(const std::string& name, int32_t lo, int32_t hi) const;
+
+  const TableHeap<LineitemRow>* heap_;
+  const BPlusTree<int32_t>* index_;
+  QueryConstants qc_;
+};
+
+/// \brief Builds the orderkey B+Tree over the heap (bulk load), using a
+/// 4-byte key page layout so reported sizes match the cost model.
+BPlusTree<int32_t> BuildOrderkeyIndex(const TableHeap<LineitemRow>& heap);
+
+}  // namespace tpch
+}  // namespace dfim
+
+#endif  // DFIM_TPCH_QUERIES_H_

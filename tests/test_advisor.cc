@@ -1,0 +1,103 @@
+#include "core/advisor.h"
+
+#include <gtest/gtest.h>
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "dataflow/file_database.h"
+#include "dataflow/generators.h"
+
+namespace dfim {
+namespace {
+
+class AdvisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<FileDatabase>(&catalog_, FileDatabaseOptions{});
+    ASSERT_TRUE(db_->Populate().ok());
+    gen_ = std::make_unique<DataflowGenerator>(db_.get(), 71);
+  }
+  Catalog catalog_;
+  std::unique_ptr<FileDatabase> db_;
+  std::unique_ptr<DataflowGenerator> gen_;
+};
+
+TEST_F(AdvisorTest, RecommendsPerAccessedTable) {
+  Dataflow df = gen_->Generate(AppType::kCybershake, 0, 0);
+  AccessPatternAdvisor advisor(&catalog_);
+  auto recs = advisor.Recommend(df);
+  ASSERT_TRUE(recs.ok());
+  EXPECT_FALSE(recs->empty());
+  // Recommendations cover exactly the accessed tables.
+  std::set<std::string> tables;
+  for (const auto& r : *recs) {
+    tables.insert(r.def.table);
+    EXPECT_GE(r.predicted_speedup, 1.0);
+    EXPECT_EQ(r.def.columns.size(), 1u);
+    // Never recommends the opaque payload column.
+    EXPECT_EQ(r.def.columns[0].find("payload"), std::string::npos);
+  }
+  for (const auto& t : tables) {
+    EXPECT_NE(std::find(df.input_tables.begin(), df.input_tables.end(), t),
+              df.input_tables.end());
+  }
+}
+
+TEST_F(AdvisorTest, NarrowColumnsPredictBetterSpeedupPerByte) {
+  Dataflow df = gen_->Generate(AppType::kMontage, 0, 0);
+  AccessPatternAdvisor advisor(&catalog_);
+  auto recs = advisor.Recommend(df);
+  ASSERT_TRUE(recs.ok());
+  // For any table, the narrowest (first) candidate dominates wider ones.
+  std::map<std::string, double> best;
+  for (const auto& r : *recs) {
+    auto it = best.find(r.def.table);
+    if (it == best.end()) {
+      best[r.def.table] = r.predicted_speedup;
+    } else {
+      EXPECT_LE(r.predicted_speedup, it->second + 1e-9);
+    }
+  }
+}
+
+TEST_F(AdvisorTest, AnnotateInstallsCandidatesAndDefinitions) {
+  Dataflow df = gen_->Generate(AppType::kLigo, 0, 0);
+  df.candidate_indexes.clear();
+  df.index_speedup.clear();
+  AccessPatternAdvisor advisor(&catalog_);
+  ASSERT_TRUE(advisor.Annotate(&df, &catalog_).ok());
+  EXPECT_FALSE(df.candidate_indexes.empty());
+  for (const auto& idx : df.candidate_indexes) {
+    EXPECT_TRUE(catalog_.HasIndex(idx));
+    EXPECT_GT(df.SpeedupOf(idx), 1.0 - 1e-9);
+  }
+  // Annotating a second dataflow reusing the same tables must not fail on
+  // AlreadyExists.
+  Dataflow df2 = gen_->Generate(AppType::kLigo, 1, 0);
+  df2.candidate_indexes.clear();
+  EXPECT_TRUE(advisor.Annotate(&df2, &catalog_).ok());
+}
+
+TEST_F(AdvisorTest, MaxCandidatesRespected) {
+  AccessPatternAdvisor::Options opts;
+  opts.max_candidates_per_table = 2;
+  AccessPatternAdvisor advisor(&catalog_, opts);
+  Dataflow df = gen_->Generate(AppType::kMontage, 0, 0);
+  auto recs = advisor.Recommend(df);
+  ASSERT_TRUE(recs.ok());
+  std::map<std::string, int> per_table;
+  for (const auto& r : *recs) ++per_table[r.def.table];
+  for (const auto& [t, n] : per_table) EXPECT_LE(n, 2) << t;
+}
+
+TEST_F(AdvisorTest, EmptyDataflowYieldsNoRecommendations) {
+  Dataflow df;
+  AccessPatternAdvisor advisor(&catalog_);
+  auto recs = advisor.Recommend(df);
+  ASSERT_TRUE(recs.ok());
+  EXPECT_TRUE(recs->empty());
+}
+
+}  // namespace
+}  // namespace dfim

@@ -1,0 +1,230 @@
+#include "index/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dfim {
+namespace {
+
+using Tree = BPlusTree<int64_t>;
+
+Tree::Options SmallPages() {
+  Tree::Options o;
+  o.page_bytes = 64;  // tiny pages force deep trees in tests
+  o.key_bytes = 8;
+  o.pointer_bytes = 8;
+  return o;
+}
+
+TEST(BPlusTreeTest, EmptyTree) {
+  Tree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.Lookup(5).empty());
+  EXPECT_TRUE(t.CheckInvariants());
+  int visits = 0;
+  t.ScanAll([&visits](const int64_t&, RowId) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(BPlusTreeTest, InsertAndLookup) {
+  Tree t(SmallPages());
+  for (int64_t k = 0; k < 100; ++k) t.Insert(k * 2, static_cast<RowId>(k));
+  EXPECT_EQ(t.size(), 100u);
+  EXPECT_TRUE(t.CheckInvariants());
+  auto rows = t.Lookup(42);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 21u);
+  EXPECT_TRUE(t.Lookup(43).empty());
+}
+
+TEST(BPlusTreeTest, DuplicateKeysAllRetrieved) {
+  Tree t(SmallPages());
+  for (RowId r = 0; r < 50; ++r) t.Insert(7, r);
+  t.Insert(8, 1000);
+  auto rows = t.Lookup(7);
+  EXPECT_EQ(rows.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end()));
+  EXPECT_TRUE(t.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, ExactDuplicatePairIgnored) {
+  Tree t(SmallPages());
+  t.Insert(5, 1);
+  t.Insert(5, 1);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BPlusTreeTest, RangeScanInclusiveBounds) {
+  Tree t(SmallPages());
+  for (int64_t k = 0; k < 200; ++k) t.Insert(k, static_cast<RowId>(k));
+  std::vector<int64_t> keys;
+  t.ScanRange(10, 20, [&keys](const int64_t& k, RowId) { keys.push_back(k); });
+  ASSERT_EQ(keys.size(), 11u);
+  EXPECT_EQ(keys.front(), 10);
+  EXPECT_EQ(keys.back(), 20);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(BPlusTreeTest, RangeScanEmptyAndFullRanges) {
+  Tree t(SmallPages());
+  for (int64_t k = 0; k < 50; ++k) t.Insert(k * 10, static_cast<RowId>(k));
+  int count = 0;
+  t.ScanRange(1, 9, [&count](const int64_t&, RowId) { ++count; });
+  EXPECT_EQ(count, 0);
+  count = 0;
+  t.ScanRange(-100, 10000, [&count](const int64_t&, RowId) { ++count; });
+  EXPECT_EQ(count, 50);
+}
+
+TEST(BPlusTreeTest, ScanAllSortedOrder) {
+  Tree t(SmallPages());
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    t.Insert(rng.UniformInt(0, 100), static_cast<RowId>(i));
+  }
+  std::vector<int64_t> keys;
+  t.ScanAll([&keys](const int64_t& k, RowId) { keys.push_back(k); });
+  EXPECT_EQ(keys.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(BPlusTreeTest, HeightGrowsLogarithmically) {
+  Tree t(SmallPages());  // capacity 4 per node
+  for (int64_t k = 0; k < 1000; ++k) t.Insert(k, static_cast<RowId>(k));
+  EXPECT_GE(t.height(), 4);
+  EXPECT_LE(t.height(), 12);
+  EXPECT_GT(t.node_count(), 250u);  // ~1000/4 leaves at least
+  EXPECT_EQ(t.SizeBytes(), t.node_count() * 64);
+}
+
+TEST(BPlusTreeTest, BulkLoadMatchesInserts) {
+  std::vector<Tree::Entry> entries;
+  for (int64_t k = 0; k < 500; ++k) {
+    entries.push_back({k * 3, static_cast<RowId>(k)});
+  }
+  Tree bulk(SmallPages());
+  bulk.BulkLoad(entries);
+  EXPECT_EQ(bulk.size(), 500u);
+  EXPECT_TRUE(bulk.CheckInvariants());
+  Tree inc(SmallPages());
+  for (const auto& e : entries) inc.Insert(e.key, e.row);
+  // Same contents in the same order.
+  std::vector<int64_t> a, b;
+  bulk.ScanAll([&a](const int64_t& k, RowId) { a.push_back(k); });
+  inc.ScanAll([&b](const int64_t& k, RowId) { b.push_back(k); });
+  EXPECT_EQ(a, b);
+}
+
+TEST(BPlusTreeTest, BulkLoadEmptyAndSingle) {
+  Tree t(SmallPages());
+  t.BulkLoad({});
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.CheckInvariants());
+  t.BulkLoad({{42, 7}});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.Lookup(42)[0], 7u);
+}
+
+TEST(BPlusTreeTest, ClearResets) {
+  Tree t(SmallPages());
+  for (int64_t k = 0; k < 100; ++k) t.Insert(k, 0);
+  t.Clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.height(), 1);
+  EXPECT_TRUE(t.Lookup(5).empty());
+  t.Insert(5, 9);
+  EXPECT_EQ(t.Lookup(5)[0], 9u);
+}
+
+TEST(BPlusTreeTest, StringKeys) {
+  BPlusTree<std::string>::Options o;
+  o.page_bytes = 256;
+  o.key_bytes = 16;
+  BPlusTree<std::string> t(o);
+  t.Insert("banana", 1);
+  t.Insert("apple", 0);
+  t.Insert("cherry", 2);
+  t.Insert("apple", 10);
+  auto rows = t.Lookup("apple");
+  EXPECT_EQ(rows.size(), 2u);
+  std::vector<std::string> keys;
+  t.ScanAll([&keys](const std::string& k, RowId) { keys.push_back(k); });
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+/// Property sweep: random workloads vs a std::multimap oracle.
+class BPlusTreeOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BPlusTreeOracleTest, MatchesMultimapOracle) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng rng(seed);
+  Tree t(SmallPages());
+  std::multimap<int64_t, RowId> oracle;
+  int n = 500 + static_cast<int>(rng.UniformInt(0, 1500));
+  for (int i = 0; i < n; ++i) {
+    int64_t k = rng.UniformInt(-50, 50);
+    auto r = static_cast<RowId>(i);
+    t.Insert(k, r);
+    oracle.emplace(k, r);
+  }
+  ASSERT_TRUE(t.CheckInvariants());
+  ASSERT_EQ(t.size(), oracle.size());
+  // Point lookups.
+  for (int64_t k = -55; k <= 55; ++k) {
+    auto rows = t.Lookup(k);
+    EXPECT_EQ(rows.size(), oracle.count(k)) << "key " << k;
+  }
+  // Random range scans.
+  for (int trial = 0; trial < 20; ++trial) {
+    int64_t lo = rng.UniformInt(-60, 60);
+    int64_t hi = lo + rng.UniformInt(0, 40);
+    size_t got = 0;
+    t.ScanRange(lo, hi, [&got](const int64_t&, RowId) { ++got; });
+    size_t expected = 0;
+    for (auto it = oracle.lower_bound(lo);
+         it != oracle.end() && it->first <= hi; ++it) {
+      ++expected;
+    }
+    EXPECT_EQ(got, expected) << "range [" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, BPlusTreeOracleTest,
+                         ::testing::Range(1, 11));
+
+/// Property sweep: bulk load at various sizes keeps invariants and order.
+class BulkLoadSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BulkLoadSizeTest, InvariantsAndContent) {
+  int n = GetParam();
+  std::vector<Tree::Entry> entries;
+  for (int i = 0; i < n; ++i) {
+    entries.push_back({static_cast<int64_t>(i / 3), static_cast<RowId>(i)});
+  }
+  Tree t(SmallPages());
+  t.BulkLoad(entries);
+  EXPECT_TRUE(t.CheckInvariants()) << "n=" << n;
+  EXPECT_EQ(t.size(), static_cast<size_t>(n));
+  size_t visited = 0;
+  int64_t prev = -1;
+  t.ScanAll([&](const int64_t& k, RowId) {
+    EXPECT_GE(k, prev);
+    prev = k;
+    ++visited;
+  });
+  EXPECT_EQ(visited, static_cast<size_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BulkLoadSizeTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16,
+                                           17, 63, 64, 65, 100, 1000, 4096));
+
+}  // namespace
+}  // namespace dfim

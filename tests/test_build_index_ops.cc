@@ -1,0 +1,80 @@
+#include "dataflow/build_index_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace dfim {
+namespace {
+
+class BuildIndexOpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema s({Column::Int32("k"), Column::Char("pad", 121.0)});
+    Table t("f", s);
+    t.PartitionBySize(3000000, 128.0);  // 3 partitions
+    num_parts_ = static_cast<int>(t.num_partitions());
+    ASSERT_GE(num_parts_, 3);
+    ASSERT_TRUE(catalog_.AddTable(std::move(t)).ok());
+    ASSERT_TRUE(catalog_.DefineIndex(IndexDef{"idx", "f", {"k"}}).ok());
+  }
+  Catalog catalog_;
+  int num_parts_ = 0;
+};
+
+TEST_F(BuildIndexOpsTest, OnePerUnbuiltPartition) {
+  int next_id = 100;
+  auto ops = MakeBuildIndexOps(catalog_, "idx", 125.0, &next_id);
+  ASSERT_TRUE(ops.ok());
+  EXPECT_EQ(ops->size(), static_cast<size_t>(num_parts_));
+  EXPECT_EQ(next_id, 100 + num_parts_);
+  for (const auto& op : *ops) {
+    EXPECT_EQ(op.kind, OpKind::kBuildIndex);
+    EXPECT_TRUE(op.optional);
+    EXPECT_EQ(op.priority, kBuildIndexPriority);
+    EXPECT_EQ(op.index_id, "idx");
+    EXPECT_GT(op.time, 0);
+    EXPECT_GT(op.memory, 0);
+  }
+}
+
+TEST_F(BuildIndexOpsTest, BuiltPartitionsSkipped) {
+  ASSERT_TRUE(catalog_.MarkIndexPartitionBuilt("idx", 0, 10).ok());
+  int next_id = 0;
+  auto ops = MakeBuildIndexOps(catalog_, "idx", 125.0, &next_id);
+  ASSERT_TRUE(ops.ok());
+  EXPECT_EQ(ops->size(), static_cast<size_t>(num_parts_ - 1));
+  for (const auto& op : *ops) EXPECT_NE(op.index_partition, 0);
+}
+
+TEST_F(BuildIndexOpsTest, StalePartitionsReemitted) {
+  ASSERT_TRUE(catalog_.MarkIndexPartitionBuilt("idx", 0, 10).ok());
+  ASSERT_TRUE(catalog_.ApplyBatchUpdate("f", {0}).ok());
+  int next_id = 0;
+  auto ops = MakeBuildIndexOps(catalog_, "idx", 125.0, &next_id);
+  ASSERT_TRUE(ops.ok());
+  EXPECT_EQ(ops->size(), static_cast<size_t>(num_parts_));
+}
+
+TEST_F(BuildIndexOpsTest, UnknownIndexFails) {
+  int next_id = 0;
+  EXPECT_TRUE(
+      MakeBuildIndexOps(catalog_, "nope", 125.0, &next_id).status().IsNotFound());
+}
+
+TEST_F(BuildIndexOpsTest, BuildTimeMatchesCostModel) {
+  int next_id = 0;
+  auto ops = MakeBuildIndexOps(catalog_, "idx", 125.0, &next_id);
+  ASSERT_TRUE(ops.ok());
+  auto table = catalog_.GetTable("f");
+  auto def = catalog_.GetIndexDef("idx");
+  const auto& model = catalog_.cost_model();
+  for (const auto& op : *ops) {
+    auto p = (*table)->GetPartition(op.index_partition);
+    ASSERT_TRUE(p.ok());
+    EXPECT_NEAR(op.time,
+                model.PartitionBuildTime(**table, (*def)->columns, *p, 125.0),
+                1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dfim

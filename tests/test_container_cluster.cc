@@ -1,0 +1,107 @@
+#include "cloud/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "cloud/container.h"
+
+namespace dfim {
+namespace {
+
+PricingModel Pricing() { return PricingModel{}; }
+
+TEST(ContainerTest, FreshContainerChargedOneQuantum) {
+  Container c(0, ContainerSpec{}, Pricing(), 0);
+  EXPECT_EQ(c.quanta_charged(), 1);
+  EXPECT_DOUBLE_EQ(c.lease_end(), 60.0);
+  EXPECT_TRUE(c.AliveAt(30));
+  EXPECT_FALSE(c.AliveAt(60));
+  EXPECT_FALSE(c.AliveAt(100));
+}
+
+TEST(ContainerTest, ExtendLeaseChargesWholeQuanta) {
+  Container c(0, ContainerSpec{}, Pricing(), 0);
+  EXPECT_EQ(c.ExtendLeaseTo(30), 0);   // within first quantum
+  EXPECT_EQ(c.ExtendLeaseTo(61), 1);   // needs a second
+  EXPECT_EQ(c.quanta_charged(), 2);
+  EXPECT_EQ(c.ExtendLeaseTo(290), 3);  // through the 5th
+  EXPECT_EQ(c.quanta_charged(), 5);
+  EXPECT_DOUBLE_EQ(c.lease_end(), 300);
+}
+
+TEST(ContainerTest, LeaseStartOffset) {
+  Container c(0, ContainerSpec{}, Pricing(), 120);
+  EXPECT_DOUBLE_EQ(c.lease_end(), 180);
+  EXPECT_TRUE(c.AliveAt(150));
+  EXPECT_FALSE(c.AliveAt(180));
+}
+
+TEST(ContainerTest, QuantumEndAt) {
+  Container c(0, ContainerSpec{}, Pricing(), 0);
+  EXPECT_DOUBLE_EQ(c.QuantumEndAt(0), 60);
+  EXPECT_DOUBLE_EQ(c.QuantumEndAt(59), 60);
+  EXPECT_DOUBLE_EQ(c.QuantumEndAt(60), 120);  // boundary starts next quantum
+  EXPECT_DOUBLE_EQ(c.QuantumEndAt(61), 120);
+}
+
+TEST(ContainerTest, TransferTimeUsesNetSpeed) {
+  ContainerSpec spec;
+  spec.net_mb_per_sec = 125;
+  Container c(0, spec, Pricing(), 0);
+  EXPECT_DOUBLE_EQ(c.TransferTime(1250), 10.0);
+}
+
+TEST(ClusterTest, AcquireAllocatesAndReuses) {
+  Cluster cl(ContainerSpec{}, Pricing(), 10);
+  auto r1 = cl.Acquire(3, 0);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->size(), 3u);
+  EXPECT_EQ(cl.total_quanta_charged(), 3);
+  // Re-acquire within the same quantum: same containers, no new charge.
+  auto r2 = cl.Acquire(3, 30);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(cl.total_quanta_charged(), 3);
+  EXPECT_EQ((*r2)[0]->id(), (*r1)[0]->id());
+}
+
+TEST(ClusterTest, ExpiredContainersReplaced) {
+  Cluster cl(ContainerSpec{}, Pricing(), 10);
+  auto r1 = cl.Acquire(2, 0);
+  ASSERT_TRUE(r1.ok());
+  // After their quantum, the containers are gone; new ones allocated.
+  auto r2 = cl.Acquire(2, 120);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(cl.total_quanta_charged(), 4);
+  EXPECT_EQ(cl.total_allocated(), 4);
+}
+
+TEST(ClusterTest, RespectsMaxContainers) {
+  Cluster cl(ContainerSpec{}, Pricing(), 2);
+  EXPECT_TRUE(cl.Acquire(2, 0).ok());
+  auto r = cl.Acquire(3, 10);
+  EXPECT_TRUE(r.status().IsResourceExhausted());
+}
+
+TEST(ClusterTest, RejectsNonPositive) {
+  Cluster cl(ContainerSpec{}, Pricing(), 2);
+  EXPECT_TRUE(cl.Acquire(0, 0).status().IsInvalidArgument());
+}
+
+TEST(ClusterTest, ChargeThroughAccrues) {
+  Cluster cl(ContainerSpec{}, Pricing(), 4);
+  auto r = cl.Acquire(1, 0);
+  ASSERT_TRUE(r.ok());
+  cl.ChargeThrough((*r)[0], 250);
+  EXPECT_EQ(cl.total_quanta_charged(), 5);
+  EXPECT_NEAR(cl.total_vm_cost(), 0.5, 1e-12);
+}
+
+TEST(ClusterTest, AliveCountAndReap) {
+  Cluster cl(ContainerSpec{}, Pricing(), 4);
+  ASSERT_TRUE(cl.Acquire(3, 0).ok());
+  EXPECT_EQ(cl.AliveCount(30), 3);
+  EXPECT_EQ(cl.ReapExpired(60), 3);
+  EXPECT_EQ(cl.AliveCount(60), 0);
+}
+
+}  // namespace
+}  // namespace dfim

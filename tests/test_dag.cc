@@ -1,0 +1,115 @@
+#include "dataflow/dag.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dfim {
+namespace {
+
+Operator Op(const std::string& name, Seconds time) {
+  Operator op;
+  op.name = name;
+  op.time = time;
+  return op;
+}
+
+TEST(DagTest, AddOperatorAssignsDenseIds) {
+  Dag g;
+  EXPECT_EQ(g.AddOperator(Op("a", 1)), 0);
+  EXPECT_EQ(g.AddOperator(Op("b", 2)), 1);
+  EXPECT_EQ(g.num_ops(), 2u);
+  EXPECT_EQ(g.op(1).name, "b");
+}
+
+TEST(DagTest, FlowValidation) {
+  Dag g;
+  g.AddOperator(Op("a", 1));
+  g.AddOperator(Op("b", 1));
+  EXPECT_TRUE(g.AddFlow(0, 1, 5.0).ok());
+  EXPECT_TRUE(g.AddFlow(0, 7, 5.0).IsInvalidArgument());
+  EXPECT_TRUE(g.AddFlow(-1, 1, 5.0).IsInvalidArgument());
+  EXPECT_TRUE(g.AddFlow(1, 1, 5.0).IsInvalidArgument());
+  EXPECT_EQ(g.num_flows(), 1u);
+  EXPECT_EQ(g.parents(1).size(), 1u);
+  EXPECT_EQ(g.children(0).size(), 1u);
+  EXPECT_EQ(g.in_flows(1).size(), 1u);
+  EXPECT_DOUBLE_EQ(g.flows()[0].size, 5.0);
+}
+
+TEST(DagTest, EntryAndExitOps) {
+  Dag g;
+  for (int i = 0; i < 4; ++i) g.AddOperator(Op("x", 1));
+  ASSERT_TRUE(g.AddFlow(0, 2, 1).ok());
+  ASSERT_TRUE(g.AddFlow(1, 2, 1).ok());
+  ASSERT_TRUE(g.AddFlow(2, 3, 1).ok());
+  auto entries = g.EntryOps();
+  auto exits = g.ExitOps();
+  EXPECT_EQ(entries, (std::vector<int>{0, 1}));
+  EXPECT_EQ(exits, (std::vector<int>{3}));
+}
+
+TEST(DagTest, TopologicalOrderRespectsEdges) {
+  Dag g;
+  for (int i = 0; i < 6; ++i) g.AddOperator(Op("x", 1));
+  ASSERT_TRUE(g.AddFlow(0, 3, 1).ok());
+  ASSERT_TRUE(g.AddFlow(1, 3, 1).ok());
+  ASSERT_TRUE(g.AddFlow(3, 4, 1).ok());
+  ASSERT_TRUE(g.AddFlow(2, 5, 1).ok());
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  ASSERT_EQ(order->size(), 6u);
+  auto pos = [&order](int id) {
+    return std::find(order->begin(), order->end(), id) - order->begin();
+  };
+  for (const auto& f : g.flows()) EXPECT_LT(pos(f.from), pos(f.to));
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(DagTest, CycleDetection) {
+  Dag g;
+  for (int i = 0; i < 3; ++i) g.AddOperator(Op("x", 1));
+  ASSERT_TRUE(g.AddFlow(0, 1, 1).ok());
+  ASSERT_TRUE(g.AddFlow(1, 2, 1).ok());
+  ASSERT_TRUE(g.AddFlow(2, 0, 1).ok());
+  EXPECT_TRUE(g.TopologicalOrder().status().IsFailedPrecondition());
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(DagTest, TotalWorkAndCriticalPath) {
+  Dag g;
+  g.AddOperator(Op("a", 10));
+  g.AddOperator(Op("b", 20));
+  g.AddOperator(Op("c", 5));
+  g.AddOperator(Op("d", 1));
+  ASSERT_TRUE(g.AddFlow(0, 2, 1).ok());  // a -> c
+  ASSERT_TRUE(g.AddFlow(1, 2, 1).ok());  // b -> c
+  ASSERT_TRUE(g.AddFlow(2, 3, 1).ok());  // c -> d
+  EXPECT_DOUBLE_EQ(g.TotalWork(), 36.0);
+  auto cp = g.CriticalPath();
+  ASSERT_TRUE(cp.ok());
+  EXPECT_DOUBLE_EQ(*cp, 26.0);  // b(20) + c(5) + d(1)
+}
+
+TEST(DagTest, BuildIndexOperatorFactory) {
+  Operator op = Operator::BuildIndex(7, "idx:t:c", 3, 12.5, 64.0);
+  EXPECT_EQ(op.id, 7);
+  EXPECT_EQ(op.kind, OpKind::kBuildIndex);
+  EXPECT_TRUE(op.optional);
+  EXPECT_EQ(op.priority, kBuildIndexPriority);
+  EXPECT_EQ(op.index_id, "idx:t:c");
+  EXPECT_EQ(op.index_partition, 3);
+  EXPECT_DOUBLE_EQ(op.time, 12.5);
+  EXPECT_NE(op.name.find("idx:t:c"), std::string::npos);
+}
+
+TEST(DagTest, EmptyDag) {
+  Dag g;
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_TRUE(order->empty());
+  EXPECT_DOUBLE_EQ(g.TotalWork(), 0);
+}
+
+}  // namespace
+}  // namespace dfim

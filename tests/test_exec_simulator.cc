@@ -1,0 +1,221 @@
+#include "sched/exec_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/skyline_scheduler.h"
+#include "sched_test_util.h"
+
+namespace dfim {
+namespace {
+
+using testutil::Chain;
+using testutil::Independent;
+using testutil::OpTimes;
+
+SimOptions NoError() {
+  SimOptions o;
+  o.quantum = 60;
+  o.net_mb_per_sec = 125;
+  o.time_error = 0;
+  o.data_error = 0;
+  return o;
+}
+
+std::vector<SimOpCost> CostsFromTimes(const Dag& g) {
+  std::vector<SimOpCost> costs(g.num_ops());
+  for (const auto& op : g.ops()) {
+    costs[static_cast<size_t>(op.id)] = SimOpCost{op.time, 0, ""};
+  }
+  return costs;
+}
+
+Schedule PlanOf(const Dag& g, const SchedulerOptions& opts) {
+  SkylineScheduler sched(opts);
+  auto skyline = sched.ScheduleDag(g, OpTimes(g));
+  EXPECT_TRUE(skyline.ok());
+  return skyline->front();
+}
+
+TEST(ExecSimulatorTest, ExactReplayWithoutErrors) {
+  Dag g = Chain(4, 15);
+  SchedulerOptions so;
+  Schedule plan = PlanOf(g, so);
+  ExecSimulator sim(NoError());
+  auto r = sim.Run(g, plan, CostsFromTimes(g));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->makespan, plan.makespan(), 1e-9);
+  EXPECT_EQ(r->leased_quanta, plan.LeasedQuanta(60));
+  EXPECT_EQ(r->executed_ops, 4);
+  EXPECT_EQ(r->killed_builds, 0);
+  EXPECT_TRUE(r->builds.empty());
+}
+
+TEST(ExecSimulatorTest, CostSizeMismatchRejected) {
+  Dag g = Chain(2, 10);
+  Schedule plan = PlanOf(g, SchedulerOptions{});
+  ExecSimulator sim(NoError());
+  EXPECT_TRUE(sim.Run(g, plan, {}).status().IsInvalidArgument());
+}
+
+TEST(ExecSimulatorTest, TimeErrorPerturbsMakespan) {
+  Dag g = Chain(10, 20);
+  Schedule plan = PlanOf(g, SchedulerOptions{});
+  SimOptions o = NoError();
+  o.time_error = 0.5;
+  o.seed = 7;
+  ExecSimulator sim(o);
+  auto r = sim.Run(g, plan, CostsFromTimes(g));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->makespan, plan.makespan());
+  // Bounded by the error range.
+  EXPECT_GT(r->makespan, plan.makespan() * 0.5 - 1e-9);
+  EXPECT_LT(r->makespan, plan.makespan() * 1.5 + 1e-9);
+}
+
+TEST(ExecSimulatorTest, BuildOpInTailCompletes) {
+  Dag g = Independent(1, 30);
+  Operator build = Operator::BuildIndex(1, "idx", 2, 20.0, 64);
+  build.gain = 1;
+  g.AddOperator(build);
+  SkylineScheduler sched(SchedulerOptions{});
+  auto skyline = sched.ScheduleDag(g, OpTimes(g));
+  ASSERT_TRUE(skyline.ok());
+  Schedule plan = skyline->front();
+  ASSERT_EQ(plan.size(), 2u);  // build op interleaved in the 60 s quantum
+
+  ExecSimulator sim(NoError());
+  auto r = sim.Run(g, plan, CostsFromTimes(g));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->builds.size(), 1u);
+  EXPECT_EQ(r->builds[0].index_id, "idx");
+  EXPECT_EQ(r->builds[0].partition, 2);
+  EXPECT_NEAR(r->builds[0].finish, 50, 1e-9);
+  EXPECT_EQ(r->killed_builds, 0);
+  // The dataflow makespan excludes the build op.
+  EXPECT_NEAR(r->makespan, 30, 1e-9);
+}
+
+TEST(ExecSimulatorTest, BuildOpKilledByDataflowArrival) {
+  // Plan: op0 [0,20), build [20,40) planned, op1 [40,60). If op0 runs long,
+  // the build op is preempted when op1's start arrives.
+  Dag g;
+  Operator a;
+  a.time = 20;
+  g.AddOperator(a);
+  Operator b;
+  b.time = 20;
+  g.AddOperator(b);
+  ASSERT_TRUE(g.AddFlow(0, 1, 0).ok());
+  Operator build = Operator::BuildIndex(2, "idx", 0, 19.0, 64);
+  g.AddOperator(build);
+
+  Schedule plan;
+  plan.Add(Assignment{0, 0, 0, 20, false});
+  plan.Add(Assignment{2, 0, 20, 39, true});
+  plan.Add(Assignment{1, 0, 40, 60, false});
+
+  // Force op0 to overrun via a longer actual cpu time.
+  std::vector<SimOpCost> costs{{35, 0, ""}, {20, 0, ""}, {19, 0, ""}};
+  ExecSimulator sim(NoError());
+  auto r = sim.Run(g, plan, costs);
+  ASSERT_TRUE(r.ok());
+  // op0 ends at 35; op1 starts at 35 (dep satisfied, build preempted).
+  EXPECT_EQ(r->killed_builds, 1);
+  EXPECT_TRUE(r->builds.empty());
+  EXPECT_NEAR(r->makespan, 55, 1e-9);
+  // The killed build ran [35, 35) — zero length, before op1.
+  bool found = false;
+  for (const auto& as : r->actual.assignments()) {
+    if (as.optional) {
+      found = true;
+      EXPECT_NEAR(as.end - as.start, 0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ExecSimulatorTest, BuildOpKilledAtLeaseEnd) {
+  Dag g = Independent(1, 30);
+  Operator build = Operator::BuildIndex(1, "idx", 0, 45.0, 64);
+  g.AddOperator(build);
+  // Hand-built plan: build op in the tail, too long for the lease.
+  Schedule plan;
+  plan.Add(Assignment{0, 0, 0, 30, false});
+  plan.Add(Assignment{1, 0, 30, 75, true});
+  // The plan itself leases 2 quanta (planned end 75) — the build op may run
+  // through 120... but the plan says 75, so lease covers ceil(75/60)=2.
+  ExecSimulator sim(NoError());
+  auto r = sim.Run(g, plan, CostsFromTimes(g));
+  ASSERT_TRUE(r.ok());
+  // 30 + 45 = 75 <= 120 (2 leased quanta): completes.
+  EXPECT_EQ(r->killed_builds, 0);
+  ASSERT_EQ(r->builds.size(), 1u);
+
+  // Now a build op that exceeds even the leased tail.
+  Dag g2 = Independent(1, 30);
+  Operator build2 = Operator::BuildIndex(1, "idx", 0, 40.0, 64);
+  g2.AddOperator(build2);
+  Schedule plan2;
+  plan2.Add(Assignment{0, 0, 0, 30, false});
+  plan2.Add(Assignment{1, 0, 30, 59, true});  // planned within quantum 1
+  std::vector<SimOpCost> costs2{{30, 0, ""}, {40, 0, ""}};  // actually 40 s
+  auto r2 = sim.Run(g2, plan2, costs2);
+  ASSERT_TRUE(r2.ok());
+  // Lease is 1 quantum (planned end 59); 30+40=70 > 60: killed at 60.
+  EXPECT_EQ(r2->killed_builds, 1);
+  EXPECT_TRUE(r2->builds.empty());
+  EXPECT_EQ(r2->leased_quanta, 1);
+}
+
+TEST(ExecSimulatorTest, CacheAbsorbsRepeatReads) {
+  // Two runs of the same single-op dag on the same container: the second
+  // read hits the cache.
+  Dag g = Independent(1, 10);
+  Schedule plan;
+  plan.Add(Assignment{0, 0, 0, 110, false});
+  std::vector<SimOpCost> costs{{10, 12500, "file:a|v1"}};  // 100 s transfer
+
+  PricingModel pricing;
+  Container cont(0, ContainerSpec{}, pricing, 0);
+  std::vector<Container*> containers{&cont};
+  ExecSimulator sim(NoError());
+  auto first = sim.Run(g, plan, costs, &containers);
+  ASSERT_TRUE(first.ok());
+  EXPECT_NEAR(first->makespan, 110, 1e-9);  // 100 transfer + 10 cpu
+  auto second = sim.Run(g, plan, costs, &containers);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NEAR(second->makespan, 10, 1e-9);  // cache hit
+}
+
+TEST(ExecSimulatorTest, CrossContainerFlowPaysTransfer) {
+  Dag g = Chain(2, 10, /*flow=*/1250);  // 10 s transfer
+  Schedule plan;
+  plan.Add(Assignment{0, 0, 0, 10, false});
+  plan.Add(Assignment{1, 1, 20, 30, false});
+  ExecSimulator sim(NoError());
+  auto r = sim.Run(g, plan, CostsFromTimes(g));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->makespan, 30, 1e-9);  // 10 + 10 transfer + 10
+
+  // Same plan but co-located: no transfer.
+  Schedule colocated;
+  colocated.Add(Assignment{0, 0, 0, 10, false});
+  colocated.Add(Assignment{1, 0, 10, 20, false});
+  auto r2 = sim.Run(g, colocated, CostsFromTimes(g));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NEAR(r2->makespan, 20, 1e-9);
+}
+
+TEST(ExecSimulatorTest, FragmentationReported) {
+  Dag g = Independent(1, 30);
+  Schedule plan;
+  plan.Add(Assignment{0, 0, 0, 30, false});
+  ExecSimulator sim(NoError());
+  auto r = sim.Run(g, plan, CostsFromTimes(g));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->leased_quanta, 1);
+  EXPECT_NEAR(r->total_idle, 30, 1e-9);  // half the quantum idle
+}
+
+}  // namespace
+}  // namespace dfim

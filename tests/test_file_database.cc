@@ -1,0 +1,109 @@
+#include "dataflow/file_database.h"
+
+#include <gtest/gtest.h>
+
+namespace dfim {
+namespace {
+
+class FileDatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<FileDatabase>(&catalog_, FileDatabaseOptions{});
+    ASSERT_TRUE(db_->Populate().ok());
+  }
+  Catalog catalog_;
+  std::unique_ptr<FileDatabase> db_;
+};
+
+TEST_F(FileDatabaseTest, PaperFileCounts) {
+  // §6.1: 125 files (20 + 53 + 52).
+  EXPECT_EQ(db_->TotalFiles(), 125);
+  EXPECT_EQ(db_->FilesOf(AppType::kMontage).size(), 20u);
+  EXPECT_EQ(db_->FilesOf(AppType::kLigo).size(), 53u);
+  EXPECT_EQ(db_->FilesOf(AppType::kCybershake).size(), 52u);
+}
+
+TEST_F(FileDatabaseTest, TotalSizeNearPaper) {
+  // §6.1: total ~76.69 GB, dominated by Cybershake's heavy tail. Our
+  // log-uniform sampling lands in the same order of magnitude.
+  MegaBytes total = db_->TotalSize();
+  EXPECT_GT(total, GB(20));
+  EXPECT_LT(total, GB(250));
+}
+
+TEST_F(FileDatabaseTest, PartitionCountNearPaper) {
+  // §6.1: 713 partitions at 128 MB cap. Scales with sampled total size.
+  int parts = db_->TotalPartitions();
+  EXPECT_GT(parts, 200);
+  EXPECT_LT(parts, 2500);
+  // Every partition respects the cap.
+  for (const auto& name : db_->FilesOf(AppType::kCybershake)) {
+    auto t = catalog_.GetTable(name);
+    ASSERT_TRUE(t.ok());
+    for (const auto& p : (*t)->partitions()) {
+      EXPECT_LE((*t)->PartitionSize(p), 128.0 + 1e-6);
+    }
+  }
+}
+
+TEST_F(FileDatabaseTest, FourIndexesPerFile) {
+  for (const auto& name : db_->FilesOf(AppType::kMontage)) {
+    const auto& idx = db_->IndexesOf(name);
+    ASSERT_EQ(idx.size(), 4u) << name;
+    for (const auto& id : idx) {
+      EXPECT_TRUE(catalog_.HasIndex(id));
+      auto def = catalog_.GetIndexDef(id);
+      ASSERT_TRUE(def.ok());
+      EXPECT_EQ((*def)->table, name);
+    }
+  }
+  EXPECT_EQ(db_->AllIndexIds().size(), 125u * 4u);
+}
+
+TEST_F(FileDatabaseTest, IndexSizePercentagesFollowTable5) {
+  // Candidate index sizes should land near the paper's Table 5
+  // percentages of table size: ~30%, ~18%, ~16%, ~10%.
+  const auto& files = db_->FilesOf(AppType::kLigo);
+  ASSERT_FALSE(files.empty());
+  auto table = catalog_.GetTable(files[0]);
+  ASSERT_TRUE(table.ok());
+  MegaBytes tsize = (*table)->TotalSize();
+  std::vector<double> expected{30.16, 17.78, 16.13, 10.49};
+  const auto& ids = db_->IndexesOf(files[0]);
+  for (size_t i = 0; i < 4; ++i) {
+    auto isize = catalog_.FullSize(ids[i]);
+    ASSERT_TRUE(isize.ok());
+    double pct = 100.0 * *isize / tsize;
+    EXPECT_NEAR(pct, expected[i], 3.0) << ids[i];
+  }
+}
+
+TEST_F(FileDatabaseTest, MontageSizesWithinTable4Bounds) {
+  for (const auto& name : db_->FilesOf(AppType::kMontage)) {
+    auto t = catalog_.GetTable(name);
+    ASSERT_TRUE(t.ok());
+    MegaBytes size = (*t)->TotalSize();
+    EXPECT_GE(size, 0.005);
+    EXPECT_LE(size, 4.1);
+  }
+}
+
+TEST_F(FileDatabaseTest, UnknownLookupsReturnEmpty) {
+  EXPECT_TRUE(db_->IndexesOf("nope").empty());
+}
+
+TEST(FileDatabaseOptionsTest, CustomCounts) {
+  Catalog cat;
+  FileDatabaseOptions opts;
+  opts.montage_files = 2;
+  opts.ligo_files = 1;
+  opts.cybershake_files = 1;
+  FileDatabase db(&cat, opts);
+  ASSERT_TRUE(db.Populate().ok());
+  EXPECT_EQ(db.TotalFiles(), 4);
+  EXPECT_EQ(cat.TableNames().size(), 4u);
+  EXPECT_EQ(db.AllIndexIds().size(), 16u);
+}
+
+}  // namespace
+}  // namespace dfim

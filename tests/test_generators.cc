@@ -1,0 +1,139 @@
+#include "dataflow/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace dfim {
+namespace {
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<FileDatabase>(&catalog_, FileDatabaseOptions{});
+    ASSERT_TRUE(db_->Populate().ok());
+    gen_ = std::make_unique<DataflowGenerator>(db_.get(), 1234);
+  }
+  Catalog catalog_;
+  std::unique_ptr<FileDatabase> db_;
+  std::unique_ptr<DataflowGenerator> gen_;
+};
+
+TEST_F(GeneratorTest, HundredOpsPerDataflow) {
+  // Table 3: 100 operators per dataflow, for all three families.
+  for (AppType app : {AppType::kMontage, AppType::kLigo, AppType::kCybershake}) {
+    Dataflow df = gen_->Generate(app, 0, 0);
+    EXPECT_EQ(df.dag.num_ops(), 100u) << AppTypeToString(app);
+    EXPECT_TRUE(df.dag.Validate().ok()) << AppTypeToString(app);
+  }
+}
+
+TEST_F(GeneratorTest, ShapesAreConnectedPipelines) {
+  for (AppType app : {AppType::kMontage, AppType::kLigo, AppType::kCybershake}) {
+    Dataflow df = gen_->Generate(app, 0, 0);
+    // Entry ops read files; everything else hangs off them.
+    auto entries = df.dag.EntryOps();
+    EXPECT_FALSE(entries.empty());
+    for (int id : entries) {
+      EXPECT_FALSE(df.dag.op(id).input_table.empty())
+          << AppTypeToString(app) << " op " << id;
+    }
+    // There is real dependency structure (more flows than a chain).
+    EXPECT_GT(df.dag.num_flows(), df.dag.num_ops() / 2);
+  }
+}
+
+TEST_F(GeneratorTest, MontageRuntimesWithinTable4Bounds) {
+  RunningStats st;
+  for (int i = 0; i < 10; ++i) {
+    Dataflow df = gen_->Generate(AppType::kMontage, i, 0);
+    for (const auto& op : df.dag.ops()) {
+      EXPECT_GE(op.time, 3.82);
+      EXPECT_LE(op.time, 49.32);
+      st.Add(op.time);
+    }
+  }
+  EXPECT_NEAR(st.mean(), 11.32, 2.5);
+}
+
+TEST_F(GeneratorTest, LigoRuntimesBimodalWithTable4Mean) {
+  RunningStats st;
+  for (int i = 0; i < 10; ++i) {
+    Dataflow df = gen_->Generate(AppType::kLigo, i, 0);
+    for (const auto& op : df.dag.ops()) {
+      EXPECT_GE(op.time, 4.0);
+      EXPECT_LE(op.time, 689.39 + 1e-9);
+      st.Add(op.time);
+    }
+  }
+  EXPECT_NEAR(st.mean(), 222.33, 60.0);
+  EXPECT_GT(st.stdev(), 150.0);
+}
+
+TEST_F(GeneratorTest, CybershakeRuntimesHeavyTailed) {
+  RunningStats st;
+  for (int i = 0; i < 10; ++i) {
+    Dataflow df = gen_->Generate(AppType::kCybershake, i, 0);
+    for (const auto& op : df.dag.ops()) {
+      EXPECT_GE(op.time, 0.55);
+      EXPECT_LE(op.time, 199.43 + 1e-9);
+      st.Add(op.time);
+    }
+  }
+  EXPECT_NEAR(st.mean(), 22.97, 12.0);
+}
+
+TEST_F(GeneratorTest, CandidateIndexesComeFromInputFiles) {
+  Dataflow df = gen_->Generate(AppType::kMontage, 0, 0);
+  EXPECT_FALSE(df.input_tables.empty());
+  EXPECT_EQ(df.candidate_indexes.size(), df.input_tables.size() * 4);
+  for (const auto& idx : df.candidate_indexes) {
+    ASSERT_TRUE(catalog_.HasIndex(idx));
+    double s = df.SpeedupOf(idx);
+    // Table 6 calibration values.
+    EXPECT_TRUE(s == 7.44 || s == 94.44 || s == 307.50 || s == 627.14)
+        << idx << " speedup " << s;
+  }
+  EXPECT_DOUBLE_EQ(df.SpeedupOf("not-a-candidate"), 1.0);
+}
+
+TEST_F(GeneratorTest, IssuedAtAndIdsPropagate) {
+  Dataflow df = gen_->Generate(AppType::kLigo, 17, 360.5);
+  EXPECT_EQ(df.id, 17);
+  EXPECT_DOUBLE_EQ(df.issued_at, 360.5);
+  EXPECT_EQ(df.app, AppType::kLigo);
+  EXPECT_NE(df.expr.find("ligo"), std::string::npos);
+}
+
+TEST_F(GeneratorTest, CpuScaleMultipliesRuntimes) {
+  GeneratorOptions opts;
+  opts.cpu_scale = 10.0;
+  DataflowGenerator scaled(db_.get(), 1234, opts);
+  Dataflow df = scaled.Generate(AppType::kMontage, 0, 0);
+  for (const auto& op : df.dag.ops()) {
+    EXPECT_GE(op.time, 38.2);  // 10x the Table 4 minimum
+  }
+}
+
+TEST_F(GeneratorTest, DataScaleMultipliesFlowSizes) {
+  DataflowGenerator base(db_.get(), 77);
+  GeneratorOptions opts;
+  opts.data_scale = 100.0;
+  DataflowGenerator scaled(db_.get(), 77, opts);
+  Dataflow a = base.Generate(AppType::kMontage, 0, 0);
+  Dataflow b = scaled.Generate(AppType::kMontage, 0, 0);
+  ASSERT_EQ(a.dag.num_flows(), b.dag.num_flows());
+  double sum_a = 0, sum_b = 0;
+  for (const auto& f : a.dag.flows()) sum_a += f.size;
+  for (const auto& f : b.dag.flows()) sum_b += f.size;
+  EXPECT_NEAR(sum_b / sum_a, 100.0, 1e-6);
+}
+
+TEST_F(GeneratorTest, AppTypeNames) {
+  EXPECT_EQ(AppTypeToString(AppType::kMontage), "Montage");
+  EXPECT_EQ(AppTypeToString(AppType::kLigo), "Ligo");
+  EXPECT_EQ(AppTypeToString(AppType::kCybershake), "Cybershake");
+}
+
+}  // namespace
+}  // namespace dfim

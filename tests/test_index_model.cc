@@ -1,0 +1,95 @@
+#include "data/index_model.h"
+
+#include <gtest/gtest.h>
+
+#include "tpch/lineitem.h"
+
+namespace dfim {
+namespace {
+
+TEST(IndexModelTest, RecordBytesIncludesPointer) {
+  BTreeCostModel m;
+  Schema s({Column::Int32("k"), Column::Text("t", 26.5)});
+  EXPECT_DOUBLE_EQ(m.RecordBytes(s, {"k"}), 12.0);
+  EXPECT_DOUBLE_EQ(m.RecordBytes(s, {"t"}), 34.5);
+  EXPECT_DOUBLE_EQ(m.RecordBytes(s, {"k", "t"}), 38.5);
+  // Unknown columns fall back to 8 bytes instead of failing.
+  EXPECT_DOUBLE_EQ(m.RecordBytes(s, {"nope"}), 16.0);
+}
+
+TEST(IndexModelTest, FanoutFromBlockSize) {
+  BTreeCostModel m;
+  EXPECT_DOUBLE_EQ(m.Fanout(4096.0), 2.0);  // clamped at 2
+  EXPECT_DOUBLE_EQ(m.Fanout(16.0), 256.0);
+  EXPECT_DOUBLE_EQ(m.Fanout(0.0), 2.0);
+}
+
+TEST(IndexModelTest, SizeIsGeometricSeriesOverLeaves) {
+  BTreeCostModel m;
+  Schema s({Column::Int32("k"), Column::Char("pad", 121.0)});
+  Table t("t", s);
+  t.AddPartition(1000000);
+  MegaBytes size = m.PartitionIndexSize(t, {"k"}, t.partitions()[0]);
+  // Leaves alone: 12 B * 1e6; internal levels add k/(k-1) with k = 4096/12.
+  double k = 4096.0 / 12.0;
+  EXPECT_NEAR(size, FromBytes(12.0 * 1e6 * k / (k - 1.0)), 1e-6);
+}
+
+TEST(IndexModelTest, BuildTimeHasIoAndCpuParts) {
+  BTreeCostModel m;
+  Schema s({Column::Int32("k"), Column::Char("pad", 121.0)});
+  Table t("t", s);
+  t.AddPartition(1000000);
+  const auto& p = t.partitions()[0];
+  Seconds io = m.PartitionIoTime(t, {"k"}, p, 125.0);
+  Seconds total = m.PartitionBuildTime(t, {"k"}, p, 125.0);
+  EXPECT_GT(io, 0);
+  EXPECT_GT(total, io);
+  // IO = (input + index) / net.
+  MegaBytes idx = m.PartitionIndexSize(t, {"k"}, p);
+  EXPECT_NEAR(io, (t.PartitionSize(p) + idx) / 125.0, 1e-9);
+}
+
+TEST(IndexModelTest, BuildTimeScalesSuperlinearly) {
+  BTreeCostModel m;
+  Schema s({Column::Int32("k"), Column::Char("pad", 121.0)});
+  Table t("t", s);
+  t.AddPartition(100000);
+  t.AddPartition(1000000);
+  Seconds t_small = m.PartitionBuildTime(t, {"k"}, t.partitions()[0], 125.0);
+  Seconds t_big = m.PartitionBuildTime(t, {"k"}, t.partitions()[1], 125.0);
+  EXPECT_GT(t_big, 10.0 * t_small * 0.99);  // at least ~linear
+}
+
+TEST(IndexModelTest, StorageCostMatchesFormula) {
+  BTreeCostModel m;
+  Schema s({Column::Int32("k")});
+  Table t("t", s);
+  t.AddPartition(1000);
+  const auto& p = t.partitions()[0];
+  MegaBytes size = m.PartitionIndexSize(t, {"k"}, p);
+  // stp = W * size * Mst.
+  EXPECT_NEAR(m.PartitionStorageCost(t, {"k"}, p, 10.0, 1e-4),
+              10.0 * size * 1e-4, 1e-12);
+}
+
+TEST(IndexModelTest, Table5PercentagesReproduced) {
+  // The paper's Table 5: index sizes as % of the lineitem table size.
+  // comment 30.16%, shipinstruct 17.78%, commitdate 16.13%, orderkey 10.49%.
+  BTreeCostModel m;
+  Schema s = tpch::LineitemSchema();
+  Table t("lineitem", s);
+  t.AddPartition(12000000);  // scale 2
+  const auto& p = t.partitions()[0];
+  MegaBytes table_mb = t.TotalSize();
+  auto pct = [&](const std::string& col) {
+    return 100.0 * m.PartitionIndexSize(t, {col}, p) / table_mb;
+  };
+  EXPECT_NEAR(pct("comment"), 30.16, 3.0);
+  EXPECT_NEAR(pct("shipinstruct"), 17.78, 3.0);
+  EXPECT_NEAR(pct("commitdate"), 16.13, 3.0);
+  EXPECT_NEAR(pct("orderkey"), 10.49, 2.0);
+}
+
+}  // namespace
+}  // namespace dfim

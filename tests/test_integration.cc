@@ -1,0 +1,152 @@
+// End-to-end integration: the full QaaS loop on a phase workload, checking
+// the paper's qualitative claims at miniature scale.
+
+#include <gtest/gtest.h>
+
+#include "core/service.h"
+
+namespace dfim {
+namespace {
+
+struct Arm {
+  ServiceMetrics metrics;
+  double cost_per_df = 0;
+};
+
+/// Runs one policy on the same miniature phase workload.
+Arm RunArm(IndexPolicy policy, Seconds horizon) {
+  Catalog catalog;
+  FileDatabaseOptions fdo;
+  fdo.montage_files = 4;
+  fdo.ligo_files = 4;
+  fdo.cybershake_files = 4;
+  FileDatabase db(&catalog, fdo);
+  EXPECT_TRUE(db.Populate().ok());
+  DataflowGenerator gen(&db, 41);
+
+  // Miniature phase schedule: Cybershake, Ligo, Montage, Cybershake.
+  std::vector<WorkloadPhase> phases{
+      {AppType::kCybershake, horizon * 0.3},
+      {AppType::kLigo, horizon * 0.2},
+      {AppType::kMontage, horizon * 0.3},
+      {AppType::kCybershake, horizon * 0.2},
+  };
+  // Closed-loop issuing (the QaaS user submits the next dataflow after
+  // observing the previous result), so executed dataflows track the phase
+  // schedule in wall-clock time.
+  PhaseWorkloadClient client(&gen, 60.0, phases, 17);
+
+  ServiceOptions so;
+  so.policy = policy;
+  so.total_time = horizon;
+  so.tuner.sched.max_containers = 12;
+  so.tuner.sched.skyline_cap = 3;
+  so.sim.time_error = 0.1;
+  so.sim.data_error = 0.1;
+  // Scale the deletion grace to this miniature horizon so phase shifts
+  // still trigger deletions within the run.
+  so.deletion_grace_quanta = 15.0;
+  so.seed = 29;
+  QaasService service(&catalog, so);
+  auto m = service.Run(&client);
+  EXPECT_TRUE(m.ok()) << m.status().ToString();
+  Arm arm;
+  arm.metrics = m.ok() ? *m : ServiceMetrics{};
+  arm.cost_per_df = arm.metrics.AvgCostQuantaPerDataflow(PricingModel{});
+  return arm;
+}
+
+class PhaseWorkloadIntegration : public ::testing::Test {
+ protected:
+  static constexpr Seconds kHorizon = 120.0 * 60.0;  // 120 quanta
+  static Arm* no_index_;
+  static Arm* gain_;
+  static Arm* gain_no_delete_;
+  static Arm* random_;
+
+  static void SetUpTestSuite() {
+    no_index_ = new Arm(RunArm(IndexPolicy::kNoIndex, kHorizon));
+    gain_ = new Arm(RunArm(IndexPolicy::kGain, kHorizon));
+    gain_no_delete_ = new Arm(RunArm(IndexPolicy::kGainNoDelete, kHorizon));
+    random_ = new Arm(RunArm(IndexPolicy::kRandom, kHorizon));
+  }
+  static void TearDownTestSuite() {
+    delete no_index_;
+    delete gain_;
+    delete gain_no_delete_;
+    delete random_;
+  }
+};
+
+Arm* PhaseWorkloadIntegration::no_index_ = nullptr;
+Arm* PhaseWorkloadIntegration::gain_ = nullptr;
+Arm* PhaseWorkloadIntegration::gain_no_delete_ = nullptr;
+Arm* PhaseWorkloadIntegration::random_ = nullptr;
+
+TEST_F(PhaseWorkloadIntegration, AllArmsFinishDataflows) {
+  for (Arm* arm : {no_index_, gain_, gain_no_delete_, random_}) {
+    EXPECT_GT(arm->metrics.dataflows_finished, 0);
+    EXPECT_GT(arm->metrics.total_ops, 0);
+  }
+}
+
+TEST_F(PhaseWorkloadIntegration, GainFinishesAtLeastAsManyAsNoIndex) {
+  // Fig. 12's headline: the Gain policy executes more dataflows in the
+  // same horizon.
+  EXPECT_GE(gain_->metrics.dataflows_finished,
+            no_index_->metrics.dataflows_finished);
+}
+
+TEST_F(PhaseWorkloadIntegration, GainReducesAvgDataflowTime) {
+  EXPECT_LE(gain_->metrics.AvgTimeQuantaPerDataflow(),
+            no_index_->metrics.AvgTimeQuantaPerDataflow() * 1.02);
+}
+
+TEST_F(PhaseWorkloadIntegration, GainPolicyAdaptsBuildsAndDeletes) {
+  // Fig. 13: indexes are created, and workload shifts eventually delete
+  // some of them.
+  EXPECT_GT(gain_->metrics.index_partitions_built, 0);
+  EXPECT_GT(gain_->metrics.indexes_deleted, 0);
+}
+
+TEST_F(PhaseWorkloadIntegration, NoDeleteStoresAtLeastAsMuchAsGain) {
+  // Without deletion the storage bill can only be higher (same stream).
+  EXPECT_GE(gain_no_delete_->metrics.storage_cost,
+            gain_->metrics.storage_cost * 0.75);
+  EXPECT_EQ(gain_no_delete_->metrics.indexes_deleted, 0);
+}
+
+TEST_F(PhaseWorkloadIntegration, KilledOpsOnlyWhenBuilding) {
+  EXPECT_EQ(no_index_->metrics.killed_ops, 0);
+  // Table 7: the tuned policies keep the kill fraction small.
+  for (Arm* arm : {gain_, gain_no_delete_}) {
+    if (arm->metrics.total_ops > 0) {
+      double frac = static_cast<double>(arm->metrics.killed_ops) /
+                    arm->metrics.total_ops;
+      EXPECT_LT(frac, 0.25);
+    }
+  }
+}
+
+TEST_F(PhaseWorkloadIntegration, TimelinesAreMonotoneInTime) {
+  for (Arm* arm : {no_index_, gain_, gain_no_delete_, random_}) {
+    Seconds prev = 0;
+    for (const auto& pt : arm->metrics.timeline) {
+      EXPECT_GE(pt.t, prev - 1e-6);
+      prev = pt.t;
+    }
+  }
+}
+
+TEST_F(PhaseWorkloadIntegration, StorageCostsAreMonotoneSeries) {
+  for (Arm* arm : {gain_, gain_no_delete_, random_}) {
+    Dollars prev = 0;
+    for (const auto& pt : arm->metrics.timeline) {
+      EXPECT_GE(pt.storage_cost, prev - 1e-9);
+      prev = pt.storage_cost;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dfim

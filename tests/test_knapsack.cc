@@ -1,0 +1,179 @@
+#include "core/knapsack.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace dfim {
+namespace {
+
+std::vector<KnapsackItem> Items(std::vector<std::pair<double, double>> sg) {
+  std::vector<KnapsackItem> items;
+  int id = 0;
+  for (auto [size, gain] : sg) items.push_back({id++, size, gain});
+  return items;
+}
+
+TEST(KnapsackTest, EmptyInstance) {
+  auto r = SolveKnapsackBranchAndBound({}, 10);
+  EXPECT_TRUE(r.chosen.empty());
+  EXPECT_DOUBLE_EQ(r.total_gain, 0);
+  EXPECT_TRUE(r.optimal);
+}
+
+TEST(KnapsackTest, ZeroCapacityTakesNothingSized) {
+  auto items = Items({{5, 10}, {0, 3}});
+  auto r = SolveKnapsackBranchAndBound(items, 0);
+  // The zero-size positive-gain item is free value.
+  EXPECT_EQ(r.chosen, (std::vector<int>{1}));
+  EXPECT_DOUBLE_EQ(r.total_gain, 3);
+}
+
+TEST(KnapsackTest, ClassicInstance) {
+  // Items (size, gain): the known optimum of this instance is 220 with
+  // {1, 2} (sizes 20+30 <= 50).
+  auto items = Items({{10, 60}, {20, 100}, {30, 120}});
+  auto r = SolveKnapsackBranchAndBound(items, 50);
+  EXPECT_DOUBLE_EQ(r.total_gain, 220);
+  std::sort(r.chosen.begin(), r.chosen.end());
+  EXPECT_EQ(r.chosen, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(r.optimal);
+}
+
+TEST(KnapsackTest, NegativeGainItemsNeverTaken) {
+  auto items = Items({{1, -5}, {1, 3}});
+  auto r = SolveKnapsackBranchAndBound(items, 10);
+  EXPECT_EQ(r.chosen, (std::vector<int>{1}));
+}
+
+TEST(KnapsackTest, GreedyIsFeasibleButMaybeSuboptimal) {
+  // Greedy by density picks item 0 (density 6) then cannot fit the rest;
+  // optimum is {1, 2}.
+  auto items = Items({{10, 60}, {20, 100}, {30, 120}});
+  auto g = SolveKnapsackGreedy(items, 50);
+  EXPECT_LE(g.total_size, 50 + 1e-9);
+  auto bb = SolveKnapsackBranchAndBound(items, 50);
+  EXPECT_LE(g.total_gain, bb.total_gain + 1e-9);
+}
+
+TEST(KnapsackTest, FractionalBoundDominatesInteger) {
+  auto items = Items({{10, 60}, {20, 100}, {30, 120}});
+  double frac = KnapsackFractionalBound(items, 50);
+  auto bb = SolveKnapsackBranchAndBound(items, 50);
+  EXPECT_GE(frac, bb.total_gain - 1e-9);
+}
+
+/// Property sweep: branch & bound equals brute force on random instances.
+class KnapsackOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnapsackOracleTest, BbMatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  int n = 4 + static_cast<int>(rng.UniformInt(0, 12));
+  std::vector<KnapsackItem> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back({i, rng.Uniform(0.1, 10.0), rng.Uniform(-1.0, 10.0)});
+  }
+  double capacity = rng.Uniform(1.0, 25.0);
+  auto bb = SolveKnapsackBranchAndBound(items, capacity);
+  auto brute = SolveKnapsackBruteForce(items, capacity);
+  EXPECT_NEAR(bb.total_gain, brute.total_gain, 1e-9)
+      << "n=" << n << " cap=" << capacity;
+  EXPECT_LE(bb.total_size, capacity + 1e-9);
+  // Greedy never beats the optimum; fractional bound never loses to it.
+  auto greedy = SolveKnapsackGreedy(items, capacity);
+  EXPECT_LE(greedy.total_gain, bb.total_gain + 1e-9);
+  EXPECT_GE(KnapsackFractionalBound(items, capacity), bb.total_gain - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, KnapsackOracleTest,
+                         ::testing::Range(1, 21));
+
+TEST(KnapsackTest, NodeCapFallsBackGracefully) {
+  Rng rng(5);
+  std::vector<KnapsackItem> items;
+  for (int i = 0; i < 40; ++i) {
+    items.push_back({i, rng.Uniform(1.0, 5.0), rng.Uniform(1.0, 5.0)});
+  }
+  auto r = SolveKnapsackBranchAndBound(items, 50.0, /*node_cap=*/100);
+  EXPECT_FALSE(r.optimal);
+  EXPECT_LE(r.total_size, 50.0 + 1e-9);
+  EXPECT_GT(r.total_gain, 0);
+}
+
+TEST(PackSlotsTest, LpPacksLargestSlotFirst) {
+  // Two slots; the big item only fits the big slot. Slot 1 (capacity 9) is
+  // solved first and takes item 0 alone (80 beats 30+29); slot 0
+  // (capacity 4) fits one of the 3-sized items; the other is unassigned.
+  auto items = Items({{8, 80}, {3, 30}, {3, 29}});
+  MultiSlotPacking p = PackSlotsLp(items, {4.0, 9.0});
+  EXPECT_NEAR(p.total_gain, 80 + 30, 1e-9);
+  EXPECT_EQ(p.unassigned.size(), 1u);
+  EXPECT_EQ(p.unassigned[0], 2);
+  double slot1_size = 0;
+  for (int id : p.chosen[1]) slot1_size += items[static_cast<size_t>(id)].size;
+  EXPECT_LE(slot1_size, 9.0 + 1e-9);
+}
+
+TEST(PackSlotsTest, UnassignedReported) {
+  auto items = Items({{10, 100}, {10, 90}, {10, 80}});
+  MultiSlotPacking p = PackSlotsLp(items, {10.0});
+  EXPECT_EQ(p.chosen[0].size(), 1u);
+  EXPECT_EQ(p.unassigned.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.total_gain, 100);
+}
+
+TEST(PackSlotsTest, GrahamPlacesBySizeDescending) {
+  // 8 -> slot 0 (2 left), 5 -> slot 1 (1 left), 3 fits nowhere: Graham's
+  // size-descending best-fit strands the smallest item.
+  auto items = Items({{5, 5}, {3, 3}, {8, 8}});
+  MultiSlotPacking p = PackSlotsGraham(items, {10.0, 6.0});
+  EXPECT_NEAR(p.total_gain, 13, 1e-9);
+  EXPECT_EQ(p.unassigned.size(), 1u);
+  EXPECT_EQ(p.unassigned[0], 1);
+}
+
+TEST(PackSlotsTest, GrahamReportsMisfits) {
+  auto items = Items({{20, 20}});
+  MultiSlotPacking p = PackSlotsGraham(items, {10.0, 6.0});
+  EXPECT_EQ(p.unassigned.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.total_gain, 0);
+}
+
+TEST(PackSlotsTest, Fig11Shape_LpUsuallyBeatsGrahamAndNeverBeatsUpperBound) {
+  // Fig. 11's shape. Neither heuristic dominates the other on every
+  // instance (both are greedy over slots), but LP should win or tie most
+  // of the time and both are bounded by the merged-slot optimum.
+  Rng rng(77);
+  int lp_wins_or_ties = 0;
+  constexpr int kTrials = 20;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<KnapsackItem> items;
+    int n = 10 + static_cast<int>(rng.UniformInt(0, 10));
+    for (int i = 0; i < n; ++i) {
+      double size = rng.Uniform(0.02, 0.2);
+      items.push_back({i, size, size});  // gain == execution time (§6.4)
+    }
+    std::vector<double> slots;
+    for (int s = 0; s < 8; ++s) slots.push_back(rng.Uniform(0.05, 0.6));
+    double lp = PackSlotsLp(items, slots).total_gain;
+    double graham = PackSlotsGraham(items, slots).total_gain;
+    double upper = PackSlotsUpperBound(items, slots);
+    if (lp >= graham - 1e-9) ++lp_wins_or_ties;
+    EXPECT_LE(lp, upper + 1e-9) << "trial " << trial;
+    EXPECT_LE(graham, upper + 1e-9) << "trial " << trial;
+  }
+  EXPECT_GE(lp_wins_or_ties, kTrials * 3 / 5);
+}
+
+TEST(PackSlotsTest, EmptySlotsAndItems) {
+  EXPECT_DOUBLE_EQ(PackSlotsLp({}, {1.0}).total_gain, 0);
+  auto items = Items({{1, 1}});
+  MultiSlotPacking p = PackSlotsLp(items, {});
+  EXPECT_EQ(p.unassigned.size(), 1u);
+  EXPECT_DOUBLE_EQ(PackSlotsUpperBound(items, {}), 0);
+}
+
+}  // namespace
+}  // namespace dfim

@@ -1,0 +1,89 @@
+#include "sched/load_balance_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/skyline_scheduler.h"
+#include "sched_test_util.h"
+
+namespace dfim {
+namespace {
+
+using testutil::Chain;
+using testutil::Diamond;
+using testutil::Independent;
+using testutil::OpTimes;
+using testutil::ValidSchedule;
+
+SchedulerOptions Opts() {
+  SchedulerOptions o;
+  o.max_containers = 10;
+  o.quantum = 60;
+  o.net_mb_per_sec = 125;
+  return o;
+}
+
+TEST(LoadBalanceTest, BalancesIndependentOps) {
+  Dag g = Independent(4, 50);
+  LoadBalanceScheduler sched(Opts());
+  auto s = sched.ScheduleDag(g, OpTimes(g), 4);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s->makespan(), 50, 1e-9);
+  EXPECT_EQ(s->num_containers(), 4);
+  EXPECT_TRUE(ValidSchedule(g, *s, OpTimes(g), 125));
+}
+
+TEST(LoadBalanceTest, InvalidArgs) {
+  Dag g = Independent(2, 10);
+  LoadBalanceScheduler sched(Opts());
+  EXPECT_TRUE(sched.ScheduleDag(g, {1.0}, 2).status().IsInvalidArgument());
+  EXPECT_TRUE(sched.ScheduleDag(g, OpTimes(g), 0).status().IsInvalidArgument());
+}
+
+TEST(LoadBalanceTest, PaysCommunicationItIgnores) {
+  // Heavy-flow diamond: load balancing spreads ops, paying transfers.
+  Dag g = Diamond(10, 10, 10, 10, /*flow=*/12500);  // 100 s per transfer
+  LoadBalanceScheduler lb(Opts());
+  auto online = lb.ScheduleDag(g, OpTimes(g), 3);
+  ASSERT_TRUE(online.ok());
+  EXPECT_TRUE(ValidSchedule(g, *online, OpTimes(g), 125));
+
+  SkylineScheduler sky(Opts());
+  auto offline = sky.ScheduleDag(g, OpTimes(g));
+  ASSERT_TRUE(offline.ok());
+  // The offline scheduler co-locates and wins on data-intensive dataflows
+  // (the Fig. 7 effect).
+  EXPECT_LT(offline->front().makespan(), online->makespan());
+}
+
+TEST(LoadBalanceTest, SkipsOptionalOps) {
+  Dag g = Independent(2, 10);
+  Operator build = Operator::BuildIndex(2, "idx", 0, 5.0, 64);
+  g.AddOperator(build);
+  LoadBalanceScheduler sched(Opts());
+  auto s = sched.ScheduleDag(g, OpTimes(g), 2);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 2u);
+}
+
+TEST(LoadBalanceTest, ChainOnManyContainersStillValid) {
+  Dag g = Chain(6, 10, /*flow=*/125);  // 1 s transfers
+  LoadBalanceScheduler sched(Opts());
+  auto s = sched.ScheduleDag(g, OpTimes(g), 3);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(ValidSchedule(g, *s, OpTimes(g), 125));
+  // Chain of 6 x 10 s: at least 60 s, plus any transfers it caused itself.
+  EXPECT_GE(s->makespan(), 60 - 1e-9);
+}
+
+TEST(LoadBalanceTest, ContainerCountCappedByOptions) {
+  Dag g = Independent(8, 10);
+  SchedulerOptions o = Opts();
+  o.max_containers = 3;
+  LoadBalanceScheduler sched(o);
+  auto s = sched.ScheduleDag(g, OpTimes(g), 8);
+  ASSERT_TRUE(s.ok());
+  EXPECT_LE(s->num_containers(), 3);
+}
+
+}  // namespace
+}  // namespace dfim

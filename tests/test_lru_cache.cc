@@ -1,0 +1,93 @@
+#include "cloud/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace dfim {
+namespace {
+
+TEST(LruCacheTest, PutAndContains) {
+  LruCache c(100);
+  c.Put("a", 10);
+  EXPECT_TRUE(c.Contains("a"));
+  EXPECT_FALSE(c.Contains("b"));
+  EXPECT_DOUBLE_EQ(c.used(), 10);
+  EXPECT_EQ(c.item_count(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache c(30);
+  c.Put("a", 10);
+  c.Put("b", 10);
+  c.Put("c", 10);
+  auto evicted = c.Put("d", 10);  // evicts a
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "a");
+  EXPECT_FALSE(c.Contains("a"));
+  EXPECT_TRUE(c.Contains("b"));
+}
+
+TEST(LruCacheTest, TouchRefreshesRecency) {
+  LruCache c(30);
+  c.Put("a", 10);
+  c.Put("b", 10);
+  c.Put("c", 10);
+  EXPECT_TRUE(c.Touch("a"));  // a becomes most recent
+  auto evicted = c.Put("d", 10);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "b");
+  EXPECT_TRUE(c.Contains("a"));
+}
+
+TEST(LruCacheTest, TouchMissCounts) {
+  LruCache c(10);
+  EXPECT_FALSE(c.Touch("nope"));
+  c.Put("x", 1);
+  EXPECT_TRUE(c.Touch("x"));
+  EXPECT_EQ(c.hits(), 1);
+  EXPECT_EQ(c.misses(), 1);
+}
+
+TEST(LruCacheTest, OversizedItemNotCached) {
+  LruCache c(10);
+  c.Put("big", 50);
+  EXPECT_FALSE(c.Contains("big"));
+  EXPECT_DOUBLE_EQ(c.used(), 0);
+}
+
+TEST(LruCacheTest, ReplaceUpdatesSize) {
+  LruCache c(100);
+  c.Put("a", 10);
+  c.Put("a", 30);
+  EXPECT_DOUBLE_EQ(c.used(), 30);
+  EXPECT_EQ(c.item_count(), 1u);
+}
+
+TEST(LruCacheTest, EvictsMultipleForBigItem) {
+  LruCache c(30);
+  c.Put("a", 10);
+  c.Put("b", 10);
+  c.Put("c", 10);
+  // 10+10+10 used; fitting 25 must evict a, then b, then c (25 alone still
+  // exceeds 30 combined with any 10 MB resident).
+  auto evicted = c.Put("d", 25);
+  EXPECT_EQ(evicted.size(), 3u);
+  EXPECT_FALSE(c.Contains("c"));
+  EXPECT_TRUE(c.Contains("d"));
+  EXPECT_LE(c.used(), 30);
+}
+
+TEST(LruCacheTest, EraseAndClear) {
+  LruCache c(100);
+  c.Put("a", 10);
+  c.Put("b", 20);
+  c.Erase("a");
+  EXPECT_FALSE(c.Contains("a"));
+  EXPECT_DOUBLE_EQ(c.used(), 20);
+  c.Erase("missing");  // no-op
+  c.Clear();
+  EXPECT_EQ(c.item_count(), 0u);
+  EXPECT_DOUBLE_EQ(c.used(), 0);
+}
+
+}  // namespace
+}  // namespace dfim

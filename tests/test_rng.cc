@@ -1,0 +1,121 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace dfim {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(5.0, 9.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  RunningStats st;
+  for (int i = 0; i < 50000; ++i) st.Add(rng.Normal(10.0, 2.0));
+  EXPECT_NEAR(st.mean(), 10.0, 0.05);
+  EXPECT_NEAR(st.stdev(), 2.0, 0.05);
+}
+
+TEST(RngTest, TruncatedNormalStaysInBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    double v = rng.TruncatedNormal(10, 5, 8, 12);
+    EXPECT_GE(v, 8.0);
+    EXPECT_LE(v, 12.0);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  RunningStats st;
+  for (int i = 0; i < 50000; ++i) st.Add(rng.Exponential(60.0));
+  EXPECT_NEAR(st.mean(), 60.0, 1.5);
+  // Exponential stdev equals its mean.
+  EXPECT_NEAR(st.stdev(), 60.0, 3.0);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(23);
+  RunningStats small, large;
+  for (int i = 0; i < 20000; ++i) small.Add(static_cast<double>(rng.Poisson(3.0)));
+  for (int i = 0; i < 20000; ++i) large.Add(static_cast<double>(rng.Poisson(80.0)));
+  EXPECT_NEAR(small.mean(), 3.0, 0.1);
+  EXPECT_NEAR(large.mean(), 80.0, 0.5);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(29);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.WeightedIndex(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleHandlesEmptyAndSingle) {
+  Rng rng(37);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one[0], 42);
+}
+
+}  // namespace
+}  // namespace dfim

@@ -1,0 +1,89 @@
+#include "data/table.h"
+
+#include <gtest/gtest.h>
+
+#include "data/schema.h"
+
+namespace dfim {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Column::Int64("id"), Column::Text("name", 20.0),
+                 Column::Date("when")});
+}
+
+TEST(SchemaTest, ColumnLookup) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_columns(), 3u);
+  auto idx = s.FindColumn("name");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_TRUE(s.FindColumn("missing").status().IsNotFound());
+  auto col = s.GetColumn("when");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->type, ColumnType::kDate);
+  EXPECT_DOUBLE_EQ(col->avg_field_bytes, 10.0);
+}
+
+TEST(SchemaTest, RecordBytesSumsFields) {
+  EXPECT_DOUBLE_EQ(TestSchema().AvgRecordBytes(), 8.0 + 20.0 + 10.0);
+}
+
+TEST(SchemaTest, ColumnFactories) {
+  EXPECT_DOUBLE_EQ(Column::Int32("x").avg_field_bytes, 4.0);
+  EXPECT_DOUBLE_EQ(Column::Double("x").avg_field_bytes, 8.0);
+  EXPECT_DOUBLE_EQ(Column::Char("x", 7.5).avg_field_bytes, 7.5);
+  EXPECT_EQ(ColumnTypeToString(ColumnType::kText), "text");
+}
+
+TEST(TableTest, AddPartitionAssignsIdsAndPaths) {
+  Table t("orders", TestSchema());
+  Partition p0 = t.AddPartition(1000);
+  Partition p1 = t.AddPartition(500);
+  EXPECT_EQ(p0.id, 0);
+  EXPECT_EQ(p1.id, 1);
+  EXPECT_EQ(p1.path, "orders/part.1");
+  EXPECT_EQ(t.TotalRecords(), 1500);
+  auto got = t.GetPartition(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->num_records, 500);
+  EXPECT_TRUE(t.GetPartition(9).status().IsNotFound());
+}
+
+TEST(TableTest, SizesFollowSchema) {
+  Table t("orders", TestSchema());  // 38 bytes/record
+  t.AddPartition(1000);
+  EXPECT_NEAR(t.PartitionSize(t.partitions()[0]), FromBytes(38000.0), 1e-12);
+  EXPECT_NEAR(t.TotalSize(), FromBytes(38000.0), 1e-12);
+}
+
+TEST(TableTest, PartitionBySizeCapsPartitions) {
+  Table t("big", TestSchema());
+  // 1M records * 38 B = ~36.2 MB; cap at 10 MB -> 4 partitions.
+  t.PartitionBySize(1000000, 10.0);
+  EXPECT_EQ(t.num_partitions(), 4u);
+  EXPECT_EQ(t.TotalRecords(), 1000000);
+  for (const auto& p : t.partitions()) {
+    EXPECT_LE(t.PartitionSize(p), 10.0 + 1e-9);
+  }
+}
+
+TEST(TableTest, PartitionBySizeSingleSmallFile) {
+  Table t("small", TestSchema());
+  t.PartitionBySize(10, 128.0);
+  EXPECT_EQ(t.num_partitions(), 1u);
+  EXPECT_EQ(t.partitions()[0].num_records, 10);
+}
+
+TEST(TableTest, VersionBumping) {
+  Table t("orders", TestSchema());
+  t.AddPartition(100);
+  EXPECT_EQ(t.partitions()[0].version, 1);
+  auto v = t.BumpPartitionVersion(0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 2);
+  EXPECT_TRUE(t.BumpPartitionVersion(5).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace dfim

@@ -1,0 +1,143 @@
+#include "core/service.h"
+
+#include <gtest/gtest.h>
+
+namespace dfim {
+namespace {
+
+/// Small database + short horizon so each arm runs in well under a second.
+struct ServiceFixture {
+  explicit ServiceFixture(IndexPolicy policy, uint64_t seed = 5,
+                          Seconds horizon = 50.0 * 60.0) {
+    FileDatabaseOptions fdo;
+    fdo.montage_files = 4;
+    fdo.ligo_files = 4;
+    fdo.cybershake_files = 4;
+    db = std::make_unique<FileDatabase>(&catalog, fdo);
+    EXPECT_TRUE(db->Populate().ok());
+    gen = std::make_unique<DataflowGenerator>(db.get(), seed);
+
+    ServiceOptions so;
+    so.policy = policy;
+    so.total_time = horizon;
+    so.tuner.sched.max_containers = 12;
+    so.tuner.sched.skyline_cap = 3;
+    so.sim.time_error = 0.1;
+    so.sim.data_error = 0.1;
+    so.seed = seed;
+    service = std::make_unique<QaasService>(&catalog, so);
+  }
+
+  ServiceMetrics RunMontage(uint64_t seed = 5) {
+    PhaseWorkloadClient client(
+        gen.get(), 60.0, {{AppType::kMontage, 1e9}}, seed);
+    auto m = service->Run(&client);
+    EXPECT_TRUE(m.ok()) << m.status().ToString();
+    return m.ok() ? *m : ServiceMetrics{};
+  }
+
+  Catalog catalog;
+  std::unique_ptr<FileDatabase> db;
+  std::unique_ptr<DataflowGenerator> gen;
+  std::unique_ptr<QaasService> service;
+};
+
+TEST(ServiceTest, PolicyNames) {
+  EXPECT_EQ(IndexPolicyToString(IndexPolicy::kNoIndex), "No Index");
+  EXPECT_EQ(IndexPolicyToString(IndexPolicy::kRandom), "Random");
+  EXPECT_EQ(IndexPolicyToString(IndexPolicy::kGainNoDelete),
+            "Gain (no delete)");
+  EXPECT_EQ(IndexPolicyToString(IndexPolicy::kGain), "Gain");
+}
+
+TEST(ServiceTest, NoIndexPolicyRunsAndBuildsNothing) {
+  ServiceFixture f(IndexPolicy::kNoIndex);
+  ServiceMetrics m = f.RunMontage();
+  EXPECT_GT(m.dataflows_finished, 0);
+  EXPECT_EQ(m.index_partitions_built, 0);
+  EXPECT_EQ(m.killed_ops, 0);
+  EXPECT_DOUBLE_EQ(m.storage_cost, 0);
+  EXPECT_GT(m.total_vm_quanta, 0);
+  EXPECT_GT(m.AvgTimeQuantaPerDataflow(), 0);
+  // Timeline recorded per executed dataflow (the last one may finish past
+  // the horizon and not count as finished).
+  EXPECT_GE(m.timeline.size(), static_cast<size_t>(m.dataflows_finished));
+}
+
+TEST(ServiceTest, GainPolicyBuildsIndexes) {
+  ServiceFixture f(IndexPolicy::kGain);
+  ServiceMetrics m = f.RunMontage();
+  EXPECT_GT(m.dataflows_finished, 0);
+  EXPECT_GT(m.index_partitions_built, 0);
+  EXPECT_GT(m.storage_cost, 0);
+  // The timeline eventually shows built indexes.
+  bool saw_index = false;
+  for (const auto& pt : m.timeline) saw_index |= pt.indexes_built > 0;
+  EXPECT_TRUE(saw_index);
+}
+
+TEST(ServiceTest, GainBeatsNoIndexOnThroughputOrTime) {
+  ServiceFixture no_index(IndexPolicy::kNoIndex);
+  ServiceFixture gain(IndexPolicy::kGain);
+  ServiceMetrics a = no_index.RunMontage();
+  ServiceMetrics b = gain.RunMontage();
+  // Identical workload stream (same seeds): indexes can only help.
+  EXPECT_GE(b.dataflows_finished, a.dataflows_finished);
+  if (b.dataflows_finished == a.dataflows_finished) {
+    EXPECT_LE(b.AvgTimeQuantaPerDataflow(),
+              a.AvgTimeQuantaPerDataflow() * 1.05);
+  }
+}
+
+TEST(ServiceTest, RandomPolicyBuildsAndNeverDeletes) {
+  ServiceFixture f(IndexPolicy::kRandom);
+  ServiceMetrics m = f.RunMontage();
+  EXPECT_GT(m.dataflows_finished, 0);
+  EXPECT_GT(m.index_partitions_built, 0);
+  EXPECT_EQ(m.indexes_deleted, 0);
+  EXPECT_GT(m.storage_cost, 0);
+}
+
+TEST(ServiceTest, NoDeleteKeepsStorageGrowing) {
+  ServiceFixture keep(IndexPolicy::kGainNoDelete);
+  ServiceMetrics m = keep.RunMontage();
+  EXPECT_EQ(m.indexes_deleted, 0);
+  // Storage footprint is monotone without deletions.
+  MegaBytes prev = 0;
+  for (const auto& pt : m.timeline) {
+    EXPECT_GE(pt.index_mb, prev - 1e-6);
+    prev = pt.index_mb;
+  }
+}
+
+TEST(ServiceTest, HistoryRecordsAccumulate) {
+  ServiceFixture f(IndexPolicy::kGain);
+  ServiceMetrics m = f.RunMontage();
+  EXPECT_GT(m.dataflows_finished, 0);
+  EXPECT_FALSE(f.service->history().empty());
+  for (const auto& rec : f.service->history()) {
+    EXPECT_GE(rec.finished_at, 0);
+    EXPECT_GT(rec.time_quanta, 0);
+  }
+}
+
+TEST(ServiceTest, ArrivalsPastHorizonNotExecuted) {
+  ServiceFixture f(IndexPolicy::kNoIndex, 5, /*horizon=*/10.0 * 60.0);
+  ServiceMetrics m = f.RunMontage();
+  EXPECT_LE(m.dataflows_finished, m.dataflows_arrived);
+  for (const auto& pt : m.timeline) {
+    EXPECT_LE(pt.t, 1e9);
+  }
+}
+
+TEST(ServiceTest, CostMetricCombinesVmAndStorage) {
+  ServiceFixture f(IndexPolicy::kGain);
+  ServiceMetrics m = f.RunMontage();
+  PricingModel pricing;
+  double cost = m.AvgCostQuantaPerDataflow(pricing);
+  EXPECT_GE(cost,
+            static_cast<double>(m.total_vm_quanta) / m.dataflows_finished);
+}
+
+}  // namespace
+}  // namespace dfim

@@ -1,0 +1,195 @@
+#include "sched/skyline_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "dataflow/file_database.h"
+#include "dataflow/generators.h"
+#include "sched_test_util.h"
+
+namespace dfim {
+namespace {
+
+using testutil::Chain;
+using testutil::Diamond;
+using testutil::Independent;
+using testutil::NonDominatedSet;
+using testutil::OpTimes;
+using testutil::ValidSchedule;
+
+SchedulerOptions Opts() {
+  SchedulerOptions o;
+  o.max_containers = 10;
+  o.quantum = 60;
+  o.net_mb_per_sec = 125;
+  o.skyline_cap = 8;
+  return o;
+}
+
+TEST(SkylineSchedulerTest, SingleOp) {
+  Dag g = Independent(1, 42);
+  SkylineScheduler sched(Opts());
+  auto skyline = sched.ScheduleDag(g, OpTimes(g));
+  ASSERT_TRUE(skyline.ok());
+  ASSERT_EQ(skyline->size(), 1u);
+  EXPECT_DOUBLE_EQ((*skyline)[0].makespan(), 42);
+  EXPECT_EQ((*skyline)[0].LeasedQuanta(60), 1);
+}
+
+TEST(SkylineSchedulerTest, DurationsSizeMismatchRejected) {
+  Dag g = Independent(3, 10);
+  SkylineScheduler sched(Opts());
+  EXPECT_TRUE(sched.ScheduleDag(g, {1.0}).status().IsInvalidArgument());
+}
+
+TEST(SkylineSchedulerTest, IndependentOpsCanRunInParallel) {
+  Dag g = Independent(4, 50);
+  SkylineScheduler sched(Opts());
+  auto skyline = sched.ScheduleDag(g, OpTimes(g));
+  ASSERT_TRUE(skyline.ok());
+  // Fastest schedule: 4 containers in parallel, makespan 50.
+  EXPECT_NEAR(skyline->front().makespan(), 50, 1e-9);
+  EXPECT_TRUE(ValidSchedule(g, skyline->front(), OpTimes(g), 125));
+  // Some schedule should also be cheap (1 container packs 4x50 into 4 quanta
+  // > 200s... the cheapest uses fewer containers than the fastest).
+  EXPECT_LE(skyline->back().LeasedQuanta(60),
+            skyline->front().LeasedQuanta(60));
+}
+
+TEST(SkylineSchedulerTest, ChainStaysSequential) {
+  Dag g = Chain(5, 10);
+  SkylineScheduler sched(Opts());
+  auto skyline = sched.ScheduleDag(g, OpTimes(g));
+  ASSERT_TRUE(skyline.ok());
+  for (const auto& s : *skyline) {
+    EXPECT_NEAR(s.makespan(), 50, 1e-9);
+    EXPECT_TRUE(ValidSchedule(g, s, OpTimes(g), 125));
+    // A chain gains nothing from extra containers; the skyline should not
+    // pay for more than one.
+    EXPECT_EQ(s.LeasedQuanta(60), 1);
+  }
+}
+
+TEST(SkylineSchedulerTest, CommunicationCostRespected) {
+  // Diamond with heavy flows: co-location beats parallelism when transfer
+  // dominates.
+  Dag g = Diamond(10, 10, 10, 10, /*flow=*/12500);  // 100 s per transfer
+  SkylineScheduler sched(Opts());
+  auto skyline = sched.ScheduleDag(g, OpTimes(g));
+  ASSERT_TRUE(skyline.ok());
+  for (const auto& s : *skyline) {
+    EXPECT_TRUE(ValidSchedule(g, s, OpTimes(g), 125));
+  }
+  // Best time: everything on one container = 40 s, no transfers.
+  EXPECT_NEAR(skyline->front().makespan(), 40, 1e-9);
+}
+
+TEST(SkylineSchedulerTest, SkylineIsNonDominatedAndSorted) {
+  Dag g = Independent(6, 45);
+  SkylineScheduler sched(Opts());
+  auto skyline = sched.ScheduleDag(g, OpTimes(g));
+  ASSERT_TRUE(skyline.ok());
+  EXPECT_TRUE(NonDominatedSet(*skyline, 60));
+  for (size_t i = 1; i < skyline->size(); ++i) {
+    EXPECT_LE((*skyline)[i - 1].makespan(), (*skyline)[i].makespan() + 1e-9);
+  }
+}
+
+TEST(SkylineSchedulerTest, RespectsMaxContainers) {
+  Dag g = Independent(8, 30);
+  SchedulerOptions o = Opts();
+  o.max_containers = 2;
+  SkylineScheduler sched(o);
+  auto skyline = sched.ScheduleDag(g, OpTimes(g));
+  ASSERT_TRUE(skyline.ok());
+  for (const auto& s : *skyline) {
+    EXPECT_LE(s.num_containers(), 2);
+  }
+}
+
+TEST(SkylineSchedulerTest, OptionalOpsNeverWorsenTimeOrMoney) {
+  // 2 mandatory ops with a dependency stall + optional build ops.
+  Dag g;
+  Operator a;
+  a.time = 20;
+  g.AddOperator(a);
+  Operator b;
+  b.time = 20;
+  g.AddOperator(b);
+  ASSERT_TRUE(g.AddFlow(0, 1, 0).ok());
+  Operator build = Operator::BuildIndex(2, "idx", 0, 15.0, 64);
+  build.gain = 1.0;
+  g.AddOperator(build);
+
+  SkylineScheduler sched(Opts());
+  auto with = sched.ScheduleDag(g, OpTimes(g), /*place_optional=*/true);
+  auto without = sched.ScheduleDag(g, OpTimes(g), /*place_optional=*/false);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  // The build op fits in the quantum tail; time and money unchanged.
+  EXPECT_NEAR(with->front().makespan(), without->front().makespan(), 1e-9);
+  EXPECT_EQ(with->front().LeasedQuanta(60), without->front().LeasedQuanta(60));
+  int builds = 0;
+  for (const auto& as : with->front().assignments()) {
+    if (as.optional) ++builds;
+  }
+  EXPECT_EQ(builds, 1);
+}
+
+TEST(SkylineSchedulerTest, OptionalOpTooBigIsDropped) {
+  Dag g = Independent(1, 10);
+  Operator build = Operator::BuildIndex(1, "idx", 0, 1000.0, 64);
+  build.gain = 5.0;
+  g.AddOperator(build);
+  SkylineScheduler sched(Opts());
+  auto skyline = sched.ScheduleDag(g, OpTimes(g));
+  ASSERT_TRUE(skyline.ok());
+  for (const auto& s : *skyline) {
+    for (const auto& a : s.assignments()) {
+      EXPECT_FALSE(a.optional) << "oversized build op should not fit";
+    }
+    EXPECT_EQ(s.LeasedQuanta(60), 1);
+  }
+}
+
+TEST(SkylineSchedulerTest, PlaceOptionalFalseIgnoresBuildOps) {
+  Dag g = Independent(2, 10);
+  Operator build = Operator::BuildIndex(2, "idx", 0, 5.0, 64);
+  build.gain = 5.0;
+  g.AddOperator(build);
+  SkylineScheduler sched(Opts());
+  auto skyline = sched.ScheduleDag(g, OpTimes(g), /*place_optional=*/false);
+  ASSERT_TRUE(skyline.ok());
+  for (const auto& s : *skyline) {
+    EXPECT_EQ(s.size(), 2u);
+  }
+}
+
+TEST(SkylineSchedulerTest, GeneratedWorkflowsScheduleValidly) {
+  Catalog catalog;
+  FileDatabase db(&catalog, FileDatabaseOptions{});
+  ASSERT_TRUE(db.Populate().ok());
+  DataflowGenerator gen(&db, 42);
+  SchedulerOptions o = Opts();
+  o.max_containers = 20;
+  SkylineScheduler sched(o);
+  for (AppType app : {AppType::kMontage, AppType::kLigo, AppType::kCybershake}) {
+    Dataflow df = gen.Generate(app, 0, 0);
+    auto durations = OpTimes(df.dag);
+    auto skyline = sched.ScheduleDag(df.dag, durations);
+    ASSERT_TRUE(skyline.ok()) << AppTypeToString(app);
+    ASSERT_FALSE(skyline->empty());
+    for (const auto& s : *skyline) {
+      EXPECT_TRUE(ValidSchedule(df.dag, s, durations, 125))
+          << AppTypeToString(app);
+    }
+    EXPECT_TRUE(NonDominatedSet(*skyline, 60)) << AppTypeToString(app);
+    // A 100-op parallel workflow should beat fully-sequential execution.
+    auto cp = df.dag.CriticalPath();
+    ASSERT_TRUE(cp.ok());
+    EXPECT_LT(skyline->front().makespan(), df.dag.TotalWork());
+    EXPECT_GE(skyline->front().makespan(), *cp - 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace dfim

@@ -1,0 +1,121 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dfim {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats st;
+  EXPECT_EQ(st.count(), 0);
+  EXPECT_EQ(st.mean(), 0);
+  EXPECT_EQ(st.stdev(), 0);
+  EXPECT_EQ(st.min(), 0);
+  EXPECT_EQ(st.max(), 0);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  std::vector<double> xs{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  RunningStats st;
+  for (double x : xs) st.Add(x);
+  EXPECT_EQ(st.count(), 8);
+  EXPECT_DOUBLE_EQ(st.min(), 1.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+  EXPECT_NEAR(st.mean(), Mean(xs), 1e-12);
+  EXPECT_NEAR(st.stdev(), Stdev(xs), 1e-12);
+  EXPECT_NEAR(st.sum(), 31.0, 1e-12);
+}
+
+TEST(RunningStatsTest, SingleValueHasZeroStdev) {
+  RunningStats st;
+  st.Add(42.0);
+  EXPECT_EQ(st.stdev(), 0.0);
+  EXPECT_EQ(st.mean(), 42.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsUnion) {
+  std::vector<double> xs{1, 2, 3, 4, 5}, ys{10, 20, 30};
+  RunningStats a, b, all;
+  for (double x : xs) {
+    a.Add(x);
+    all.Add(x);
+  }
+  for (double y : ys) {
+    b.Add(y);
+    all.Add(y);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.stdev(), all.stdev(), 1e-12);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a, b;
+  b.Add(5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1);
+  RunningStats c;
+  a.Merge(c);
+  EXPECT_EQ(a.count(), 1);
+}
+
+TEST(RunningStatsTest, ToStringMentionsFields) {
+  RunningStats st;
+  st.Add(1);
+  st.Add(3);
+  std::string s = st.ToString();
+  EXPECT_NE(s.find("mean=2.00"), std::string::npos);
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h(0, 10, 5);
+  h.Add(-1);   // underflow
+  h.Add(0);    // bin 0
+  h.Add(1.9);  // bin 0
+  h.Add(5);    // bin 2
+  h.Add(9.99); // bin 4
+  h.Add(10);   // overflow
+  h.Add(11);   // overflow
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 2);
+  EXPECT_EQ(h.count(0), 2);
+  EXPECT_EQ(h.count(2), 1);
+  EXPECT_EQ(h.count(4), 1);
+  EXPECT_EQ(h.total(), 7);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(10, 20, 4);
+  EXPECT_DOUBLE_EQ(h.BinLow(0), 10);
+  EXPECT_DOUBLE_EQ(h.BinHigh(0), 12.5);
+  EXPECT_DOUBLE_EQ(h.BinHigh(3), 20);
+}
+
+TEST(HistogramTest, AsciiRendering) {
+  Histogram h(0, 4, 2);
+  h.Add(1);
+  h.Add(1);
+  h.Add(3);
+  std::string art = h.ToAscii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  // Two rows rendered.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+}
+
+TEST(VectorStatsTest, EmptyAndSmall) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(Stdev({}), 0.0);
+  EXPECT_EQ(Stdev({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+  EXPECT_NEAR(Stdev({2.0, 4.0}), std::sqrt(2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace dfim

@@ -1,0 +1,61 @@
+#include "cloud/storage_service.h"
+
+#include <gtest/gtest.h>
+
+namespace dfim {
+namespace {
+
+PricingModel Pricing() { return PricingModel{}; }  // 60s, $0.1, 1e-4
+
+TEST(StorageServiceTest, PutDeleteExists) {
+  StorageService s(Pricing());
+  s.Put("x", 100, 0);
+  EXPECT_TRUE(s.Exists("x"));
+  EXPECT_DOUBLE_EQ(s.SizeOf("x"), 100);
+  EXPECT_DOUBLE_EQ(s.used(), 100);
+  s.Delete("x", 0);
+  EXPECT_FALSE(s.Exists("x"));
+  EXPECT_DOUBLE_EQ(s.used(), 0);
+  s.Delete("x", 0);  // idempotent
+}
+
+TEST(StorageServiceTest, ReplaceAdjustsUsage) {
+  StorageService s(Pricing());
+  s.Put("x", 100, 0);
+  s.Put("x", 40, 0);
+  EXPECT_DOUBLE_EQ(s.used(), 40);
+  EXPECT_EQ(s.object_count(), 1u);
+}
+
+TEST(StorageServiceTest, BillingIntegratesMbQuanta) {
+  StorageService s(Pricing());
+  s.Put("x", 100, 0);
+  s.AdvanceTo(600);  // 10 quanta at 100 MB
+  EXPECT_NEAR(s.accrued_mb_quanta(), 1000.0, 1e-9);
+  EXPECT_NEAR(s.accrued_cost(), 1000.0 * 1e-4, 1e-9);
+}
+
+TEST(StorageServiceTest, MidWindowChangesProrated) {
+  StorageService s(Pricing());
+  s.Put("x", 100, 0);
+  s.Put("y", 100, 300);  // x alone for 5 quanta, then 200 MB for 5
+  s.AdvanceTo(600);
+  EXPECT_NEAR(s.accrued_mb_quanta(), 100 * 5 + 200 * 5, 1e-9);
+}
+
+TEST(StorageServiceTest, DeleteStopsBilling) {
+  StorageService s(Pricing());
+  s.Put("x", 100, 0);
+  s.Delete("x", 300);
+  s.AdvanceTo(6000);
+  EXPECT_NEAR(s.accrued_mb_quanta(), 500.0, 1e-9);
+}
+
+TEST(StorageServiceTest, EmptyStoreAccruesNothing) {
+  StorageService s(Pricing());
+  s.AdvanceTo(6000);
+  EXPECT_DOUBLE_EQ(s.accrued_cost(), 0);
+}
+
+}  // namespace
+}  // namespace dfim

@@ -1,0 +1,141 @@
+#include "tpch/lineitem.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tpch/queries.h"
+
+namespace dfim {
+namespace tpch {
+namespace {
+
+constexpr double kTestScale = 0.002;  // ~12k rows, fast
+
+TEST(LineitemGeneratorTest, Deterministic) {
+  LineitemGenerator gen(kTestScale, 42);
+  TableHeap<LineitemRow> h1, h2;
+  int64_t n1 = gen.Generate(&h1);
+  int64_t n2 = gen.Generate(&h2);
+  EXPECT_EQ(n1, n2);
+  ASSERT_EQ(h1.size(), h2.size());
+  for (RowId i = 0; i < h1.size(); i += 97) {
+    EXPECT_EQ(h1.Get(i).orderkey, h2.Get(i).orderkey);
+    EXPECT_EQ(h1.Get(i).comment, h2.Get(i).comment);
+  }
+}
+
+TEST(LineitemGeneratorTest, RowCountsMatchScale) {
+  LineitemGenerator gen(kTestScale, 42);
+  TableHeap<LineitemRow> heap;
+  int64_t n = gen.Generate(&heap);
+  // 1-7 lineitems per order, mean 4.
+  EXPECT_NEAR(static_cast<double>(n),
+              4.0 * static_cast<double>(gen.NumOrders()),
+              0.25 * 4.0 * static_cast<double>(gen.NumOrders()));
+  // Orderkeys within [1, NumOrders()].
+  heap.Scan([&gen](RowId, const LineitemRow& r) {
+    EXPECT_GE(r.orderkey, 1);
+    EXPECT_LE(r.orderkey, gen.MaxOrderKey());
+    EXPECT_GE(r.quantity, 1);
+    EXPECT_LE(r.quantity, 50);
+    EXPECT_GE(r.discount, 0.0);
+    EXPECT_LE(r.discount, 0.10);
+    EXPECT_GE(r.comment.size(), 10u);
+    EXPECT_LE(r.comment.size(), 43u);
+    EXPECT_FALSE(r.shipinstruct.empty());
+    EXPECT_GE(r.receiptdate, r.shipdate);
+  });
+}
+
+TEST(LineitemSchemaTest, RecordSizeNearPaperStatistics) {
+  // At scale 2 the paper's table is ~1.4 GB / ~12M rows = ~122 B/row.
+  Schema s = LineitemSchema();
+  EXPECT_NEAR(s.AvgRecordBytes(), 122.0, 10.0);
+  EXPECT_TRUE(s.GetColumn("orderkey").ok());
+  EXPECT_TRUE(s.GetColumn("comment").ok());
+}
+
+TEST(QueryConstantsTest, ScalesWithMaxKey) {
+  QueryConstants qc = QueryConstants::ForMaxKey(3000000);
+  EXPECT_EQ(qc.lookup_key, 1000000);
+  EXPECT_EQ(qc.range_large_lo, 1000000);
+  EXPECT_EQ(qc.range_large_hi, 2000000);
+  EXPECT_EQ(qc.range_small_lo, 10000);
+  EXPECT_EQ(qc.range_small_hi, 20000);
+  QueryConstants half = QueryConstants::ForMaxKey(1500000);
+  EXPECT_EQ(half.lookup_key, 500000);
+  EXPECT_EQ(half.range_small_hi, 10000);
+}
+
+class CalibrationQueryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    heap_ = new TableHeap<LineitemRow>();
+    LineitemGenerator gen(kTestScale, 42);
+    gen.Generate(heap_);
+    index_ = new BPlusTree<int32_t>(BuildOrderkeyIndex(*heap_));
+    qc_ = QueryConstants::ForMaxKey(gen.MaxOrderKey());
+  }
+  static void TearDownTestSuite() {
+    delete heap_;
+    delete index_;
+    heap_ = nullptr;
+    index_ = nullptr;
+  }
+  static TableHeap<LineitemRow>* heap_;
+  static BPlusTree<int32_t>* index_;
+  static QueryConstants qc_;
+};
+
+TableHeap<LineitemRow>* CalibrationQueryTest::heap_ = nullptr;
+BPlusTree<int32_t>* CalibrationQueryTest::index_ = nullptr;
+QueryConstants CalibrationQueryTest::qc_;
+
+TEST_F(CalibrationQueryTest, IndexCoversAllRows) {
+  EXPECT_EQ(index_->size(), heap_->size());
+  EXPECT_TRUE(index_->CheckInvariants());
+}
+
+TEST_F(CalibrationQueryTest, IndexAgreesWithScanOnRange) {
+  // Count via scan.
+  int64_t scan_count = 0;
+  heap_->Scan([this, &scan_count](RowId, const LineitemRow& r) {
+    if (r.orderkey > qc_.range_small_lo && r.orderkey < qc_.range_small_hi) {
+      ++scan_count;
+    }
+  });
+  int64_t idx_count = 0;
+  index_->ScanRange(qc_.range_small_lo + 1, qc_.range_small_hi - 1,
+                    [&idx_count](const int32_t&, RowId) { ++idx_count; });
+  EXPECT_EQ(scan_count, idx_count);
+  EXPECT_GT(scan_count, 0);
+}
+
+TEST_F(CalibrationQueryTest, LookupAgreesWithScan) {
+  int64_t scan_count = 0;
+  heap_->Scan([this, &scan_count](RowId, const LineitemRow& r) {
+    if (r.orderkey == qc_.lookup_key) ++scan_count;
+  });
+  EXPECT_EQ(index_->Lookup(qc_.lookup_key).size(),
+            static_cast<size_t>(scan_count));
+}
+
+TEST_F(CalibrationQueryTest, AllFourQueriesRunAndSpeedUp) {
+  CalibrationQueries q(heap_, index_, qc_);
+  auto timings = q.RunAll();
+  ASSERT_EQ(timings.size(), 4u);
+  EXPECT_EQ(timings[0].name, "Order by");
+  EXPECT_EQ(timings[3].name, "Lookup");
+  for (const auto& t : timings) {
+    EXPECT_GT(t.no_index_sec, 0) << t.name;
+    EXPECT_GT(t.index_sec, 0) << t.name;
+  }
+  // Selective queries must show an index speedup even at tiny scale.
+  EXPECT_GT(timings[2].Speedup(), 1.0) << "small range";
+  EXPECT_GT(timings[3].Speedup(), 1.0) << "lookup";
+}
+
+}  // namespace
+}  // namespace tpch
+}  // namespace dfim

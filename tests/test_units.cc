@@ -1,0 +1,43 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace dfim {
+namespace {
+
+TEST(UnitsTest, SizeConversions) {
+  EXPECT_DOUBLE_EQ(GB(1), 1024.0);
+  EXPECT_DOUBLE_EQ(KB(1024), 1.0);
+  EXPECT_DOUBLE_EQ(MB(5), 5.0);
+  EXPECT_DOUBLE_EQ(ToBytes(1.0), 1048576.0);
+  EXPECT_DOUBLE_EQ(FromBytes(1048576.0), 1.0);
+  EXPECT_DOUBLE_EQ(FromBytes(ToBytes(123.5)), 123.5);
+}
+
+TEST(UnitsTest, QuantaCeilBasics) {
+  EXPECT_EQ(QuantaCeil(0, 60), 0);
+  EXPECT_EQ(QuantaCeil(-5, 60), 0);
+  EXPECT_EQ(QuantaCeil(1, 60), 1);
+  EXPECT_EQ(QuantaCeil(59.9, 60), 1);
+  EXPECT_EQ(QuantaCeil(60, 60), 1);
+  EXPECT_EQ(QuantaCeil(60.0001, 60), 2);
+  EXPECT_EQ(QuantaCeil(120, 60), 2);
+  EXPECT_EQ(QuantaCeil(3600, 60), 60);
+}
+
+TEST(UnitsTest, QuantaCeilFloatNoise) {
+  // 3 quanta computed via accumulation should not round to 4.
+  double t = 0;
+  for (int i = 0; i < 30; ++i) t += 6.0;
+  EXPECT_EQ(QuantaCeil(t, 60.0), 3);
+}
+
+TEST(UnitsTest, TimeEq) {
+  EXPECT_TRUE(TimeEq(1.0, 1.0));
+  EXPECT_TRUE(TimeEq(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(TimeEq(1.0, 1.1));
+  EXPECT_TRUE(TimeEq(100.0, 100.5, 1.0));
+}
+
+}  // namespace
+}  // namespace dfim

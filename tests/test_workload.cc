@@ -1,0 +1,99 @@
+#include "dataflow/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace dfim {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<FileDatabase>(&catalog_, FileDatabaseOptions{});
+    ASSERT_TRUE(db_->Populate().ok());
+    gen_ = std::make_unique<DataflowGenerator>(db_.get(), 5);
+  }
+  Catalog catalog_;
+  std::unique_ptr<FileDatabase> db_;
+  std::unique_ptr<DataflowGenerator> gen_;
+};
+
+TEST_F(WorkloadTest, RandomClientArrivalsIncreaseAndStopAtHorizon) {
+  RandomWorkloadClient client(gen_.get(), 60.0, 9);
+  Seconds horizon = 3600;
+  Seconds prev = 0;
+  int count = 0;
+  while (auto df = client.Next(0, horizon)) {
+    EXPECT_GE(df->issued_at, prev);
+    EXPECT_LE(df->issued_at, horizon);
+    prev = df->issued_at;
+    ++count;
+  }
+  // Poisson with λ=60 s over an hour: ~60 arrivals.
+  EXPECT_GT(count, 30);
+  EXPECT_LT(count, 100);
+  // Exhausted stays exhausted.
+  EXPECT_FALSE(client.Next(0, horizon).has_value());
+}
+
+TEST_F(WorkloadTest, RandomClientMixesApps) {
+  RandomWorkloadClient client(gen_.get(), 10.0, 11);
+  int counts[3] = {0, 0, 0};
+  while (auto df = client.Next(0, 5000)) ++counts[static_cast<int>(df->app)];
+  EXPECT_GT(counts[0], 0);
+  EXPECT_GT(counts[1], 0);
+  EXPECT_GT(counts[2], 0);
+}
+
+TEST_F(WorkloadTest, SequentialIdsAssigned) {
+  RandomWorkloadClient client(gen_.get(), 30.0, 13);
+  int expect = 0;
+  while (auto df = client.Next(0, 2000)) EXPECT_EQ(df->id, expect++);
+}
+
+TEST_F(WorkloadTest, PaperPhasesSumTo720Quanta) {
+  auto phases = PhaseWorkloadClient::PaperPhases(60.0);
+  ASSERT_EQ(phases.size(), 4u);
+  Seconds total = 0;
+  for (const auto& p : phases) total += p.duration;
+  EXPECT_NEAR(total, 720.0 * 60.0, 1e-6);
+  EXPECT_EQ(phases[0].app, AppType::kCybershake);
+  EXPECT_EQ(phases[1].app, AppType::kLigo);
+  EXPECT_EQ(phases[2].app, AppType::kMontage);
+  EXPECT_EQ(phases[3].app, AppType::kCybershake);
+}
+
+TEST_F(WorkloadTest, PhaseClientFollowsSchedule) {
+  auto phases = PhaseWorkloadClient::PaperPhases(60.0);
+  PhaseWorkloadClient client(gen_.get(), 60.0, phases, 21);
+  EXPECT_EQ(client.AppAt(0), AppType::kCybershake);
+  EXPECT_EQ(client.AppAt(10000.0 + 1), AppType::kLigo);
+  EXPECT_EQ(client.AppAt(15000.0 + 1), AppType::kMontage);
+  EXPECT_EQ(client.AppAt(35000.0 + 1), AppType::kCybershake);
+  EXPECT_EQ(client.AppAt(1e9), AppType::kCybershake);  // last phase extends
+  while (auto df = client.Next(0, 720.0 * 60.0)) {
+    EXPECT_EQ(df->app, client.AppAt(df->issued_at));
+  }
+}
+
+TEST_F(WorkloadTest, ClosedLoopRespectsNotBefore) {
+  RandomWorkloadClient client(gen_.get(), 60.0, 31);
+  auto first = client.Next(0, 1e9);
+  ASSERT_TRUE(first.has_value());
+  // The user thinks for Exp(λ) after the previous dataflow finished.
+  Seconds finish = first->issued_at + 5000.0;
+  auto second = client.Next(finish, 1e9);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_GT(second->issued_at, finish);
+  // not_before in the past does not move the clock backwards.
+  auto third = client.Next(0, 1e9);
+  ASSERT_TRUE(third.has_value());
+  EXPECT_GT(third->issued_at, second->issued_at);
+}
+
+TEST_F(WorkloadTest, PhaseClientEmptyPhasesDefaults) {
+  PhaseWorkloadClient client(gen_.get(), 60.0, {}, 3);
+  EXPECT_EQ(client.AppAt(100), AppType::kMontage);
+}
+
+}  // namespace
+}  // namespace dfim
