@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_gain_example.dir/fig03_gain_example.cc.o"
+  "CMakeFiles/fig03_gain_example.dir/fig03_gain_example.cc.o.d"
+  "fig03_gain_example"
+  "fig03_gain_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_gain_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_estimation_errors.dir/fig06_estimation_errors.cc.o"
+  "CMakeFiles/fig06_estimation_errors.dir/fig06_estimation_errors.cc.o.d"
+  "fig06_estimation_errors"
+  "fig06_estimation_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_estimation_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

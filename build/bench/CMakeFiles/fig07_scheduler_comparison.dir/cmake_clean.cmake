@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_scheduler_comparison.dir/fig07_scheduler_comparison.cc.o"
+  "CMakeFiles/fig07_scheduler_comparison.dir/fig07_scheduler_comparison.cc.o.d"
+  "fig07_scheduler_comparison"
+  "fig07_scheduler_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_scheduler_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

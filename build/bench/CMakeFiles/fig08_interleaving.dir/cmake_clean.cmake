@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_interleaving.dir/fig08_interleaving.cc.o"
+  "CMakeFiles/fig08_interleaving.dir/fig08_interleaving.cc.o.d"
+  "fig08_interleaving"
+  "fig08_interleaving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_interleaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

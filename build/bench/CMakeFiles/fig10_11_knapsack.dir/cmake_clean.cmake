@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_11_knapsack.dir/fig10_11_knapsack.cc.o"
+  "CMakeFiles/fig10_11_knapsack.dir/fig10_11_knapsack.cc.o.d"
+  "fig10_11_knapsack"
+  "fig10_11_knapsack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_11_knapsack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

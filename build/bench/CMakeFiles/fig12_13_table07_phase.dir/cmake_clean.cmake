@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_13_table07_phase.dir/fig12_13_table07_phase.cc.o"
+  "CMakeFiles/fig12_13_table07_phase.dir/fig12_13_table07_phase.cc.o.d"
+  "fig12_13_table07_phase"
+  "fig12_13_table07_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_13_table07_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_random_workload.dir/fig14_random_workload.cc.o"
+  "CMakeFiles/fig14_random_workload.dir/fig14_random_workload.cc.o.d"
+  "fig14_random_workload"
+  "fig14_random_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_random_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_workload_stats.dir/table04_workload_stats.cc.o"
+  "CMakeFiles/table04_workload_stats.dir/table04_workload_stats.cc.o.d"
+  "table04_workload_stats"
+  "table04_workload_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_workload_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_index_sizes.dir/table05_index_sizes.cc.o"
+  "CMakeFiles/table05_index_sizes.dir/table05_index_sizes.cc.o.d"
+  "table05_index_sizes"
+  "table05_index_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_index_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

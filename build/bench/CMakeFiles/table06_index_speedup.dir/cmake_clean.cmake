@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_index_speedup.dir/table06_index_speedup.cc.o"
+  "CMakeFiles/table06_index_speedup.dir/table06_index_speedup.cc.o.d"
+  "table06_index_speedup"
+  "table06_index_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_index_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table06_index_speedup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisor_integration.dir/advisor_integration.cpp.o"
+  "CMakeFiles/advisor_integration.dir/advisor_integration.cpp.o.d"
+  "advisor_integration"
+  "advisor_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

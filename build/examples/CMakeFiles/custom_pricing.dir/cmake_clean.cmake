@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_pricing.dir/custom_pricing.cpp.o"
+  "CMakeFiles/custom_pricing.dir/custom_pricing.cpp.o.d"
+  "custom_pricing"
+  "custom_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

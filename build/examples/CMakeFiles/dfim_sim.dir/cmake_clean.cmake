@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfim_sim.dir/dfim_sim.cpp.o"
+  "CMakeFiles/dfim_sim.dir/dfim_sim.cpp.o.d"
+  "dfim_sim"
+  "dfim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploratory_analytics.dir/exploratory_analytics.cpp.o"
+  "CMakeFiles/exploratory_analytics.dir/exploratory_analytics.cpp.o.d"
+  "exploratory_analytics"
+  "exploratory_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploratory_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_indexing.dir/tpch_indexing.cpp.o"
+  "CMakeFiles/tpch_indexing.dir/tpch_indexing.cpp.o.d"
+  "tpch_indexing"
+  "tpch_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

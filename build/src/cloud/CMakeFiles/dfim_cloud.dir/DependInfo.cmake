@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/cluster.cc" "src/cloud/CMakeFiles/dfim_cloud.dir/cluster.cc.o" "gcc" "src/cloud/CMakeFiles/dfim_cloud.dir/cluster.cc.o.d"
+  "/root/repo/src/cloud/container.cc" "src/cloud/CMakeFiles/dfim_cloud.dir/container.cc.o" "gcc" "src/cloud/CMakeFiles/dfim_cloud.dir/container.cc.o.d"
+  "/root/repo/src/cloud/lru_cache.cc" "src/cloud/CMakeFiles/dfim_cloud.dir/lru_cache.cc.o" "gcc" "src/cloud/CMakeFiles/dfim_cloud.dir/lru_cache.cc.o.d"
+  "/root/repo/src/cloud/pricing.cc" "src/cloud/CMakeFiles/dfim_cloud.dir/pricing.cc.o" "gcc" "src/cloud/CMakeFiles/dfim_cloud.dir/pricing.cc.o.d"
+  "/root/repo/src/cloud/storage_service.cc" "src/cloud/CMakeFiles/dfim_cloud.dir/storage_service.cc.o" "gcc" "src/cloud/CMakeFiles/dfim_cloud.dir/storage_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

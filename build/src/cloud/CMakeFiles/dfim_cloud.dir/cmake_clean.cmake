@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfim_cloud.dir/cluster.cc.o"
+  "CMakeFiles/dfim_cloud.dir/cluster.cc.o.d"
+  "CMakeFiles/dfim_cloud.dir/container.cc.o"
+  "CMakeFiles/dfim_cloud.dir/container.cc.o.d"
+  "CMakeFiles/dfim_cloud.dir/lru_cache.cc.o"
+  "CMakeFiles/dfim_cloud.dir/lru_cache.cc.o.d"
+  "CMakeFiles/dfim_cloud.dir/pricing.cc.o"
+  "CMakeFiles/dfim_cloud.dir/pricing.cc.o.d"
+  "CMakeFiles/dfim_cloud.dir/storage_service.cc.o"
+  "CMakeFiles/dfim_cloud.dir/storage_service.cc.o.d"
+  "libdfim_cloud.a"
+  "libdfim_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfim_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

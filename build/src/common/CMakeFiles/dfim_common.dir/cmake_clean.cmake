@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfim_common.dir/logging.cc.o"
+  "CMakeFiles/dfim_common.dir/logging.cc.o.d"
+  "CMakeFiles/dfim_common.dir/rng.cc.o"
+  "CMakeFiles/dfim_common.dir/rng.cc.o.d"
+  "CMakeFiles/dfim_common.dir/stats.cc.o"
+  "CMakeFiles/dfim_common.dir/stats.cc.o.d"
+  "CMakeFiles/dfim_common.dir/status.cc.o"
+  "CMakeFiles/dfim_common.dir/status.cc.o.d"
+  "libdfim_common.a"
+  "libdfim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

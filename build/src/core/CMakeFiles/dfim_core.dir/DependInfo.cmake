@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/core/CMakeFiles/dfim_core.dir/advisor.cc.o" "gcc" "src/core/CMakeFiles/dfim_core.dir/advisor.cc.o.d"
+  "/root/repo/src/core/gain.cc" "src/core/CMakeFiles/dfim_core.dir/gain.cc.o" "gcc" "src/core/CMakeFiles/dfim_core.dir/gain.cc.o.d"
+  "/root/repo/src/core/interleave.cc" "src/core/CMakeFiles/dfim_core.dir/interleave.cc.o" "gcc" "src/core/CMakeFiles/dfim_core.dir/interleave.cc.o.d"
+  "/root/repo/src/core/knapsack.cc" "src/core/CMakeFiles/dfim_core.dir/knapsack.cc.o" "gcc" "src/core/CMakeFiles/dfim_core.dir/knapsack.cc.o.d"
+  "/root/repo/src/core/service.cc" "src/core/CMakeFiles/dfim_core.dir/service.cc.o" "gcc" "src/core/CMakeFiles/dfim_core.dir/service.cc.o.d"
+  "/root/repo/src/core/tuner.cc" "src/core/CMakeFiles/dfim_core.dir/tuner.cc.o" "gcc" "src/core/CMakeFiles/dfim_core.dir/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/dfim_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dfim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/dfim_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dfim_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfim_core.dir/advisor.cc.o"
+  "CMakeFiles/dfim_core.dir/advisor.cc.o.d"
+  "CMakeFiles/dfim_core.dir/gain.cc.o"
+  "CMakeFiles/dfim_core.dir/gain.cc.o.d"
+  "CMakeFiles/dfim_core.dir/interleave.cc.o"
+  "CMakeFiles/dfim_core.dir/interleave.cc.o.d"
+  "CMakeFiles/dfim_core.dir/knapsack.cc.o"
+  "CMakeFiles/dfim_core.dir/knapsack.cc.o.d"
+  "CMakeFiles/dfim_core.dir/service.cc.o"
+  "CMakeFiles/dfim_core.dir/service.cc.o.d"
+  "CMakeFiles/dfim_core.dir/tuner.cc.o"
+  "CMakeFiles/dfim_core.dir/tuner.cc.o.d"
+  "libdfim_core.a"
+  "libdfim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

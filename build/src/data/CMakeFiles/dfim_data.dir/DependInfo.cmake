@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/catalog.cc" "src/data/CMakeFiles/dfim_data.dir/catalog.cc.o" "gcc" "src/data/CMakeFiles/dfim_data.dir/catalog.cc.o.d"
+  "/root/repo/src/data/index_meta.cc" "src/data/CMakeFiles/dfim_data.dir/index_meta.cc.o" "gcc" "src/data/CMakeFiles/dfim_data.dir/index_meta.cc.o.d"
+  "/root/repo/src/data/index_model.cc" "src/data/CMakeFiles/dfim_data.dir/index_model.cc.o" "gcc" "src/data/CMakeFiles/dfim_data.dir/index_model.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/data/CMakeFiles/dfim_data.dir/schema.cc.o" "gcc" "src/data/CMakeFiles/dfim_data.dir/schema.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/data/CMakeFiles/dfim_data.dir/table.cc.o" "gcc" "src/data/CMakeFiles/dfim_data.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/dfim_cloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

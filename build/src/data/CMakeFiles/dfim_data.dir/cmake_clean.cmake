@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfim_data.dir/catalog.cc.o"
+  "CMakeFiles/dfim_data.dir/catalog.cc.o.d"
+  "CMakeFiles/dfim_data.dir/index_meta.cc.o"
+  "CMakeFiles/dfim_data.dir/index_meta.cc.o.d"
+  "CMakeFiles/dfim_data.dir/index_model.cc.o"
+  "CMakeFiles/dfim_data.dir/index_model.cc.o.d"
+  "CMakeFiles/dfim_data.dir/schema.cc.o"
+  "CMakeFiles/dfim_data.dir/schema.cc.o.d"
+  "CMakeFiles/dfim_data.dir/table.cc.o"
+  "CMakeFiles/dfim_data.dir/table.cc.o.d"
+  "libdfim_data.a"
+  "libdfim_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfim_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

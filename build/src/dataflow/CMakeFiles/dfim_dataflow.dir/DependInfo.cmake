@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/build_index_ops.cc" "src/dataflow/CMakeFiles/dfim_dataflow.dir/build_index_ops.cc.o" "gcc" "src/dataflow/CMakeFiles/dfim_dataflow.dir/build_index_ops.cc.o.d"
+  "/root/repo/src/dataflow/cost.cc" "src/dataflow/CMakeFiles/dfim_dataflow.dir/cost.cc.o" "gcc" "src/dataflow/CMakeFiles/dfim_dataflow.dir/cost.cc.o.d"
+  "/root/repo/src/dataflow/dag.cc" "src/dataflow/CMakeFiles/dfim_dataflow.dir/dag.cc.o" "gcc" "src/dataflow/CMakeFiles/dfim_dataflow.dir/dag.cc.o.d"
+  "/root/repo/src/dataflow/dataflow.cc" "src/dataflow/CMakeFiles/dfim_dataflow.dir/dataflow.cc.o" "gcc" "src/dataflow/CMakeFiles/dfim_dataflow.dir/dataflow.cc.o.d"
+  "/root/repo/src/dataflow/file_database.cc" "src/dataflow/CMakeFiles/dfim_dataflow.dir/file_database.cc.o" "gcc" "src/dataflow/CMakeFiles/dfim_dataflow.dir/file_database.cc.o.d"
+  "/root/repo/src/dataflow/generators.cc" "src/dataflow/CMakeFiles/dfim_dataflow.dir/generators.cc.o" "gcc" "src/dataflow/CMakeFiles/dfim_dataflow.dir/generators.cc.o.d"
+  "/root/repo/src/dataflow/operator.cc" "src/dataflow/CMakeFiles/dfim_dataflow.dir/operator.cc.o" "gcc" "src/dataflow/CMakeFiles/dfim_dataflow.dir/operator.cc.o.d"
+  "/root/repo/src/dataflow/workload.cc" "src/dataflow/CMakeFiles/dfim_dataflow.dir/workload.cc.o" "gcc" "src/dataflow/CMakeFiles/dfim_dataflow.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dfim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/dfim_cloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfim_dataflow.dir/build_index_ops.cc.o"
+  "CMakeFiles/dfim_dataflow.dir/build_index_ops.cc.o.d"
+  "CMakeFiles/dfim_dataflow.dir/cost.cc.o"
+  "CMakeFiles/dfim_dataflow.dir/cost.cc.o.d"
+  "CMakeFiles/dfim_dataflow.dir/dag.cc.o"
+  "CMakeFiles/dfim_dataflow.dir/dag.cc.o.d"
+  "CMakeFiles/dfim_dataflow.dir/dataflow.cc.o"
+  "CMakeFiles/dfim_dataflow.dir/dataflow.cc.o.d"
+  "CMakeFiles/dfim_dataflow.dir/file_database.cc.o"
+  "CMakeFiles/dfim_dataflow.dir/file_database.cc.o.d"
+  "CMakeFiles/dfim_dataflow.dir/generators.cc.o"
+  "CMakeFiles/dfim_dataflow.dir/generators.cc.o.d"
+  "CMakeFiles/dfim_dataflow.dir/operator.cc.o"
+  "CMakeFiles/dfim_dataflow.dir/operator.cc.o.d"
+  "CMakeFiles/dfim_dataflow.dir/workload.cc.o"
+  "CMakeFiles/dfim_dataflow.dir/workload.cc.o.d"
+  "libdfim_dataflow.a"
+  "libdfim_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfim_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

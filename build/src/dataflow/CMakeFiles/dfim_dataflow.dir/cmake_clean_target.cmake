@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdfim_dataflow.a"
+)

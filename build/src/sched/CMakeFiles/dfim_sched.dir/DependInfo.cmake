@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/exec_simulator.cc" "src/sched/CMakeFiles/dfim_sched.dir/exec_simulator.cc.o" "gcc" "src/sched/CMakeFiles/dfim_sched.dir/exec_simulator.cc.o.d"
+  "/root/repo/src/sched/hetero_scheduler.cc" "src/sched/CMakeFiles/dfim_sched.dir/hetero_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/dfim_sched.dir/hetero_scheduler.cc.o.d"
+  "/root/repo/src/sched/load_balance_scheduler.cc" "src/sched/CMakeFiles/dfim_sched.dir/load_balance_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/dfim_sched.dir/load_balance_scheduler.cc.o.d"
+  "/root/repo/src/sched/schedule.cc" "src/sched/CMakeFiles/dfim_sched.dir/schedule.cc.o" "gcc" "src/sched/CMakeFiles/dfim_sched.dir/schedule.cc.o.d"
+  "/root/repo/src/sched/skyline_scheduler.cc" "src/sched/CMakeFiles/dfim_sched.dir/skyline_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/dfim_sched.dir/skyline_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/dfim_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/dfim_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dfim_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

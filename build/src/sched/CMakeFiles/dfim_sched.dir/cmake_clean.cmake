@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfim_sched.dir/exec_simulator.cc.o"
+  "CMakeFiles/dfim_sched.dir/exec_simulator.cc.o.d"
+  "CMakeFiles/dfim_sched.dir/hetero_scheduler.cc.o"
+  "CMakeFiles/dfim_sched.dir/hetero_scheduler.cc.o.d"
+  "CMakeFiles/dfim_sched.dir/load_balance_scheduler.cc.o"
+  "CMakeFiles/dfim_sched.dir/load_balance_scheduler.cc.o.d"
+  "CMakeFiles/dfim_sched.dir/schedule.cc.o"
+  "CMakeFiles/dfim_sched.dir/schedule.cc.o.d"
+  "CMakeFiles/dfim_sched.dir/skyline_scheduler.cc.o"
+  "CMakeFiles/dfim_sched.dir/skyline_scheduler.cc.o.d"
+  "libdfim_sched.a"
+  "libdfim_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfim_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

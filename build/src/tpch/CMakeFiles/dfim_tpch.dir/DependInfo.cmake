@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpch/extended_queries.cc" "src/tpch/CMakeFiles/dfim_tpch.dir/extended_queries.cc.o" "gcc" "src/tpch/CMakeFiles/dfim_tpch.dir/extended_queries.cc.o.d"
+  "/root/repo/src/tpch/lineitem.cc" "src/tpch/CMakeFiles/dfim_tpch.dir/lineitem.cc.o" "gcc" "src/tpch/CMakeFiles/dfim_tpch.dir/lineitem.cc.o.d"
+  "/root/repo/src/tpch/queries.cc" "src/tpch/CMakeFiles/dfim_tpch.dir/queries.cc.o" "gcc" "src/tpch/CMakeFiles/dfim_tpch.dir/queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dfim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dfim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/dfim_cloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

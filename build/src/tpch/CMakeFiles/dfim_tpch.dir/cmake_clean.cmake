@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfim_tpch.dir/extended_queries.cc.o"
+  "CMakeFiles/dfim_tpch.dir/extended_queries.cc.o.d"
+  "CMakeFiles/dfim_tpch.dir/lineitem.cc.o"
+  "CMakeFiles/dfim_tpch.dir/lineitem.cc.o.d"
+  "CMakeFiles/dfim_tpch.dir/queries.cc.o"
+  "CMakeFiles/dfim_tpch.dir/queries.cc.o.d"
+  "libdfim_tpch.a"
+  "libdfim_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfim_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_build_index_ops.dir/test_build_index_ops.cc.o"
+  "CMakeFiles/test_build_index_ops.dir/test_build_index_ops.cc.o.d"
+  "test_build_index_ops"
+  "test_build_index_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_build_index_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_container_cluster.dir/test_container_cluster.cc.o"
+  "CMakeFiles/test_container_cluster.dir/test_container_cluster.cc.o.d"
+  "test_container_cluster"
+  "test_container_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_container_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_simulator.dir/test_exec_simulator.cc.o"
+  "CMakeFiles/test_exec_simulator.dir/test_exec_simulator.cc.o.d"
+  "test_exec_simulator"
+  "test_exec_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extended_queries.dir/test_extended_queries.cc.o"
+  "CMakeFiles/test_extended_queries.dir/test_extended_queries.cc.o.d"
+  "test_extended_queries"
+  "test_extended_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extended_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_file_database.dir/test_file_database.cc.o"
+  "CMakeFiles/test_file_database.dir/test_file_database.cc.o.d"
+  "test_file_database"
+  "test_file_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_file_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gain.dir/test_gain.cc.o"
+  "CMakeFiles/test_gain.dir/test_gain.cc.o.d"
+  "test_gain"
+  "test_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash_and_heap.dir/test_hash_and_heap.cc.o"
+  "CMakeFiles/test_hash_and_heap.dir/test_hash_and_heap.cc.o.d"
+  "test_hash_and_heap"
+  "test_hash_and_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash_and_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

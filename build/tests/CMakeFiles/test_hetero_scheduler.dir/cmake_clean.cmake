@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hetero_scheduler.dir/test_hetero_scheduler.cc.o"
+  "CMakeFiles/test_hetero_scheduler.dir/test_hetero_scheduler.cc.o.d"
+  "test_hetero_scheduler"
+  "test_hetero_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hetero_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_index_model.cc" "tests/CMakeFiles/test_index_model.dir/test_index_model.cc.o" "gcc" "tests/CMakeFiles/test_index_model.dir/test_index_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dfim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dfim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/dfim_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/dfim_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dfim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/dfim_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dfim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_model.dir/test_index_model.cc.o"
+  "CMakeFiles/test_index_model.dir/test_index_model.cc.o.d"
+  "test_index_model"
+  "test_index_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knapsack.dir/test_knapsack.cc.o"
+  "CMakeFiles/test_knapsack.dir/test_knapsack.cc.o.d"
+  "test_knapsack"
+  "test_knapsack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knapsack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

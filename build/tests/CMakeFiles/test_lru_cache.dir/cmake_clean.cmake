@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lru_cache.dir/test_lru_cache.cc.o"
+  "CMakeFiles/test_lru_cache.dir/test_lru_cache.cc.o.d"
+  "test_lru_cache"
+  "test_lru_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lru_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_marginal_gain.dir/test_marginal_gain.cc.o"
+  "CMakeFiles/test_marginal_gain.dir/test_marginal_gain.cc.o.d"
+  "test_marginal_gain"
+  "test_marginal_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_marginal_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schema_table.dir/test_schema_table.cc.o"
+  "CMakeFiles/test_schema_table.dir/test_schema_table.cc.o.d"
+  "test_schema_table"
+  "test_schema_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schema_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skyline_scheduler.dir/test_skyline_scheduler.cc.o"
+  "CMakeFiles/test_skyline_scheduler.dir/test_skyline_scheduler.cc.o.d"
+  "test_skyline_scheduler"
+  "test_skyline_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skyline_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage_service.dir/test_storage_service.cc.o"
+  "CMakeFiles/test_storage_service.dir/test_storage_service.cc.o.d"
+  "test_storage_service"
+  "test_storage_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
