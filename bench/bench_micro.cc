@@ -122,6 +122,41 @@ void BM_SkylineScheduler(benchmark::State& state) {
 }
 BENCHMARK(BM_SkylineScheduler)->Arg(2)->Arg(4)->Arg(8);
 
+/// Serial naive vs incremental vs parallel skyline engines on the same
+/// generated dataflow (arg = engine: 0 naive, 1 incremental, 2 parallel x2),
+/// optional build ops included so the keep-base path is exercised.
+void BM_SkylineSchedule(benchmark::State& state) {
+  bench::PaperSetup setup(7);
+  Dataflow df = setup.generator->Generate(AppType::kMontage, 0, 0);
+  std::vector<Seconds> durations;
+  std::vector<SimOpCost> costs;
+  SchedulerOptions so = bench::PaperSchedulerOptions();
+  so.skyline_cap = 8;
+  so.max_containers = 16;
+  switch (state.range(0)) {
+    case 0:
+      so.use_naive_expansion = true;
+      break;
+    case 1:
+      break;
+    case 2:
+      so.num_threads = 2;
+      break;
+  }
+  BuildDataflowCosts(df.dag, df, setup.catalog, so.net_mb_per_sec, &durations,
+                     &costs);
+  SkylineScheduler sched(so);
+  for (auto _ : state) {
+    auto skyline = sched.ScheduleDag(df.dag, durations, true);
+    benchmark::DoNotOptimize(skyline.ok());
+  }
+}
+BENCHMARK(BM_SkylineSchedule)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgNames({"engine"});
+
 void BM_LoadBalanceScheduler(benchmark::State& state) {
   bench::PaperSetup setup(7);
   Dataflow df = setup.generator->Generate(AppType::kMontage, 0, 0);

@@ -1,0 +1,223 @@
+// Skyline-scheduler scaling bench: sweeps DAG width/depth x container count
+// x skyline cap, timing the retained naive engine against the incremental
+// (and parallel) probe/commit engine on identical inputs, and writes
+// BENCH_sched.json (min/median runtime per config, generate_stats style) so
+// successive PRs have a recorded perf trajectory.
+//
+// Usage: bench_sched_scale [output.json]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sched/skyline_scheduler.h"
+
+namespace dfim {
+namespace {
+
+Dag RandomLayeredDag(int width, int depth, int optional_ops, uint64_t seed) {
+  Rng rng(seed);
+  Dag g;
+  std::vector<int> prev_layer;
+  for (int d = 0; d < depth; ++d) {
+    std::vector<int> layer;
+    for (int w = 0; w < width; ++w) {
+      Operator op;
+      op.time = rng.Uniform(5.0, 90.0);
+      op.output_mb = rng.Uniform(1.0, 800.0);
+      int id = g.AddOperator(std::move(op));
+      layer.push_back(id);
+      if (!prev_layer.empty()) {
+        int parents = static_cast<int>(rng.UniformInt(1, 3));
+        for (int p = 0; p < parents; ++p) {
+          int from = prev_layer[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(prev_layer.size()) - 1))];
+          (void)g.AddFlow(from, id, rng.Uniform(1.0, 800.0));
+        }
+      }
+    }
+    prev_layer = std::move(layer);
+  }
+  for (int i = 0; i < optional_ops; ++i) {
+    Operator build = Operator::BuildIndex(
+        static_cast<int>(g.num_ops()), "idx_" + std::to_string(i), i,
+        rng.Uniform(5.0, 45.0), 64);
+    build.gain = rng.Uniform(0.1, 5.0);
+    g.AddOperator(std::move(build));
+  }
+  return g;
+}
+
+std::vector<Seconds> Durations(const Dag& g) {
+  std::vector<Seconds> d(g.num_ops());
+  for (const auto& op : g.ops()) d[static_cast<size_t>(op.id)] = op.time;
+  return d;
+}
+
+struct Stats {
+  double min_ms = 0;
+  double median_ms = 0;
+  std::vector<double> runtimes_ms;
+};
+
+/// generate_stats idiom: min + median over the repetition runtimes.
+Stats MakeStats(std::vector<double> runtimes) {
+  Stats s;
+  s.runtimes_ms = runtimes;
+  std::sort(runtimes.begin(), runtimes.end());
+  s.min_ms = runtimes.front();
+  s.median_ms = runtimes[runtimes.size() / 2];
+  return s;
+}
+
+Stats TimeEngine(const Dag& g, const std::vector<Seconds>& durations,
+                 const SchedulerOptions& opts, int reps,
+                 std::vector<Schedule>* last_skyline) {
+  SkylineScheduler sched(opts);
+  std::vector<double> runtimes;
+  runtimes.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto skyline = sched.ScheduleDag(g, durations, /*place_optional=*/true);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!skyline.ok()) {
+      std::fprintf(stderr, "schedule failed: %s\n",
+                   skyline.status().ToString().c_str());
+      std::exit(1);
+    }
+    runtimes.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    if (r + 1 == reps) *last_skyline = std::move(*skyline);
+  }
+  return MakeStats(std::move(runtimes));
+}
+
+bool SameSkylines(const std::vector<Schedule>& a,
+                  const std::vector<Schedule>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    auto sa = a[i].SortedByContainer();
+    auto sb = b[i].SortedByContainer();
+    if (sa.size() != sb.size()) return false;
+    for (size_t k = 0; k < sa.size(); ++k) {
+      if (sa[k].op_id != sb[k].op_id || sa[k].container != sb[k].container ||
+          sa[k].start != sb[k].start || sa[k].end != sb[k].end) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void AppendStats(std::string* out, const char* name, const Stats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "      \"%s\": {\"min_runtime_ms\": %.4f, "
+                "\"median_runtime_ms\": %.4f, \"runtimes_ms\": [",
+                name, s.min_ms, s.median_ms);
+  *out += buf;
+  for (size_t i = 0; i < s.runtimes_ms.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%.4f", i ? ", " : "", s.runtimes_ms[i]);
+    *out += buf;
+  }
+  *out += "]}";
+}
+
+}  // namespace
+}  // namespace dfim
+
+int main(int argc, char** argv) {
+  using namespace dfim;
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_sched.json";
+  const char* fast = std::getenv("DFIM_FAST");
+  const int reps = (fast != nullptr && fast[0] == '1') ? 3 : 7;
+
+  struct Config {
+    int width, depth, optional_ops, containers, cap;
+  };
+  // Largest config: 64-op DAG (16x4), 16 containers, skyline cap 32.
+  const std::vector<Config> configs = {
+      {4, 4, 4, 4, 8},    {8, 4, 6, 8, 8},    {8, 8, 8, 8, 16},
+      {16, 4, 8, 16, 16}, {16, 4, 8, 16, 32},
+  };
+
+  std::string json = "{\n  \"bench\": \"sched_scale\",\n";
+  json += "  \"reps\": " + std::to_string(reps) + ",\n";
+  json += "  \"quantum\": 60,\n  \"configs\": [\n";
+
+  std::printf("%-22s %-12s %10s %10s %10s %8s %s\n", "config", "engine",
+              "min(ms)", "median(ms)", "speedup", "same?", "");
+  bool first = true;
+  for (const auto& cfg : configs) {
+    Dag g = RandomLayeredDag(cfg.width, cfg.depth, cfg.optional_ops, 42);
+    auto durations = Durations(g);
+
+    SchedulerOptions naive_opts;
+    naive_opts.max_containers = cfg.containers;
+    naive_opts.skyline_cap = cfg.cap;
+    naive_opts.use_naive_expansion = true;
+    SchedulerOptions inc_opts = naive_opts;
+    inc_opts.use_naive_expansion = false;
+    SchedulerOptions par_opts = inc_opts;
+    par_opts.num_threads = 2;
+
+    std::vector<Schedule> naive_sky, inc_sky, par_sky;
+    Stats naive = TimeEngine(g, durations, naive_opts, reps, &naive_sky);
+    Stats inc = TimeEngine(g, durations, inc_opts, reps, &inc_sky);
+    Stats par = TimeEngine(g, durations, par_opts, reps, &par_sky);
+
+    bool identical =
+        SameSkylines(naive_sky, inc_sky) && SameSkylines(inc_sky, par_sky);
+    double speedup = inc.median_ms > 0 ? naive.median_ms / inc.median_ms : 0;
+
+    char label[64];
+    std::snprintf(label, sizeof(label), "%dx%d+%d c%d cap%d", cfg.width,
+                  cfg.depth, cfg.optional_ops, cfg.containers, cfg.cap);
+    std::printf("%-22s %-12s %10.3f %10.3f %10s %8s\n", label, "naive",
+                naive.min_ms, naive.median_ms, "", "");
+    std::printf("%-22s %-12s %10.3f %10.3f %9.2fx %8s\n", "", "incremental",
+                inc.min_ms, inc.median_ms, speedup, identical ? "yes" : "NO");
+    std::printf("%-22s %-12s %10.3f %10.3f\n", "", "parallel2", par.min_ms,
+                par.median_ms);
+
+    if (!first) json += ",\n";
+    first = false;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"width\": %d, \"depth\": %d, \"optional_ops\": %d, "
+                  "\"ops\": %d, \"containers\": %d, \"skyline_cap\": %d,\n",
+                  cfg.width, cfg.depth, cfg.optional_ops,
+                  cfg.width * cfg.depth + cfg.optional_ops, cfg.containers,
+                  cfg.cap);
+    json += buf;
+    AppendStats(&json, "naive", naive);
+    json += ",\n";
+    AppendStats(&json, "incremental", inc);
+    json += ",\n";
+    AppendStats(&json, "parallel2", par);
+    json += ",\n";
+    std::snprintf(buf, sizeof(buf),
+                  "      \"speedup_median\": %.3f, \"identical_schedules\": %s\n"
+                  "    }",
+                  speedup, identical ? "true" : "false");
+    json += buf;
+    if (!identical) {
+      std::fprintf(stderr, "FATAL: engines disagree on %s\n", label);
+      return 1;
+    }
+  }
+  json += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path);
+  return 0;
+}

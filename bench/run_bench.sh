@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Builds the scheduler scaling bench in Release (-O2 -DNDEBUG) and emits
+# BENCH_sched.json at the repo root.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-release"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
+cmake --build "$BUILD" -j --target bench_sched_scale
+
+"$BUILD/bench/bench_sched_scale" "$ROOT/BENCH_sched.json"

@@ -35,7 +35,13 @@ QaasService::QaasService(Catalog* catalog, ServiceOptions options)
         return t;
       }()),
       storage_(options.tuner.pricing),
-      rng_(options.seed) {}
+      rng_(options.seed) {
+  // Plumb/normalize the scheduler knobs once: every SkylineScheduler the
+  // service constructs (directly or via the tuner's interleaver) sees the
+  // same options, and a zero/negative thread count means "serial".
+  opts_.tuner.sched.num_threads = std::max(1, opts_.tuner.sched.num_threads);
+  opts_.tuner.sched.skyline_cap = std::max(1, opts_.tuner.sched.skyline_cap);
+}
 
 std::vector<Container*> QaasService::AcquireContainers(int n, Seconds start) {
   // Reap expired containers: their pre-paid quantum is over and their local

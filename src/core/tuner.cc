@@ -45,11 +45,26 @@ void BuildDataflowCosts(const Dag& dag, const Dataflow& df,
   }
 }
 
+namespace {
+
+// Normalizes the scheduler knobs before they reach the interleaver's
+// SkylineScheduler: zero/negative thread counts mean "serial" and the
+// skyline must keep at least one survivor per round.
+SchedulerOptions NormalizedSched(SchedulerOptions s) {
+  s.num_threads = std::max(1, s.num_threads);
+  s.skyline_cap = std::max(1, s.skyline_cap);
+  return s;
+}
+
+}  // namespace
+
 OnlineIndexTuner::OnlineIndexTuner(Catalog* catalog, TunerOptions options)
     : catalog_(catalog),
       opts_(options),
       gain_model_(options.gain, options.pricing),
-      interleaver_(options.sched, options.mode) {}
+      interleaver_(NormalizedSched(options.sched), options.mode) {
+  opts_.sched = NormalizedSched(opts_.sched);
+}
 
 double OnlineIndexTuner::MarginalGainQuanta(const Dataflow& df,
                                             const std::string& index_id,

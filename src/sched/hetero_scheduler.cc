@@ -4,51 +4,79 @@
 #include <cmath>
 #include <limits>
 
+#include "sched/partial_state.h"
+
 namespace dfim {
 namespace {
 
-struct Partial {
+/// Typed partial schedule with cached per-container lease summaries, so
+/// probing a candidate never rescans untouched containers (same two-phase
+/// probe/commit structure as the homogeneous SkylineScheduler).
+struct HeteroPartial {
   std::vector<std::vector<Assignment>> timelines;
   std::vector<int> ctype;  // VM type per used container
   std::vector<std::vector<int>> delivered;
   std::vector<Seconds> op_finish;
   std::vector<int> op_container;
+  /// Cached per-container summaries.
+  std::vector<Seconds> last_end;
+  std::vector<int64_t> quanta;
   Seconds makespan = 0;
   Dollars money = 0;
   int num_ops = 0;
 };
 
-Dollars MoneyOf(const Partial& p, Seconds quantum,
-                const std::vector<VmType>& types) {
+/// A probed (base, container, type) placement; trivially copyable so the
+/// probe pool is reused across rounds with no per-candidate allocation.
+struct HeteroProbe {
+  int base = 0;
+  int container = 0;
+  int type_idx = 0;
+  bool valid = false;
+  Seconds start = 0;
+  Seconds end = 0;
+  Seconds makespan = 0;
+  Dollars money = 0;
+  int num_ops = 0;
+  int n_newly = 0;
+  int newly[PlacementProbe::kInlineDelivered] = {0};
+};
+
+/// Total dollars with container `c`'s leased quanta replaced by `new_q` at
+/// type `type_idx`. Summed in container order over the cached quanta, so
+/// the result is bit-identical to a full post-insert rescan.
+Dollars MoneyWith(const HeteroPartial& base, int c, int type_idx, int64_t new_q,
+                  const std::vector<VmType>& types) {
   Dollars total = 0;
-  for (size_t c = 0; c < p.timelines.size(); ++c) {
-    if (p.timelines[c].empty()) continue;
-    int64_t q = std::max<int64_t>(
-        1, QuantaCeil(p.timelines[c].back().end, quantum));
+  size_t n = std::max(base.timelines.size(), static_cast<size_t>(c) + 1);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t q = static_cast<int>(i) == c
+                    ? new_q
+                    : (i < base.quanta.size() ? base.quanta[i] : 0);
+    if (q == 0) continue;
+    int t = static_cast<int>(i) == c ? type_idx : base.ctype[i];
     total += static_cast<double>(q) *
-             types[static_cast<size_t>(p.ctype[c])].price_per_quantum;
+             types[static_cast<size_t>(t)].price_per_quantum;
   }
   return total;
 }
 
-Seconds FindSlot(const std::vector<Assignment>& tl, Seconds est,
-                 Seconds duration) {
-  Seconds cursor = 0;
-  for (const auto& a : tl) {
-    Seconds candidate = std::max(est, cursor);
-    if (a.start - candidate >= duration - 1e-9) return candidate;
-    cursor = std::max(cursor, a.end);
-  }
-  return std::max(est, cursor);
-}
-
-bool Assign(const Partial& base, const Dag& dag, const Operator& op,
-            Seconds base_dur, int c, int type_idx, Seconds quantum,
-            const std::vector<VmType>& types, Partial* out) {
+bool Probe(const HeteroPartial& base, int base_idx, const Dag& dag,
+           const Operator& op, Seconds base_dur, int c, int type_idx,
+           Seconds quantum, const std::vector<VmType>& types,
+           HeteroProbe* out) {
+  out->valid = false;
   const VmType& vt = types[static_cast<size_t>(type_idx)];
+  // An existing container keeps its type (the caller enumerates types only
+  // for fresh containers).
+  if (c < static_cast<int>(base.timelines.size()) &&
+      !base.timelines[static_cast<size_t>(c)].empty() &&
+      base.ctype[static_cast<size_t>(c)] != type_idx) {
+    return false;
+  }
   Seconds est = 0;
   Seconds transfer_in = 0;
-  std::vector<int> newly;
+  out->n_newly = 0;
   const std::vector<int>* delivered_c =
       c < static_cast<int>(base.delivered.size())
           ? &base.delivered[static_cast<size_t>(c)]
@@ -59,80 +87,114 @@ bool Assign(const Partial& base, const Dag& dag, const Operator& op,
     if (pf < 0) return false;
     est = std::max(est, pf);
     if (base.op_container[static_cast<size_t>(f.from)] != c) {
-      bool staged = delivered_c != nullptr &&
-                    std::binary_search(delivered_c->begin(),
-                                       delivered_c->end(), f.from);
+      bool staged =
+          delivered_c != nullptr &&
+          std::binary_search(delivered_c->begin(), delivered_c->end(), f.from);
       if (!staged) {
         transfer_in += f.size / vt.net_mb_per_sec;
-        newly.push_back(f.from);
+        if (out->n_newly < PlacementProbe::kInlineDelivered) {
+          out->newly[out->n_newly] = f.from;
+        }
+        ++out->n_newly;
       }
     }
   }
   Seconds occupancy = base_dur / vt.speed + transfer_in;
-  *out = base;
-  if (c >= static_cast<int>(out->timelines.size())) {
-    out->timelines.resize(static_cast<size_t>(c) + 1);
-    out->delivered.resize(static_cast<size_t>(c) + 1);
-    out->ctype.resize(static_cast<size_t>(c) + 1, type_idx);
-  }
-  // An existing container keeps its type; a fresh one takes type_idx.
-  if (!out->timelines[static_cast<size_t>(c)].empty() &&
-      out->ctype[static_cast<size_t>(c)] != type_idx) {
-    return false;  // caller enumerates types only for fresh containers
-  }
-  out->ctype[static_cast<size_t>(c)] = type_idx;
-  auto& tl = out->timelines[static_cast<size_t>(c)];
-  auto& dl = out->delivered[static_cast<size_t>(c)];
-  for (int p : newly) {
-    dl.insert(std::lower_bound(dl.begin(), dl.end(), p), p);
-  }
+  static const std::vector<Assignment> kEmptyTimeline;
+  const std::vector<Assignment>& tl =
+      c < static_cast<int>(base.timelines.size())
+          ? base.timelines[static_cast<size_t>(c)]
+          : kEmptyTimeline;
   Seconds start = FindSlot(tl, est, occupancy);
-  Assignment a;
-  a.op_id = op.id;
-  a.container = c;
-  a.start = start;
-  a.end = start + occupancy;
-  a.optional = op.optional;
-  auto it = std::lower_bound(
-      tl.begin(), tl.end(), a,
-      [](const Assignment& x, const Assignment& y) { return x.start < y.start; });
-  tl.insert(it, a);
-  if (!op.optional) out->makespan = std::max(out->makespan, a.end);
-  out->money = MoneyOf(*out, quantum, types);
-  out->op_finish[static_cast<size_t>(op.id)] = a.end;
-  out->op_container[static_cast<size_t>(op.id)] = c;
+  Seconds end = start + occupancy;
+  Seconds new_last = std::max(
+      c < static_cast<int>(base.last_end.size())
+          ? base.last_end[static_cast<size_t>(c)]
+          : 0.0,
+      end);
+  int64_t new_q = std::max<int64_t>(1, QuantaCeil(new_last, quantum));
+  out->base = base_idx;
+  out->container = c;
+  out->type_idx = type_idx;
+  out->start = start;
+  out->end = end;
+  out->makespan = op.optional ? base.makespan : std::max(base.makespan, end);
+  out->money = MoneyWith(base, c, type_idx, new_q, types);
   out->num_ops = base.num_ops + 1;
+  out->valid = true;
   return true;
 }
 
-void ParetoPrune(std::vector<Partial>* pool, int cap) {
-  std::sort(pool->begin(), pool->end(), [](const Partial& a, const Partial& b) {
-    if (std::fabs(a.makespan - b.makespan) > 1e-9) {
-      return a.makespan < b.makespan;
+void Commit(const HeteroPartial& base, const Dag& dag, const Operator& op,
+            const HeteroProbe& p, Seconds quantum, HeteroPartial* out) {
+  *out = base;
+  int c = p.container;
+  auto cs = static_cast<size_t>(c);
+  if (c >= static_cast<int>(out->timelines.size())) {
+    out->timelines.resize(cs + 1);
+    out->delivered.resize(cs + 1);
+    out->ctype.resize(cs + 1, p.type_idx);
+    out->last_end.resize(cs + 1, 0.0);
+    out->quanta.resize(cs + 1, 0);
+  }
+  out->ctype[cs] = p.type_idx;
+  auto& tl = out->timelines[cs];
+  auto& dl = out->delivered[cs];
+  if (p.n_newly <= PlacementProbe::kInlineDelivered) {
+    for (int i = 0; i < p.n_newly; ++i) {
+      dl.insert(std::lower_bound(dl.begin(), dl.end(), p.newly[i]), p.newly[i]);
     }
-    return a.money < b.money;
-  });
-  std::vector<Partial> kept;
+  } else {
+    const std::vector<int>* delivered_c =
+        c < static_cast<int>(base.delivered.size()) ? &base.delivered[cs]
+                                                    : nullptr;
+    for (int fid : dag.in_flows(op.id)) {
+      const Flow& f = dag.flows()[static_cast<size_t>(fid)];
+      if (base.op_container[static_cast<size_t>(f.from)] == c) continue;
+      bool staged =
+          delivered_c != nullptr &&
+          std::binary_search(delivered_c->begin(), delivered_c->end(), f.from);
+      if (!staged) {
+        dl.insert(std::lower_bound(dl.begin(), dl.end(), f.from), f.from);
+      }
+    }
+  }
+  Assignment a;
+  a.op_id = op.id;
+  a.container = c;
+  a.start = p.start;
+  a.end = p.end;
+  a.optional = op.optional;
+  InsertSorted(&tl, a);
+  out->last_end[cs] = std::max(out->last_end[cs], a.end);
+  out->quanta[cs] = std::max<int64_t>(1, QuantaCeil(out->last_end[cs], quantum));
+  out->makespan = p.makespan;
+  out->money = p.money;
+  out->num_ops = p.num_ops;
+  out->op_finish[static_cast<size_t>(op.id)] = p.end;
+  out->op_container[static_cast<size_t>(op.id)] = c;
+}
+
+/// (time, dollars) skyline prune over the lightweight probes; the epsilon
+/// on money absorbs float noise in per-type price sums.
+void ParetoPrune(std::vector<HeteroProbe>* pool, int cap) {
+  std::stable_sort(pool->begin(), pool->end(),
+                   [](const HeteroProbe& a, const HeteroProbe& b) {
+                     if (std::fabs(a.makespan - b.makespan) > 1e-9) {
+                       return a.makespan < b.makespan;
+                     }
+                     return a.money < b.money;
+                   });
+  std::vector<HeteroProbe> kept;
+  kept.reserve(pool->size());
   Dollars best_money = std::numeric_limits<double>::infinity();
   for (auto& p : *pool) {
     if (p.money < best_money - 1e-12) {
-      kept.push_back(std::move(p));
+      kept.push_back(p);
       best_money = kept.back().money;
     }
   }
-  if (cap > 0 && static_cast<int>(kept.size()) > cap) {
-    std::vector<Partial> sampled;
-    double step =
-        static_cast<double>(kept.size() - 1) / static_cast<double>(cap - 1);
-    size_t prev = std::numeric_limits<size_t>::max();
-    for (int i = 0; i < cap; ++i) {
-      auto idx = static_cast<size_t>(std::llround(i * step));
-      if (idx == prev) continue;
-      sampled.push_back(std::move(kept[idx]));
-      prev = idx;
-    }
-    kept = std::move(sampled);
-  }
+  SampleEvenlySpaced(&kept, cap);
   *pool = std::move(kept);
 }
 
@@ -148,22 +210,25 @@ Result<std::vector<TypedSchedule>> HeteroSkylineScheduler::ScheduleDag(
   }
   DFIM_ASSIGN_OR_RETURN(std::vector<int> order, dag.TopologicalOrder());
 
-  Partial empty;
+  HeteroPartial empty;
   empty.op_finish.assign(dag.num_ops(), -1.0);
   empty.op_container.assign(dag.num_ops(), -1);
-  std::vector<Partial> skyline{empty};
+  std::vector<HeteroPartial> skyline{empty};
 
+  std::vector<HeteroProbe> probes;
+  std::vector<HeteroPartial> next_sky;
   for (int id : order) {
     const Operator& op = dag.op(id);
     if (op.optional) continue;  // interleaving handled by the homogeneous path
     Seconds dur = durations[static_cast<size_t>(id)];
-    std::vector<Partial> pool;
-    for (const Partial& base : skyline) {
+    probes.clear();
+    for (size_t b = 0; b < skyline.size(); ++b) {
+      const HeteroPartial& base = skyline[b];
       int used = static_cast<int>(base.timelines.size());
       int limit = std::min(opts_.max_containers, used + 1);
       for (int c = 0; c < limit; ++c) {
-        bool fresh = c >= used ||
-                     base.timelines[static_cast<size_t>(c)].empty();
+        bool fresh =
+            c >= used || base.timelines[static_cast<size_t>(c)].empty();
         int t_begin = 0;
         int t_end = static_cast<int>(types_.size());
         if (!fresh) {
@@ -172,21 +237,29 @@ Result<std::vector<TypedSchedule>> HeteroSkylineScheduler::ScheduleDag(
           t_end = t_begin + 1;
         }
         for (int t = t_begin; t < t_end; ++t) {
-          Partial next;
-          if (Assign(base, dag, op, dur, c, t, opts_.quantum, types_, &next)) {
-            pool.push_back(std::move(next));
+          HeteroProbe probe;
+          if (Probe(base, static_cast<int>(b), dag, op, dur, c, t,
+                    opts_.quantum, types_, &probe)) {
+            probes.push_back(probe);
           }
         }
       }
     }
-    if (pool.empty()) return Status::Internal("no feasible assignment");
-    ParetoPrune(&pool, opts_.skyline_cap);
-    skyline = std::move(pool);
+    if (probes.empty()) return Status::Internal("no feasible assignment");
+    ParetoPrune(&probes, opts_.skyline_cap);
+    next_sky.clear();
+    next_sky.reserve(probes.size());
+    for (const HeteroProbe& p : probes) {
+      next_sky.emplace_back();
+      Commit(skyline[static_cast<size_t>(p.base)], dag, op, p, opts_.quantum,
+             &next_sky.back());
+    }
+    skyline.swap(next_sky);
   }
 
   std::vector<TypedSchedule> out;
   out.reserve(skyline.size());
-  for (const Partial& p : skyline) {
+  for (const HeteroPartial& p : skyline) {
     TypedSchedule ts;
     for (const auto& tl : p.timelines) {
       for (const auto& a : tl) ts.schedule.Add(a);

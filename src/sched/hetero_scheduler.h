@@ -6,8 +6,8 @@
 
 #include "common/result.h"
 #include "dataflow/dag.h"
+#include "sched/partial_state.h"
 #include "sched/schedule.h"
-#include "sched/skyline_scheduler.h"
 
 namespace dfim {
 

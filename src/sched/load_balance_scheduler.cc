@@ -1,7 +1,6 @@
 #include "sched/load_balance_scheduler.h"
 
 #include <algorithm>
-#include <set>
 
 namespace dfim {
 
@@ -51,8 +50,9 @@ Result<Schedule> LoadBalanceScheduler::ScheduleDag(
   std::vector<Seconds> load(nc, 0);  // accumulated work per container
   std::vector<Seconds> finish(dag.num_ops(), 0);
   std::vector<int> placed(dag.num_ops(), 0);
-  // Producer outputs staged per container (transfer paid once, then local).
-  std::vector<std::set<int>> delivered(nc);
+  // Producer outputs staged per container (transfer paid once, then local;
+  // sorted vectors, same representation as PartialState::delivered).
+  std::vector<std::vector<int>> delivered(nc);
 
   Schedule schedule;
   for (int id : order) {
@@ -69,11 +69,15 @@ Result<Schedule> LoadBalanceScheduler::ScheduleDag(
     for (int fid : dag.in_flows(id)) {
       const Flow& f = dag.flows()[static_cast<size_t>(fid)];
       est = std::max(est, finish[static_cast<size_t>(f.from)]);
-      if (placed[static_cast<size_t>(f.from)] != static_cast<int>(c) &&
-          delivered[c].insert(f.from).second) {
-        // Cross-container flows serialize on the consumer's NIC and are
-        // staged once per container.
-        transfer_in += f.size / opts_.net_mb_per_sec;
+      if (placed[static_cast<size_t>(f.from)] != static_cast<int>(c)) {
+        auto& dl = delivered[c];
+        auto it = std::lower_bound(dl.begin(), dl.end(), f.from);
+        if (it == dl.end() || *it != f.from) {
+          // Cross-container flows serialize on the consumer's NIC and are
+          // staged once per container.
+          dl.insert(it, f.from);
+          transfer_in += f.size / opts_.net_mb_per_sec;
+        }
       }
     }
     Seconds dur = durations[static_cast<size_t>(id)] + transfer_in;

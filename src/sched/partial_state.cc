@@ -1,0 +1,311 @@
+#include "sched/partial_state.h"
+
+#include <algorithm>
+
+namespace dfim {
+
+void PartialState::Reset(size_t num_dag_ops) {
+  timelines.clear();
+  delivered.clear();
+  op_finish.assign(num_dag_ops, -1.0);
+  op_container.assign(num_dag_ops, -1);
+  last_end.clear();
+  quanta.clear();
+  gap.clear();
+  makespan = 0;
+  money = 0;
+  num_ops = 0;
+  max_gap = 0;
+}
+
+void PartialState::RecomputeCaches(Seconds quantum) {
+  size_t n = timelines.size();
+  last_end.resize(n);
+  quanta.resize(n);
+  gap.resize(n);
+  money = 0;
+  max_gap = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const auto& tl = timelines[i];
+    Seconds end = 0;
+    for (const auto& a : tl) end = std::max(end, a.end);
+    last_end[i] = end;
+    quanta[i] = TimelineQuanta(tl, quantum);
+    gap[i] = TimelineMaxGap(tl, quantum);
+    money += quanta[i];
+    max_gap = std::max(max_gap, gap[i]);
+  }
+}
+
+Seconds FindSlot(const std::vector<Assignment>& tl, Seconds est,
+                 Seconds duration) {
+  Seconds cursor = 0;
+  for (const auto& a : tl) {
+    Seconds candidate = std::max(est, cursor);
+    if (a.start - candidate >= duration - 1e-9) return candidate;
+    cursor = std::max(cursor, a.end);
+  }
+  return std::max(est, cursor);
+}
+
+void InsertSorted(std::vector<Assignment>* tl, const Assignment& a) {
+  auto it = std::lower_bound(
+      tl->begin(), tl->end(), a,
+      [](const Assignment& x, const Assignment& y) { return x.start < y.start; });
+  tl->insert(it, a);
+}
+
+int64_t TimelineQuanta(const std::vector<Assignment>& tl, Seconds quantum) {
+  if (tl.empty()) return 0;
+  Seconds end = 0;
+  for (const auto& a : tl) end = std::max(end, a.end);
+  return std::max<int64_t>(1, QuantaCeil(end, quantum));
+}
+
+Seconds TimelineMaxGap(const std::vector<Assignment>& tl, Seconds quantum) {
+  if (tl.empty()) return 0;
+  Seconds best = 0;
+  Seconds cursor = 0;
+  for (const auto& a : tl) {
+    best = std::max(best, a.start - cursor);
+    cursor = std::max(cursor, a.end);
+  }
+  Seconds lease_end =
+      static_cast<double>(std::max<int64_t>(1, QuantaCeil(cursor, quantum))) *
+      quantum;
+  return std::max(best, lease_end - cursor);
+}
+
+Seconds TimelineMaxGapWithInsert(const std::vector<Assignment>& tl,
+                                 const Assignment& a, Seconds quantum) {
+  Seconds best = 0;
+  Seconds cursor = 0;
+  bool placed = false;
+  for (const auto& x : tl) {
+    // InsertSorted puts `a` before the first element with start >= a.start.
+    if (!placed && x.start >= a.start) {
+      best = std::max(best, a.start - cursor);
+      cursor = std::max(cursor, a.end);
+      placed = true;
+    }
+    best = std::max(best, x.start - cursor);
+    cursor = std::max(cursor, x.end);
+  }
+  if (!placed) {
+    best = std::max(best, a.start - cursor);
+    cursor = std::max(cursor, a.end);
+  }
+  Seconds lease_end =
+      static_cast<double>(std::max<int64_t>(1, QuantaCeil(cursor, quantum))) *
+      quantum;
+  return std::max(best, lease_end - cursor);
+}
+
+bool ProbePlacement(const PartialState& base, int base_idx, const Dag& dag,
+                    const Operator& op, Seconds dur, int c, Seconds quantum,
+                    double net, PlacementProbe* out) {
+  out->valid = false;
+  // Earliest start: all parents finished. Cross-container flows are pulled
+  // over the consumer's NIC, serialized, so they extend the op's occupancy
+  // rather than just shifting its start. A producer's output is staged on a
+  // container once; colocated siblings read it from local disk for free.
+  Seconds est = 0;
+  Seconds transfer_in = 0;
+  out->n_newly = 0;
+  const std::vector<int>* delivered_c =
+      c < static_cast<int>(base.delivered.size())
+          ? &base.delivered[static_cast<size_t>(c)]
+          : nullptr;
+  for (int fid : dag.in_flows(op.id)) {
+    const Flow& f = dag.flows()[static_cast<size_t>(fid)];
+    Seconds pf = base.op_finish[static_cast<size_t>(f.from)];
+    if (pf < 0) return false;  // parent unassigned (cannot happen in order)
+    est = std::max(est, pf);
+    if (base.op_container[static_cast<size_t>(f.from)] != c) {
+      bool staged =
+          delivered_c != nullptr &&
+          std::binary_search(delivered_c->begin(), delivered_c->end(), f.from);
+      if (!staged) {
+        transfer_in += f.size / net;
+        if (out->n_newly < PlacementProbe::kInlineDelivered) {
+          out->newly[out->n_newly] = f.from;
+        }
+        ++out->n_newly;
+      }
+    }
+  }
+  Seconds occupancy = dur + transfer_in;
+  static const std::vector<Assignment> kEmptyTimeline;
+  const std::vector<Assignment>& tl =
+      c < static_cast<int>(base.timelines.size())
+          ? base.timelines[static_cast<size_t>(c)]
+          : kEmptyTimeline;
+  Seconds start = FindSlot(tl, est, occupancy);
+  Assignment a;
+  a.op_id = op.id;
+  a.container = c;
+  a.start = start;
+  a.end = start + occupancy;
+  a.optional = op.optional;
+  // Money delta from the touched container's cached lease end alone.
+  int64_t old_q =
+      c < static_cast<int>(base.quanta.size()) ? base.quanta[static_cast<size_t>(c)] : 0;
+  Seconds new_last_end = std::max(
+      c < static_cast<int>(base.last_end.size())
+          ? base.last_end[static_cast<size_t>(c)]
+          : 0.0,
+      a.end);
+  int64_t new_q = std::max<int64_t>(1, QuantaCeil(new_last_end, quantum));
+  int64_t money = base.money - old_q + new_q;
+  if (op.optional && money > base.money) {
+    // Optional ops must not extend the lease (paper §5.3.2: schedules where
+    // they do are dominated and dropped). They may run past the dataflow
+    // makespan inside an already-paid quantum (Fig. 2c, B2), and gap
+    // insertion never delays mandatory ops.
+    return false;
+  }
+  out->base = base_idx;
+  out->container = c;
+  out->op_id = op.id;
+  out->optional = op.optional;
+  out->start = a.start;
+  out->end = a.end;
+  out->makespan = op.optional ? base.makespan : std::max(base.makespan, a.end);
+  out->money = money;
+  out->num_ops = base.num_ops + 1;
+  out->gap_c = TimelineMaxGapWithInsert(tl, a, quantum);
+  Seconds mg = out->gap_c;
+  for (size_t i = 0; i < base.gap.size(); ++i) {
+    if (static_cast<int>(i) == c) continue;
+    mg = std::max(mg, base.gap[i]);
+  }
+  out->max_gap = mg;
+  out->valid = true;
+  return true;
+}
+
+void CommitPlacement(const PartialState& base, const Dag& dag,
+                     const PlacementProbe& probe, Seconds quantum,
+                     PartialState* out) {
+  *out = base;
+  int c = probe.container;
+  auto cs = static_cast<size_t>(c);
+  if (c >= static_cast<int>(out->timelines.size())) {
+    out->timelines.resize(cs + 1);
+    out->delivered.resize(cs + 1);
+    out->last_end.resize(cs + 1, 0.0);
+    out->quanta.resize(cs + 1, 0);
+    out->gap.resize(cs + 1, 0.0);
+  }
+  auto& tl = out->timelines[cs];
+  auto& dl = out->delivered[cs];
+  if (probe.n_newly <= PlacementProbe::kInlineDelivered) {
+    for (int i = 0; i < probe.n_newly; ++i) {
+      dl.insert(std::lower_bound(dl.begin(), dl.end(), probe.newly[i]),
+                probe.newly[i]);
+    }
+  } else {
+    // Inline list overflowed: recompute the newly staged producers exactly
+    // as the probe saw them (staging checked against the *base* delivered
+    // set, so duplicate flows stage duplicates, matching the probe's count).
+    const std::vector<int>* delivered_c =
+        c < static_cast<int>(base.delivered.size())
+            ? &base.delivered[cs]
+            : nullptr;
+    for (int fid : dag.in_flows(probe.op_id)) {
+      const Flow& f = dag.flows()[static_cast<size_t>(fid)];
+      if (base.op_container[static_cast<size_t>(f.from)] == c) continue;
+      bool staged =
+          delivered_c != nullptr &&
+          std::binary_search(delivered_c->begin(), delivered_c->end(), f.from);
+      if (!staged) {
+        dl.insert(std::lower_bound(dl.begin(), dl.end(), f.from), f.from);
+      }
+    }
+  }
+  Assignment a;
+  a.op_id = probe.op_id;
+  a.container = c;
+  a.start = probe.start;
+  a.end = probe.end;
+  a.optional = probe.optional;
+  InsertSorted(&tl, a);
+  out->last_end[cs] = std::max(out->last_end[cs], a.end);
+  out->quanta[cs] = std::max<int64_t>(1, QuantaCeil(out->last_end[cs], quantum));
+  out->gap[cs] = probe.gap_c;
+  out->makespan = probe.makespan;
+  out->money = probe.money;
+  out->num_ops = probe.num_ops;
+  out->max_gap = probe.max_gap;
+  out->op_finish[static_cast<size_t>(probe.op_id)] = probe.end;
+  out->op_container[static_cast<size_t>(probe.op_id)] = c;
+}
+
+ProbePool::ProbePool(int num_threads) {
+  // Deliberately not clamped to hardware_concurrency: determinism does not
+  // depend on the worker count, and tests exercise the parallel path on
+  // single-core machines too.
+  int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n - 1));
+  for (int i = 1; i < n; ++i) {
+    workers_.emplace_back(&ProbePool::WorkerLoop, this);
+  }
+}
+
+ProbePool::~ProbePool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ProbePool::Drain() {
+  const std::function<void(size_t)>* fn = fn_;
+  size_t count = count_;
+  for (;;) {
+    size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) break;
+    (*fn)(i);
+  }
+}
+
+void ProbePool::Run(size_t n, const std::function<void(size_t)>& fn) {
+  if (workers_.empty() || n == 0) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fn_ = &fn;
+    count_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    pending_workers_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  Drain();  // the calling thread participates
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [this] { return pending_workers_ == 0; });
+  fn_ = nullptr;
+}
+
+void ProbePool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      start_cv_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    Drain();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace dfim

@@ -1,86 +1,22 @@
 #include "sched/skyline_scheduler.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
+#include <memory>
 
 namespace dfim {
 namespace {
 
-/// A partial schedule kept in the working skyline.
-struct Partial {
-  /// Per-container sorted, non-overlapping assignments.
-  std::vector<std::vector<Assignment>> timelines;
-  /// Per-container sorted list of producer ops whose output has already
-  /// been staged there (an output is transferred once per container and
-  /// then served from local disk — paper §3/§6.1 caching).
-  std::vector<std::vector<int>> delivered;
-  /// Finish time per op id (-1 when unassigned).
-  std::vector<Seconds> op_finish;
-  /// Container per op id (-1 when unassigned).
-  std::vector<int> op_container;
-  Seconds makespan = 0;  // mandatory ops only
-  int64_t money = 0;     // leased quanta
-  int num_ops = 0;
-  /// Largest contiguous idle gap (tie-break: most sequential idle time).
-  Seconds max_gap = 0;
-};
-
-int64_t MoneyOf(const Partial& p, Seconds quantum) {
-  int64_t total = 0;
-  for (const auto& tl : p.timelines) {
-    if (tl.empty()) continue;
-    total += std::max<int64_t>(1, QuantaCeil(tl.back().end, quantum));
-  }
-  return total;
-}
-
-Seconds MaxGapOf(const Partial& p, Seconds quantum) {
-  Seconds best = 0;
-  for (const auto& tl : p.timelines) {
-    if (tl.empty()) continue;
-    Seconds cursor = 0;
-    for (const auto& a : tl) {
-      best = std::max(best, a.start - cursor);
-      cursor = std::max(cursor, a.end);
-    }
-    Seconds lease_end =
-        static_cast<double>(std::max<int64_t>(1, QuantaCeil(cursor, quantum))) *
-        quantum;
-    best = std::max(best, lease_end - cursor);
-  }
-  return best;
-}
-
-/// Earliest feasible start >= est of a `duration`-long interval on the
-/// timeline (gap insertion). Returns the start time.
-Seconds FindSlot(const std::vector<Assignment>& tl, Seconds est,
-                 Seconds duration) {
-  Seconds cursor = 0;
-  for (const auto& a : tl) {
-    Seconds candidate = std::max(est, cursor);
-    if (a.start - candidate >= duration - 1e-9) return candidate;
-    cursor = std::max(cursor, a.end);
-  }
-  return std::max(est, cursor);
-}
-
-void InsertSorted(std::vector<Assignment>* tl, const Assignment& a) {
-  auto it = std::lower_bound(
-      tl->begin(), tl->end(), a,
-      [](const Assignment& x, const Assignment& y) { return x.start < y.start; });
-  tl->insert(it, a);
-}
-
-/// Expands `base` by assigning `op` (duration `dur`) to container `c`.
-/// Returns false (and leaves `out` untouched) when the placement is
-/// infeasible or, for optional ops, when it would worsen time or money.
-bool Assign(const Partial& base, const Dag& dag, const Operator& op,
-            Seconds dur, int c, Seconds quantum, double net, Partial* out) {
-  // Earliest start: all parents finished. Cross-container flows are pulled
-  // over the consumer's NIC, serialized, so they extend the op's occupancy
-  // rather than just shifting its start. A producer's output is staged on a
-  // container once; colocated siblings read it from local disk for free.
+/// \brief Retained naive reference expansion of one candidate: deep-copies
+/// the base state, inserts the assignment, then recomputes every money/gap
+/// summary from scratch over all containers.
+///
+/// This is the pre-incremental O(|state| + containers x |timelines|) hot
+/// path; it is kept (behind SchedulerOptions::use_naive_expansion) as the
+/// ground truth the equivalence tests and the scaling bench compare the
+/// incremental/parallel engine against.
+bool NaiveAssign(const PartialState& base, const Dag& dag, const Operator& op,
+                 Seconds dur, int c, Seconds quantum, double net,
+                 PartialState* out) {
   Seconds est = 0;
   Seconds transfer_in = 0;
   std::vector<int> newly_delivered;
@@ -91,7 +27,7 @@ bool Assign(const Partial& base, const Dag& dag, const Operator& op,
   for (int fid : dag.in_flows(op.id)) {
     const Flow& f = dag.flows()[static_cast<size_t>(fid)];
     Seconds pf = base.op_finish[static_cast<size_t>(f.from)];
-    if (pf < 0) return false;  // parent unassigned (cannot happen in order)
+    if (pf < 0) return false;
     est = std::max(est, pf);
     if (base.op_container[static_cast<size_t>(f.from)] != c) {
       bool staged =
@@ -121,76 +57,20 @@ bool Assign(const Partial& base, const Dag& dag, const Operator& op,
   a.start = start;
   a.end = start + occupancy;
   a.optional = op.optional;
+  InsertSorted(&tl, a);
+  out->RecomputeCaches(quantum);
   if (op.optional) {
-    // Optional ops must not extend the lease (paper §5.3.2: schedules where
-    // they do are dominated and dropped). They may run past the dataflow
-    // makespan inside an already-paid quantum (Fig. 2c, B2), and gap
-    // insertion never delays mandatory ops.
-    int64_t money_before = base.money;
-    InsertSorted(&tl, a);
-    out->money = MoneyOf(*out, quantum);
-    if (out->money > money_before) return false;
+    if (out->money > base.money) return false;
   } else {
-    InsertSorted(&tl, a);
-    out->makespan = std::max(out->makespan, a.end);
-    out->money = MoneyOf(*out, quantum);
+    out->makespan = std::max(base.makespan, a.end);
   }
   out->op_finish[static_cast<size_t>(op.id)] = a.end;
   out->op_container[static_cast<size_t>(op.id)] = c;
   out->num_ops = base.num_ops + 1;
-  out->max_gap = MaxGapOf(*out, quantum);
   return true;
 }
 
-/// Non-dominated filtering on (makespan, money) with deterministic
-/// tie-breaks: more ops first (optional-op preference), then larger
-/// sequential idle gap (§5.3.1), capped at `cap` evenly spaced survivors.
-void ParetoPrune(std::vector<Partial>* pool, int cap) {
-  std::sort(pool->begin(), pool->end(), [](const Partial& a, const Partial& b) {
-    if (std::fabs(a.makespan - b.makespan) > 1e-9) {
-      return a.makespan < b.makespan;
-    }
-    if (a.money != b.money) return a.money < b.money;
-    if (a.num_ops != b.num_ops) return a.num_ops > b.num_ops;
-    return a.max_gap > b.max_gap;
-  });
-  std::vector<Partial> kept;
-  int64_t best_money = std::numeric_limits<int64_t>::max();
-  Seconds last_time = -1;
-  for (auto& p : *pool) {
-    if (p.money < best_money) {
-      // First (fastest) entry at this money level; skip duplicates of the
-      // same makespan (the sort already ordered preferred ones first).
-      if (!kept.empty() && TimeEq(kept.back().makespan, p.makespan) &&
-          kept.back().money == p.money) {
-        continue;
-      }
-      kept.push_back(std::move(p));
-      best_money = kept.back().money;
-      last_time = kept.back().makespan;
-    }
-  }
-  (void)last_time;
-  if (cap > 0 && static_cast<int>(kept.size()) > cap) {
-    // Keep evenly spaced representatives, always including the fastest and
-    // the cheapest endpoints.
-    std::vector<Partial> sampled;
-    sampled.reserve(static_cast<size_t>(cap));
-    double step =
-        static_cast<double>(kept.size() - 1) / static_cast<double>(cap - 1);
-    size_t prev = std::numeric_limits<size_t>::max();
-    for (int i = 0; i < cap; ++i) {
-      auto idx = static_cast<size_t>(std::llround(i * step));
-      if (idx == prev) continue;
-      sampled.push_back(std::move(kept[idx]));
-      prev = idx;
-    }
-    kept = std::move(sampled);
-  }
-  *pool = std::move(kept);
-}
-
-Schedule ToSchedule(const Partial& p) {
+Schedule ToSchedule(const PartialState& p) {
   Schedule s;
   for (const auto& tl : p.timelines) {
     for (const auto& a : tl) s.Add(a);
@@ -219,41 +99,120 @@ Result<std::vector<Schedule>> SkylineScheduler::ScheduleDag(
     return dag.op(a).gain > dag.op(b).gain;
   });
 
-  Partial empty;
-  empty.op_finish.assign(dag.num_ops(), -1.0);
-  empty.op_container.assign(dag.num_ops(), -1);
-  std::vector<Partial> skyline{empty};
+  PartialState empty;
+  empty.Reset(dag.num_ops());
+  std::vector<PartialState> skyline{empty};
 
-  auto expand = [this, &dag, &durations, &skyline](int op_id, bool keep_base) {
+  // Naive reference engine: materialize every candidate, then prune.
+  auto expand_naive = [this, &dag, &durations, &skyline](int op_id,
+                                                         bool keep_base) {
     const Operator& op = dag.op(op_id);
     Seconds dur = durations[static_cast<size_t>(op_id)];
-    std::vector<Partial> pool;
-    for (const Partial& base : skyline) {
+    std::vector<PartialState> pool;
+    for (const PartialState& base : skyline) {
       if (keep_base) pool.push_back(base);
       int used = static_cast<int>(base.timelines.size());
       int limit = std::min(opts_.max_containers, used + 1);
       for (int c = 0; c < limit; ++c) {
-        Partial next;
-        if (Assign(base, dag, op, dur, c, opts_.quantum, opts_.net_mb_per_sec,
-                   &next)) {
+        PartialState next;
+        if (NaiveAssign(base, dag, op, dur, c, opts_.quantum,
+                        opts_.net_mb_per_sec, &next)) {
           pool.push_back(std::move(next));
         }
       }
     }
     if (!pool.empty()) {
-      ParetoPrune(&pool, opts_.skyline_cap);
+      SkylinePrune(&pool, opts_.skyline_cap);
       skyline = std::move(pool);
     }
   };
 
-  for (int id : mandatory) expand(id, /*keep_base=*/false);
-  if (place_optional) {
-    for (int id : optional) expand(id, /*keep_base=*/true);
+  // Incremental engine: probe every candidate copy-free, prune the probes,
+  // materialize only the survivors. Buffers are pooled across rounds.
+  std::unique_ptr<ProbePool> pool;
+  if (!opts_.use_naive_expansion && opts_.num_threads > 1) {
+    pool = std::make_unique<ProbePool>(opts_.num_threads);
+  }
+  std::vector<PlacementProbe> probes;
+  std::vector<size_t> slot_off;
+  std::vector<PartialState> next_sky;
+
+  auto expand = [this, &dag, &durations, &skyline, &pool, &probes, &slot_off,
+                 &next_sky](int op_id, bool keep_base) {
+    const Operator& op = dag.op(op_id);
+    Seconds dur = durations[static_cast<size_t>(op_id)];
+    // Slot layout per base: [keep-base?] then one slot per candidate
+    // container. Slot order equals the naive enumeration order, which makes
+    // the parallel merge (and thus the whole search) bit-identical to
+    // serial and naive runs.
+    const size_t kb = keep_base ? 1 : 0;
+    slot_off.clear();
+    size_t total = 0;
+    for (const PartialState& base : skyline) {
+      slot_off.push_back(total);
+      int used = static_cast<int>(base.timelines.size());
+      total += kb + static_cast<size_t>(std::min(opts_.max_containers, used + 1));
+    }
+    probes.assign(total, PlacementProbe{});
+    auto eval = [&](size_t k) {
+      auto it = std::upper_bound(slot_off.begin(), slot_off.end(), k);
+      auto b = static_cast<size_t>(it - slot_off.begin()) - 1;
+      size_t rel = k - slot_off[b];
+      PlacementProbe* out = &probes[k];
+      const PartialState& base = skyline[b];
+      if (kb != 0 && rel == 0) {
+        out->base = static_cast<int>(b);
+        out->container = PlacementProbe::kKeepBase;
+        out->makespan = base.makespan;
+        out->money = base.money;
+        out->num_ops = base.num_ops;
+        out->max_gap = base.max_gap;
+        out->valid = true;
+        return;
+      }
+      int c = static_cast<int>(rel - kb);
+      ProbePlacement(base, static_cast<int>(b), dag, op, dur, c, opts_.quantum,
+                     opts_.net_mb_per_sec, out);
+    };
+    if (pool != nullptr) {
+      pool->Run(total, eval);
+    } else {
+      for (size_t k = 0; k < total; ++k) eval(k);
+    }
+    probes.erase(std::remove_if(probes.begin(), probes.end(),
+                                [](const PlacementProbe& p) { return !p.valid; }),
+                 probes.end());
+    if (probes.empty()) return;
+    SkylinePrune(&probes, opts_.skyline_cap);
+    next_sky.clear();
+    next_sky.reserve(probes.size());
+    for (const PlacementProbe& p : probes) {
+      if (p.container == PlacementProbe::kKeepBase) {
+        next_sky.push_back(skyline[static_cast<size_t>(p.base)]);
+      } else {
+        next_sky.emplace_back();
+        CommitPlacement(skyline[static_cast<size_t>(p.base)], dag, p,
+                        opts_.quantum, &next_sky.back());
+      }
+    }
+    skyline.swap(next_sky);
+  };
+
+  if (opts_.use_naive_expansion) {
+    for (int id : mandatory) expand_naive(id, /*keep_base=*/false);
+    if (place_optional) {
+      for (int id : optional) expand_naive(id, /*keep_base=*/true);
+    }
+  } else {
+    for (int id : mandatory) expand(id, /*keep_base=*/false);
+    if (place_optional) {
+      for (int id : optional) expand(id, /*keep_base=*/true);
+    }
   }
 
   std::vector<Schedule> out;
   out.reserve(skyline.size());
-  for (const Partial& p : skyline) out.push_back(ToSchedule(p));
+  for (const PartialState& p : skyline) out.push_back(ToSchedule(p));
   return out;
 }
 

@@ -5,25 +5,10 @@
 
 #include "common/result.h"
 #include "dataflow/dag.h"
+#include "sched/partial_state.h"
 #include "sched/schedule.h"
 
 namespace dfim {
-
-/// \brief Options plugged into the schedulers (paper: "a pricing model is
-/// plugged to the scheduler").
-struct SchedulerOptions {
-  /// Maximum containers a schedule may use (Table 3: 100).
-  int max_containers = 100;
-  /// Pricing quantum TQ in seconds.
-  Seconds quantum = 60.0;
-  /// Network bandwidth between containers / storage (1 Gbps = 125 MB/s).
-  double net_mb_per_sec = 125.0;
-  /// Maximum number of non-dominated partial schedules kept per iteration.
-  /// The skyline is capped for tractability (the underlying scheduler of
-  /// the paper's reference [12] prunes the same way); capping keeps the
-  /// evenly-spaced representatives along the time axis.
-  int skyline_cap = 8;
-};
 
 /// \brief The skyline dataflow scheduler (Algorithm 4) plus the optional-
 /// operator extension used by online interleaving (§5.3.2).
@@ -40,6 +25,16 @@ struct SchedulerOptions {
 ///
 /// Operators are placed into the earliest gap that fits (insertion-based
 /// list scheduling), so dependency stalls become usable idle slots.
+///
+/// Candidate expansion is two-phase: a copy-free *probe* evaluates every
+/// (base, container) placement from the touched container's timeline plus
+/// cached per-container money/gap summaries, the skyline prune runs over
+/// the lightweight probes, and only the <= skyline_cap survivors are
+/// *committed* (one state copy each). SchedulerOptions::num_threads > 1
+/// fans the probes over a pool with slot-deterministic merge order, and
+/// SchedulerOptions::use_naive_expansion selects the retained
+/// copy-everything reference engine; all three modes return bit-identical
+/// schedules.
 class SkylineScheduler {
  public:
   explicit SkylineScheduler(SchedulerOptions options) : opts_(options) {}

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 #include <map>
 
+#include "sched/skyline_scheduler.h"
 #include "sched_test_util.h"
 
 namespace dfim {
