@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Builds the scheduler scaling bench in Release (-O2 -DNDEBUG) and emits
-# BENCH_sched.json at the repo root.
+# Builds the benches in Release (-O2 -DNDEBUG) and emits BENCH_sched.json
+# and BENCH_faults.json at the repo root.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -8,6 +8,7 @@ BUILD="$ROOT/build-release"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
     -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
-cmake --build "$BUILD" -j --target bench_sched_scale
+cmake --build "$BUILD" -j --target bench_sched_scale bench_faults
 
 "$BUILD/bench/bench_sched_scale" "$ROOT/BENCH_sched.json"
+"$BUILD/bench/bench_faults" "$ROOT/BENCH_faults.json"

@@ -1,0 +1,75 @@
+#include "cloud/fault_model.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace dfim {
+namespace {
+
+/// splitmix64 finalizer: the standard 64-bit avalanche mix.
+uint64_t Avalanche(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-independent counter-based stream key.
+uint64_t Mix(uint64_t seed, uint64_t a, uint64_t b, uint64_t stream) {
+  return Avalanche(Avalanche(Avalanche(seed ^ stream) ^ a) ^ b);
+}
+
+constexpr uint64_t kCrashStream = 0x63726173ULL;     // "cras"
+constexpr uint64_t kStragglerStream = 0x73747261ULL; // "stra"
+constexpr uint64_t kStorageStream = 0x73746f72ULL;   // "stor"
+
+/// Uniform double in [0, 1) from one hashed value.
+double ToUnit(uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultTrace FaultModel::DrawTrace(uint64_t run_key, int num_containers,
+                                 Seconds horizon, Seconds quantum) const {
+  FaultTrace trace;
+  if (num_containers <= 0) return trace;
+  trace.containers.resize(static_cast<size_t>(num_containers));
+  if (!enabled()) return trace;
+  // Cover overruns past the planned horizon (stragglers, estimation error):
+  // hazard draws extend a margin of quanta beyond it.
+  int64_t max_q = QuantaCeil(std::max(horizon, quantum), quantum) + 8;
+  for (int c = 0; c < num_containers; ++c) {
+    auto& f = trace.containers[static_cast<size_t>(c)];
+    if (opts_.crash_rate > 0) {
+      // Per-quantum hazard: the first losing draw kills the container at a
+      // uniform instant inside that quantum (spot preemption is unannounced).
+      Rng rng(Mix(opts_.seed, run_key, static_cast<uint64_t>(c), kCrashStream));
+      for (int64_t q = 0; q < max_q; ++q) {
+        if (rng.Uniform() < opts_.crash_rate) {
+          f.crash_at = (static_cast<double>(q) + rng.Uniform()) * quantum;
+          break;
+        }
+      }
+    }
+    if (opts_.straggler_rate > 0) {
+      Rng rng(
+          Mix(opts_.seed, run_key, static_cast<uint64_t>(c), kStragglerStream));
+      if (rng.Uniform() < opts_.straggler_rate) {
+        f.slowdown = rng.Uniform(opts_.straggler_slowdown_min,
+                                 opts_.straggler_slowdown_max);
+      }
+    }
+  }
+  return trace;
+}
+
+bool FaultModel::StorageOpFaults(uint64_t run_key, uint64_t op_key) const {
+  if (opts_.storage_fault_rate <= 0) return false;
+  return ToUnit(Mix(opts_.seed, run_key, op_key, kStorageStream)) <
+         opts_.storage_fault_rate;
+}
+
+}  // namespace dfim

@@ -1,0 +1,106 @@
+#ifndef DFIM_CLOUD_FAULT_MODEL_H_
+#define DFIM_CLOUD_FAULT_MODEL_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dfim {
+
+/// Sentinel crash time for containers that never fail.
+inline constexpr Seconds kNeverFails = std::numeric_limits<double>::infinity();
+
+/// \brief Fault-injection rates (paper §3 cloud model, stressed).
+///
+/// The paper's model is explicit that a deleted/failed container loses its
+/// local disk and that index partitions only survive when persisted to the
+/// storage service. These knobs exercise that machinery: container
+/// crash/spot-preemption (per-quantum hazard), per-container straggler
+/// slowdowns, and transient storage faults on reads (latency spike) and
+/// writes (fail + retry). All rates zero (the default) disables injection
+/// entirely — the zero-fault pipeline is a strict no-op.
+struct FaultOptions {
+  /// Probability a container dies within any given leased quantum.
+  double crash_rate = 0;
+  /// Probability a container is a straggler for one dataflow execution.
+  double straggler_rate = 0;
+  /// Straggler slowdown factor range (CPU and transfers stretch by it).
+  double straggler_slowdown_min = 1.5;
+  double straggler_slowdown_max = 3.0;
+  /// Probability one storage-service operation (read of an input, Put of a
+  /// built index partition) hits a transient fault.
+  double storage_fault_rate = 0;
+  /// Latency added to a faulted storage read (the read still completes).
+  Seconds storage_fault_latency = 30.0;
+  /// Seed of the fault universe; independent of all other seeds.
+  uint64_t seed = 1;
+
+  bool enabled() const {
+    return crash_rate > 0 || straggler_rate > 0 || storage_fault_rate > 0;
+  }
+};
+
+/// \brief Pre-drawn faults of one container for one execution.
+struct ContainerFaults {
+  /// Schedule-relative instant the container dies (kNeverFails if never).
+  /// Everything unfinished at that instant — dataflow ops, build ops, the
+  /// local-disk cache — is lost (paper §3).
+  Seconds crash_at = kNeverFails;
+  /// Multiplier (>= 1) on CPU time and transfers; 1.0 = healthy.
+  double slowdown = 1.0;
+
+  bool crashes() const { return crash_at < kNeverFails; }
+  bool straggles() const { return slowdown > 1.0; }
+};
+
+/// \brief A reproducible fault trace for one execution attempt.
+struct FaultTrace {
+  std::vector<ContainerFaults> containers;
+
+  bool any() const {
+    for (const auto& c : containers) {
+      if (c.crashes() || c.straggles()) return true;
+    }
+    return false;
+  }
+};
+
+/// \brief Deterministic, seeded fault source.
+///
+/// Every draw is a pure function of (seed, run_key, stream, index) via
+/// counter-based hashing, so traces are bit-identical across runs with the
+/// same seed regardless of call order, and the model never perturbs any
+/// other RNG stream (the zero-fault path stays bit-identical to a build
+/// without fault injection).
+class FaultModel {
+ public:
+  explicit FaultModel(const FaultOptions& opts) : opts_(opts) {}
+
+  const FaultOptions& options() const { return opts_; }
+  bool enabled() const { return opts_.enabled(); }
+
+  /// \brief Pre-draws the fault trace for one execution attempt.
+  ///
+  /// `run_key` identifies the attempt (e.g. hash of dataflow id and retry
+  /// number); `horizon` bounds the crash-hazard walk (crashes are drawn per
+  /// leased quantum up to a margin past the horizon, so late overruns are
+  /// still covered).
+  FaultTrace DrawTrace(uint64_t run_key, int num_containers, Seconds horizon,
+                       Seconds quantum) const;
+
+  /// \brief Deterministic transient-fault draw for one storage operation.
+  ///
+  /// `op_key` identifies the operation within the run (op id for reads,
+  /// a persist key + attempt number for Put retries), so a retry of the
+  /// same operation re-draws independently.
+  bool StorageOpFaults(uint64_t run_key, uint64_t op_key) const;
+
+ private:
+  FaultOptions opts_;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_CLOUD_FAULT_MODEL_H_

@@ -1,11 +1,16 @@
 #include "cloud/storage_service.h"
 
-#include <cassert>
+#include "common/logging.h"
 
 namespace dfim {
 
 void StorageService::Settle(Seconds now) {
-  assert(now + 1e-9 >= last_billed_);
+  // Billing time never runs backwards: a regression would accrue negative
+  // MB·quanta. Clamp to the last billed instant — the mutation itself still
+  // applies, billed from the high-water mark. (Put/Delete legitimately
+  // arrive slightly out of order when callers register a batch of objects
+  // grouped by container; only AdvanceTo treats a regression as a caller
+  // bug worth logging.)
   if (now <= last_billed_) return;
   double quanta = (now - last_billed_) / pricing_.quantum;
   accrued_mb_quanta_ += used_ * quanta;
@@ -42,6 +47,13 @@ MegaBytes StorageService::SizeOf(const std::string& path) const {
   return it == objects_.end() ? 0 : it->second;
 }
 
-void StorageService::AdvanceTo(Seconds now) { Settle(now); }
+void StorageService::AdvanceTo(Seconds now) {
+  if (now < last_billed_ - 1e-9) {
+    DFIM_LOG(kWarn) << "StorageService::AdvanceTo: time regression " << now
+                    << " < " << last_billed_ << "; clamping";
+    return;
+  }
+  Settle(now);
+}
 
 }  // namespace dfim

@@ -41,7 +41,10 @@ class StorageService {
   /// \brief Advances the billing clock, accruing storage cost.
   ///
   /// Must be called with non-decreasing times; Put/Delete internally settle
-  /// the bill up to their own timestamp first.
+  /// the bill up to their own timestamp first. A time regression is clamped
+  /// to the last billed instant — logged as a caller bug here, silently for
+  /// Put/Delete (object batches legitimately arrive slightly out of order) —
+  /// rather than accruing negative MB·quanta.
   void AdvanceTo(Seconds now);
 
   /// Dollars accrued so far (up to the last AdvanceTo/Put/Delete).

@@ -119,8 +119,27 @@ Result<TunerDecision> QaasService::BaselineDecision(const Dataflow& df) {
   return d;
 }
 
-Result<Seconds> QaasService::RunOne(const Dataflow& df, Seconds start,
-                                    ServiceMetrics* metrics) {
+namespace {
+
+/// Deterministic per-persist-attempt key (FNV-1a over the partition path
+/// plus the retry number) for the storage-fault draws.
+uint64_t PersistKey(const std::string& index_id, int partition, int retry) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char ch : index_id) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= static_cast<uint64_t>(partition) * 0x9e3779b97f4a7c15ULL;
+  h *= 0x100000001b3ULL;
+  h ^= static_cast<uint64_t>(retry);
+  return h * 0x100000001b3ULL;
+}
+
+}  // namespace
+
+Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
+                                                    Seconds start,
+                                                    ServiceMetrics* metrics) {
   bool tuned = opts_.policy == IndexPolicy::kGain ||
                opts_.policy == IndexPolicy::kGainNoDelete;
   TunerDecision decision;
@@ -133,107 +152,320 @@ Result<Seconds> QaasService::RunOne(const Dataflow& df, Seconds start,
     DFIM_ASSIGN_OR_RETURN(decision, BaselineDecision(df));
   }
 
-  // Execute on pooled containers (warm caches when leases overlap).
-  int nc = std::max(1, decision.chosen.num_containers());
-  std::vector<Container*> containers = AcquireContainers(nc, start);
+  FaultModel fault_model(opts_.faults);
+  const bool inject = fault_model.enabled();
+
   SimOptions sim = opts_.sim;
   sim.quantum = opts_.tuner.sched.quantum;
   sim.net_mb_per_sec = opts_.tuner.sched.net_mb_per_sec;
-  sim.seed = opts_.seed ^ (static_cast<uint64_t>(df.id) * 0x9e3779b9ULL);
-  ExecSimulator simulator(sim);
-  DFIM_ASSIGN_OR_RETURN(
-      ExecResult exec,
-      simulator.Run(decision.combined, decision.chosen, decision.costs,
-                    &containers));
 
-  Seconds finish = start + exec.makespan;
+  // Attempt 0 executes the full combined DAG (dataflow + piggybacked build
+  // ops). When a crash loses mandatory operators, recovery attempts
+  // reschedule only the unfinished suffix — re-paying the quanta — onto
+  // fresh/surviving containers; lost build ops are simply dropped (a lost
+  // piggybacked build must never stall the dataflow).
+  const Dag* cur_dag = &decision.combined;
+  const Schedule* cur_plan = &decision.chosen;
+  const std::vector<SimOpCost>* cur_costs = &decision.costs;
+  Dag suffix_dag;
+  Schedule suffix_plan;
+  std::vector<SimOpCost> suffix_costs;
+  std::vector<int> orig_ids;  // suffix op id -> combined op id (attempt > 0)
 
-  // Lease bookkeeping: extend each container through its realized end.
-  for (int c = 0; c < nc; ++c) {
-    Seconds last = 0;
-    for (const auto& a : exec.actual.ContainerTimeline(c)) {
-      last = std::max(last, a.end);
+  // Mandatory ops (combined-id space) that completed on a still-live
+  // container across attempts.
+  std::vector<char> done(decision.combined.num_ops(), 0);
+  Seconds elapsed = 0;
+  int64_t total_leased = 0;
+  bool failed = false;
+  // Builds may complete inside the already-paid lease tail past the
+  // dataflow makespan, so their persist times can exceed `finish`; storage
+  // must settle through the latest Put, not just the dataflow's end.
+  Seconds last_persist = 0;
+
+  for (int attempt = 0;; ++attempt) {
+    int nc = std::max(1, cur_plan->num_containers());
+    std::vector<Container*> containers = AcquireContainers(nc, start + elapsed);
+    sim.seed = opts_.seed ^ (static_cast<uint64_t>(df.id) * 0x9e3779b9ULL);
+    if (attempt > 0) {
+      sim.seed ^= static_cast<uint64_t>(attempt) * 0x517cc1b727220a95ULL;
     }
-    if (last > 0) containers[static_cast<size_t>(c)]->ExtendLeaseTo(start + last);
-  }
+    ExecSimulator simulator(sim);
+    FaultInjection fi;
+    const FaultInjection* fip = nullptr;
+    if (inject) {
+      fi.model = &fault_model;
+      fi.run_key = static_cast<uint64_t>(df.id) * 0x100000001b3ULL +
+                   static_cast<uint64_t>(attempt);
+      fi.trace = fault_model.DrawTrace(fi.run_key, nc, cur_plan->TotalSpan(),
+                                       sim.quantum);
+      fip = &fi;
+    }
+    DFIM_ASSIGN_OR_RETURN(ExecResult exec,
+                          simulator.Run(*cur_dag, *cur_plan, *cur_costs,
+                                        &containers, fip));
 
-  // Register completed index partitions.
-  for (const auto& b : exec.builds) {
-    Status st = catalog_->MarkIndexPartitionBuilt(b.index_id, b.partition,
-                                                  start + b.finish);
-    if (st.ok()) {
-      auto def = catalog_->GetIndexDef(b.index_id);
-      auto state = catalog_->GetIndexState(b.index_id);
-      if (def.ok() && state.ok()) {
-        const auto& part = (*state)->part(static_cast<size_t>(b.partition));
-        storage_.Put((*def)->PartitionPath(b.partition), part.size,
-                     start + b.finish);
+    // Lease bookkeeping: extend each container through its realized end.
+    for (int c = 0; c < nc; ++c) {
+      Seconds last = 0;
+      for (const auto& a : exec.actual.ContainerTimeline(c)) {
+        last = std::max(last, a.end);
       }
-      ++metrics->index_partitions_built;
-      // A fresh build counts as a reference: the grace clock starts now.
-      Seconds built_at = start + b.finish;
-      auto [it, inserted] = last_useful_.try_emplace(b.index_id, built_at);
-      if (!inserted) it->second = std::max(it->second, built_at);
-      if (opts_.resumable_builds) {
-        build_progress_.erase({b.index_id, b.partition});
+      if (last > 0) {
+        containers[static_cast<size_t>(c)]->ExtendLeaseTo(start + elapsed +
+                                                          last);
       }
     }
-  }
-  if (opts_.resumable_builds) {
-    for (const auto& k : exec.kills) {
-      build_progress_[{k.index_id, k.partition}] += k.ran_for;
+
+    // Crashed containers are gone: the provider stops charging and their
+    // local disks — caches, staged outputs, partial builds — are lost
+    // (paper §3). Evict them from the pool so the next acquisition leases
+    // fresh, cold containers.
+    if (!exec.failed_containers.empty()) {
+      std::set<const Container*> dead;
+      for (int c : exec.failed_containers) {
+        dead.insert(containers[static_cast<size_t>(c)]);
+      }
+      std::erase_if(pool_, [&dead](const std::unique_ptr<Container>& c) {
+        return dead.count(c.get()) > 0;
+      });
+      metrics->containers_failed +=
+          static_cast<int>(exec.failed_containers.size());
     }
+    metrics->storage_faults += exec.storage_faults;
+
+    // Register completed index partitions. Each is persisted to the storage
+    // service at completion; under fault injection the Put may fail
+    // transiently and retries with capped exponential backoff. A partition
+    // that was never persisted gets no catalog entry — a dead container
+    // cannot resend from its lost local disk, so its builds get only the
+    // completion-time attempt.
+    Seconds persist_delay = 0;
+    for (const auto& b : exec.builds) {
+      if (inject) {
+        bool container_died = false;
+        for (int c : exec.failed_containers) {
+          container_died |= c == b.container;
+        }
+        int retries = container_died ? 0 : opts_.storage_put_max_retries;
+        bool persisted = false;
+        Seconds backoff = opts_.storage_backoff_initial;
+        for (int r = 0; r <= retries; ++r) {
+          if (!fault_model.StorageOpFaults(
+                  fi.run_key, PersistKey(b.index_id, b.partition, r))) {
+            persisted = true;
+            break;
+          }
+          ++metrics->storage_retries;
+          if (r < retries) {
+            persist_delay += backoff;
+            backoff = std::min(backoff * 2.0, opts_.storage_backoff_cap);
+          }
+        }
+        if (!persisted) {
+          ++metrics->builds_discarded;
+          continue;
+        }
+      }
+      Seconds built_at = start + elapsed + b.finish;
+      Status st =
+          catalog_->MarkIndexPartitionBuilt(b.index_id, b.partition, built_at);
+      if (st.ok()) {
+        auto def = catalog_->GetIndexDef(b.index_id);
+        auto state = catalog_->GetIndexState(b.index_id);
+        if (def.ok() && state.ok()) {
+          const auto& part = (*state)->part(static_cast<size_t>(b.partition));
+          storage_.Put((*def)->PartitionPath(b.partition), part.size,
+                       built_at);
+          last_persist = std::max(last_persist, built_at);
+        }
+        ++metrics->index_partitions_built;
+        // A fresh build counts as a reference: the grace clock starts now.
+        auto [it, inserted] = last_useful_.try_emplace(b.index_id, built_at);
+        if (!inserted) it->second = std::max(it->second, built_at);
+        if (opts_.resumable_builds) {
+          build_progress_.erase({b.index_id, b.partition});
+        }
+      }
+    }
+    if (opts_.resumable_builds) {
+      // Preempted builds keep their progress; crash-lost builds do not
+      // (they are in lost_ops, not kills — the partial work died with the
+      // container's disk).
+      for (const auto& k : exec.kills) {
+        // A build preempted before it got any CPU leaves no useful progress.
+        if (k.ran_for > 0) {
+          build_progress_[{k.index_id, k.partition}] += k.ran_for;
+        }
+      }
+    }
+
+    // Attempt accounting. The realized span covers completed work and the
+    // crash instants; persist backoff extends the dataflow's wall time.
+    Seconds attempt_end = exec.makespan;
+    for (Seconds t : exec.failure_times) {
+      attempt_end = std::max(attempt_end, t);
+    }
+    elapsed += attempt_end + persist_delay;
+    total_leased += exec.leased_quanta;
+    metrics->total_vm_quanta += exec.leased_quanta;
+    metrics->total_ops += exec.executed_ops;
+    metrics->killed_ops += exec.killed_builds;
+    if (attempt > 0) {
+      metrics->recovery_quanta += exec.leased_quanta;
+      metrics->ops_reexecuted += exec.executed_ops;
+    }
+
+    if (exec.complete) break;
+
+    // ---- Recovery: compute the unfinished suffix (combined-id space). ----
+    if (attempt >= opts_.max_recovery_attempts) {
+      failed = true;
+      ++metrics->dataflows_failed;
+      break;
+    }
+    auto to_orig = [&](int local) {
+      return attempt == 0 ? local : orig_ids[static_cast<size_t>(local)];
+    };
+    std::set<int> needed;
+    for (const auto& l : exec.lost_ops) {
+      if (!l.optional) needed.insert(to_orig(l.op_id));
+    }
+    // Producers that finished this attempt on a crashed container lost
+    // their outputs with the local disk: any such producer feeding a needed
+    // op must re-run too (transitively).
+    std::set<int> crashed(exec.failed_containers.begin(),
+                          exec.failed_containers.end());
+    std::vector<int> cur_placed(cur_dag->num_ops(), -1);
+    for (const auto& a : cur_plan->assignments()) {
+      cur_placed[static_cast<size_t>(a.op_id)] = a.container;
+    }
+    std::vector<char> ran_here(decision.combined.num_ops(), 0);
+    std::vector<int> on_crashed;  // combined ids finished on dead containers
+    for (const auto& op : cur_dag->ops()) {
+      if (op.optional) continue;
+      int orig = to_orig(op.id);
+      ran_here[static_cast<size_t>(orig)] = 1;
+      if (crashed.count(cur_placed[static_cast<size_t>(op.id)]) > 0) {
+        on_crashed.push_back(orig);
+      }
+    }
+    std::sort(on_crashed.begin(), on_crashed.end());
+    for (bool grew = true; grew;) {
+      grew = false;
+      for (const auto& f : decision.combined.flows()) {
+        if (needed.count(f.to) == 0 || needed.count(f.from) > 0) continue;
+        if (std::binary_search(on_crashed.begin(), on_crashed.end(), f.from)) {
+          needed.insert(f.from);
+          grew = true;
+        }
+      }
+    }
+    // Everything that ran this attempt and is not needed again is done.
+    for (size_t i = 0; i < done.size(); ++i) {
+      if (ran_here[i] && needed.count(static_cast<int>(i)) == 0) done[i] = 1;
+    }
+
+    // ---- Build and schedule the suffix DAG. ------------------------------
+    std::map<int, int> remap;  // combined id -> suffix id (needed is sorted)
+    suffix_dag = Dag();
+    suffix_costs.clear();
+    orig_ids.clear();
+    for (int orig : needed) {
+      Operator op = decision.combined.op(orig);
+      int nid = suffix_dag.AddOperator(std::move(op));
+      remap[orig] = nid;
+      orig_ids.push_back(orig);
+      suffix_costs.push_back(decision.costs[static_cast<size_t>(orig)]);
+    }
+    std::vector<Seconds> suffix_durations;
+    for (int orig : needed) {
+      suffix_durations.push_back(
+          decision.durations[static_cast<size_t>(orig)]);
+    }
+    for (const auto& f : decision.combined.flows()) {
+      auto it_to = remap.find(f.to);
+      if (it_to == remap.end()) continue;
+      auto it_from = remap.find(f.from);
+      if (it_from != remap.end()) {
+        DFIM_RETURN_NOT_OK(
+            suffix_dag.AddFlow(it_from->second, it_to->second, f.size));
+      } else if (done[static_cast<size_t>(f.from)]) {
+        // The producer's output survives on a live container or can be
+        // restaged: the re-executed consumer re-pays the transfer as an
+        // external input (and its content no longer matches any cache key).
+        auto& cost = suffix_costs[static_cast<size_t>(it_to->second)];
+        cost.input_mb += f.size;
+        cost.cache_key.clear();
+        suffix_durations[static_cast<size_t>(it_to->second)] +=
+            f.size / opts_.tuner.sched.net_mb_per_sec;
+      }
+    }
+    SkylineScheduler rescheduler(opts_.tuner.sched);
+    DFIM_ASSIGN_OR_RETURN(std::vector<Schedule> sky,
+                          rescheduler.ScheduleDag(suffix_dag, suffix_durations,
+                                                  /*place_optional=*/false));
+    if (sky.empty()) return Status::Internal("empty recovery skyline");
+    suffix_plan = std::move(sky.front());
+    cur_dag = &suffix_dag;
+    cur_plan = &suffix_plan;
+    cur_costs = &suffix_costs;
   }
 
-  // Record history: what-if gains of every candidate index (the paper's Hd
-  // stores each dataflow with its specified indexes and their gains).
-  DataflowRecord rec;
-  rec.dataflow_id = df.id;
-  rec.app = df.app;
-  rec.finished_at = finish;
-  rec.time_quanta = exec.makespan / opts_.tuner.sched.quantum;
-  rec.money_quanta = static_cast<double>(exec.leased_quanta);
-  for (const auto& idx : df.candidate_indexes) {
-    double g = tuner_.EstimateDataflowGain(df, idx);
-    if (g > 0) {
-      rec.time_gain[idx] = g;
-      rec.money_gain[idx] = g;
-      last_useful_[idx] = finish;
-    }
-  }
+  Seconds finish = start + elapsed;
 
-  // Deletions (Gain policy only; Random/NoDelete never delete). An index is
-  // only dropped once it has gone unreferenced for the grace period, so a
-  // single low-speedup draw does not evict an otherwise hot index.
-  Seconds grace = opts_.deletion_grace_quanta * opts_.tuner.sched.quantum;
-  for (const auto& idx : decision.to_delete) {
-    auto it = last_useful_.find(idx);
-    // Unknown reference times count as fresh (conservative: never delete an
-    // index whose usage we have not observed yet).
-    if (it == last_useful_.end() || finish - it->second < grace) continue;
-    if (std::getenv("DFIM_DEBUG_DELETE") != nullptr) {
-      std::fprintf(stderr, "[delete] t=%.1fq idx=%s age=%.1fq\n",
-                   finish / opts_.tuner.sched.quantum, idx.c_str(),
-                   (finish - it->second) / opts_.tuner.sched.quantum);
+  if (!failed) {
+    // Record history: what-if gains of every candidate index (the paper's
+    // Hd stores each dataflow with its specified indexes and their gains).
+    // Failed dataflows record nothing — they produced no result.
+    DataflowRecord rec;
+    rec.dataflow_id = df.id;
+    rec.app = df.app;
+    rec.finished_at = finish;
+    rec.time_quanta = elapsed / opts_.tuner.sched.quantum;
+    rec.money_quanta = static_cast<double>(total_leased);
+    for (const auto& idx : df.candidate_indexes) {
+      double g = tuner_.EstimateDataflowGain(df, idx);
+      if (g > 0) {
+        rec.time_gain[idx] = g;
+        rec.money_gain[idx] = g;
+        last_useful_[idx] = finish;
+      }
     }
-    auto dropped = catalog_->DropIndex(idx);
-    if (dropped.ok() && !dropped->empty()) {
-      for (const auto& path : *dropped) storage_.Delete(path, finish);
-      ++metrics->indexes_deleted;
+
+    // Deletions (Gain policy only; Random/NoDelete never delete). An index
+    // is only dropped once it has gone unreferenced for the grace period,
+    // so a single low-speedup draw does not evict an otherwise hot index.
+    Seconds grace = opts_.deletion_grace_quanta * opts_.tuner.sched.quantum;
+    for (const auto& idx : decision.to_delete) {
+      auto it = last_useful_.find(idx);
+      // Unknown reference times count as fresh (conservative: never delete
+      // an index whose usage we have not observed yet).
+      if (it == last_useful_.end() || finish - it->second < grace) continue;
+      if (std::getenv("DFIM_DEBUG_DELETE") != nullptr) {
+        std::fprintf(stderr, "[delete] t=%.1fq idx=%s age=%.1fq\n",
+                     finish / opts_.tuner.sched.quantum, idx.c_str(),
+                     (finish - it->second) / opts_.tuner.sched.quantum);
+      }
+      auto dropped = catalog_->DropIndex(idx);
+      if (dropped.ok() && !dropped->empty()) {
+        for (const auto& path : *dropped) storage_.Delete(path, finish);
+        ++metrics->indexes_deleted;
+      }
     }
+    history_.push_back(std::move(rec));
+    while (history_.size() > opts_.max_history) history_.pop_front();
   }
-  history_.push_back(std::move(rec));
-  while (history_.size() > opts_.max_history) history_.pop_front();
 
   // Metrics and the Fig. 13 timeline.
-  storage_.AdvanceTo(finish);
-  metrics->total_time_quanta += exec.makespan / opts_.tuner.sched.quantum;
-  metrics->total_vm_quanta += exec.leased_quanta;
-  metrics->total_ops += exec.executed_ops;
-  metrics->killed_ops += exec.killed_builds;
+  Seconds settled = std::max(finish, last_persist);
+  storage_.AdvanceTo(settled);
+  metrics->total_time_quanta += elapsed / opts_.tuner.sched.quantum;
   TimelinePoint pt;
   pt.t = finish;
   pt.storage_cost = storage_.accrued_cost();
+  pt.containers_failed = metrics->containers_failed;
+  pt.dataflows_failed = metrics->dataflows_failed;
   for (const auto& idx : catalog_->IndexIds()) {
     auto st = catalog_->GetIndexState(idx);
     if (st.ok() && (*st)->NumBuilt() > 0) {
@@ -242,7 +474,7 @@ Result<Seconds> QaasService::RunOne(const Dataflow& df, Seconds start,
     }
   }
   metrics->timeline.push_back(pt);
-  return finish;
+  return RunOutcome{finish, failed, settled};
 }
 
 void QaasService::ApplyDueUpdates(Seconds now, ServiceMetrics* metrics) {
@@ -281,6 +513,7 @@ void QaasService::ApplyDueUpdates(Seconds now, ServiceMetrics* metrics) {
 Result<ServiceMetrics> QaasService::Run(WorkloadClient* client) {
   ServiceMetrics metrics;
   Seconds clock = 0;
+  Seconds settled = 0;
   while (true) {
     std::optional<Dataflow> df = client->Next(clock, opts_.total_time);
     if (!df.has_value()) break;
@@ -288,11 +521,20 @@ Result<ServiceMetrics> QaasService::Run(WorkloadClient* client) {
     Seconds start = std::max(df->issued_at, clock);
     if (start >= opts_.total_time) break;
     ApplyDueUpdates(start, &metrics);
-    DFIM_ASSIGN_OR_RETURN(Seconds finish, RunOne(*df, start, &metrics));
-    clock = finish;
-    if (finish <= opts_.total_time) ++metrics.dataflows_finished;
+    DFIM_ASSIGN_OR_RETURN(RunOutcome out, RunOne(*df, start, &metrics));
+    clock = out.finish;
+    settled = std::max(settled, out.settled);
+    if (!out.failed) {
+      if (out.finish <= opts_.total_time) {
+        ++metrics.dataflows_finished;
+      } else {
+        ++metrics.dataflows_overran;
+      }
+    }
   }
-  storage_.AdvanceTo(opts_.total_time);
+  // The last dataflow may legitimately finish (and persist builds) past the
+  // horizon; the bill is already settled through `settled` in that case.
+  storage_.AdvanceTo(std::max({opts_.total_time, clock, settled}));
   metrics.storage_cost = storage_.accrued_cost();
   return metrics;
 }

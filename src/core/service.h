@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cloud/cluster.h"
+#include "cloud/fault_model.h"
 #include "cloud/storage_service.h"
 #include "core/tuner.h"
 #include "dataflow/workload.h"
@@ -76,6 +77,24 @@ struct ServiceOptions {
   /// @}
   /// History list capacity (older records fade to ~0 anyway).
   size_t max_history = 256;
+  /// \name Fault injection & recovery
+  /// @{
+  /// Fault rates (all zero by default — injection disabled, and the whole
+  /// execution path is bit-identical to a service without fault support).
+  FaultOptions faults;
+  /// Bounded retry: an execution attempt that loses mandatory (dataflow)
+  /// operators to container crashes is followed by up to this many recovery
+  /// attempts, each rescheduling the unfinished DAG suffix onto
+  /// fresh/surviving containers and re-paying the quanta. When exhausted
+  /// the dataflow is recorded as failed instead of wedging the horizon loop.
+  int max_recovery_attempts = 3;
+  /// Storage `Put` of a completed index partition retries this many times
+  /// on transient faults, with capped exponential backoff; a partition that
+  /// was never persisted is discarded (no catalog entry).
+  int storage_put_max_retries = 4;
+  Seconds storage_backoff_initial = 1.0;
+  Seconds storage_backoff_cap = 30.0;
+  /// @}
   uint64_t seed = 99;
 };
 
@@ -88,12 +107,19 @@ struct TimelinePoint {
   MegaBytes index_mb = 0;
   /// Storage dollars accrued so far.
   Dollars storage_cost = 0;
+  /// Cumulative failure/recovery counters at this point.
+  int containers_failed = 0;
+  int dataflows_failed = 0;
 };
 
 /// \brief Aggregated service metrics (Fig. 12/14, Table 7).
 struct ServiceMetrics {
   int dataflows_arrived = 0;
   int dataflows_finished = 0;
+  /// Dataflows that completed but past the horizon (counted in neither
+  /// finished nor failed; started == finished + failed + overran up to the
+  /// one arrival the horizon may cut off mid-issue).
+  int dataflows_overran = 0;
   double total_time_quanta = 0;
   int64_t total_vm_quanta = 0;
   Dollars storage_cost = 0;
@@ -104,6 +130,24 @@ struct ServiceMetrics {
   /// Batch updates applied and index partitions they invalidated.
   int update_batches = 0;
   int index_partitions_invalidated = 0;
+  /// \name Failure & recovery accounting (fault injection)
+  /// @{
+  /// Containers lost to crashes/spot preemption.
+  int containers_failed = 0;
+  /// Operators executed during recovery attempts (re-paid work).
+  int ops_reexecuted = 0;
+  /// VM quanta charged for recovery attempts (subset of total_vm_quanta).
+  int64_t recovery_quanta = 0;
+  /// Dataflows abandoned after max_recovery_attempts.
+  int dataflows_failed = 0;
+  /// Transient storage-Put failures that triggered a backoff retry.
+  int storage_retries = 0;
+  /// Transient storage-read faults absorbed as latency spikes.
+  int storage_faults = 0;
+  /// Completed builds discarded: their partition was never persisted
+  /// (dead container, or Put failed after all retries).
+  int builds_discarded = 0;
+  /// @}
   std::vector<TimelinePoint> timeline;
 
   double AvgTimeQuantaPerDataflow() const {
@@ -137,10 +181,25 @@ class QaasService {
 
   const StorageService& storage() const { return storage_; }
 
+  /// Partial build progress carried across preemptions (resumable_builds).
+  const BuildProgress& build_progress() const { return build_progress_; }
+
  private:
-  /// Executes one dataflow starting at `start`; returns its finish time.
-  Result<Seconds> RunOne(const Dataflow& df, Seconds start,
-                         ServiceMetrics* metrics);
+  /// Outcome of one dataflow execution (including recovery attempts).
+  struct RunOutcome {
+    /// Realized finish time (or the instant the dataflow was abandoned).
+    Seconds finish = 0;
+    /// True when recovery was exhausted and the dataflow was dropped.
+    bool failed = false;
+    /// Time storage was settled through: >= finish when index partitions
+    /// were persisted inside the paid lease tail past the makespan.
+    Seconds settled = 0;
+  };
+
+  /// Executes one dataflow starting at `start`, retrying crash-lost DAG
+  /// suffixes up to max_recovery_attempts when fault injection is active.
+  Result<RunOutcome> RunOne(const Dataflow& df, Seconds start,
+                            ServiceMetrics* metrics);
 
   /// Policy step for kNoIndex / kRandom.
   Result<TunerDecision> BaselineDecision(const Dataflow& df);

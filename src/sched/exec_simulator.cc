@@ -1,18 +1,44 @@
 #include "sched/exec_simulator.h"
 
 #include <algorithm>
-#include <set>
-#include <limits>
 #include <cmath>
+#include <limits>
+#include <set>
 
 namespace dfim {
 
 Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
                                       const std::vector<SimOpCost>& costs,
-                                      std::vector<Container*>* containers) {
+                                      std::vector<Container*>* containers,
+                                      const FaultInjection* faults) {
   if (costs.size() != dag.num_ops()) {
     return Status::InvalidArgument("costs size != number of ops");
   }
+  for (const auto& a : plan.assignments()) {
+    if (a.op_id < 0 || static_cast<size_t>(a.op_id) >= dag.num_ops()) {
+      return Status::InvalidArgument("plan references op " +
+                                     std::to_string(a.op_id) +
+                                     " outside the dag");
+    }
+    if (a.container < 0) {
+      return Status::InvalidArgument("plan places op " +
+                                     std::to_string(a.op_id) +
+                                     " on negative container " +
+                                     std::to_string(a.container));
+    }
+  }
+  for (size_t i = 0; i < costs.size(); ++i) {
+    if (costs[i].cpu_time < 0 || costs[i].input_mb < 0) {
+      return Status::InvalidArgument("negative cost for op " +
+                                     std::to_string(i));
+    }
+  }
+  if (containers != nullptr &&
+      containers->size() < static_cast<size_t>(plan.num_containers())) {
+    return Status::InvalidArgument(
+        "containers vector shorter than plan.num_containers()");
+  }
+
   Rng rng(opts_.seed);
   auto perturb = [&rng](double v, double err) {
     if (err <= 0) return v;
@@ -50,7 +76,26 @@ Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
     return &(*containers)[i]->cache();
   };
 
+  // Per-container fault draws (crash instant + straggler slowdown). Without
+  // injection these stay at the identity values and every arithmetic path
+  // below is bit-identical to the fault-free simulator.
+  const bool inject = faults != nullptr;
+  std::vector<Seconds> crash_at(static_cast<size_t>(nc), kNeverFails);
+  std::vector<double> slow(static_cast<size_t>(nc), 1.0);
+  if (inject) {
+    for (int c = 0; c < nc; ++c) {
+      auto i = static_cast<size_t>(c);
+      if (i < faults->trace.containers.size()) {
+        crash_at[i] = faults->trace.containers[i].crash_at;
+        slow[i] = faults->trace.containers[i].slowdown;
+      }
+    }
+  }
+
   ExecResult result;
+  // Set when a crash actually truncated or blocked work on the container
+  // (used to report failures whose instant equals the realized span).
+  std::vector<char> saw_crash(static_cast<size_t>(nc), 0);
 
   // ---- Phase 1: dataflow operators. --------------------------------------
   // Global planned-start order is a topological order for schedules built by
@@ -65,18 +110,27 @@ Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
                      return x->op_id < y->op_id;
                    });
   std::vector<Seconds> finish(dag.num_ops(), -1.0);
+  std::vector<char> lost(dag.num_ops(), 0);
   std::vector<Seconds> df_cursor(static_cast<size_t>(nc), 0);
   std::vector<Seconds> df_start(dag.num_ops(), -1.0);
   // Producer outputs staged per container (transfer paid once, then local).
   std::vector<std::set<int>> delivered(static_cast<size_t>(nc));
   for (const Assignment* a : df_plan) {
     auto id = static_cast<size_t>(a->op_id);
-    Seconds est = df_cursor[static_cast<size_t>(a->container)];
+    auto c = static_cast<size_t>(a->container);
+    Seconds est = df_cursor[c];
     // Cross-container flows serialize on the consumer's NIC: they extend
     // the op's busy time instead of merely delaying its start.
     Seconds flow_transfer = 0;
+    std::vector<int> to_stage;
+    bool doomed = false;
     for (int fid : dag.in_flows(a->op_id)) {
       const Flow& f = dag.flows()[static_cast<size_t>(fid)];
+      if (lost[static_cast<size_t>(f.from)]) {
+        // The producer died with its container: this op can never run.
+        doomed = true;
+        break;
+      }
       Seconds pf = finish[static_cast<size_t>(f.from)];
       if (pf < 0) {
         return Status::Internal(
@@ -85,31 +139,72 @@ Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
       }
       est = std::max(est, pf);
       if (placed[static_cast<size_t>(f.from)] != a->container &&
-          delivered[static_cast<size_t>(a->container)].insert(f.from).second) {
+          delivered[c].count(f.from) == 0 &&
+          std::find(to_stage.begin(), to_stage.end(), f.from) ==
+              to_stage.end()) {
         flow_transfer +=
             actual_flow[static_cast<size_t>(fid)] / opts_.net_mb_per_sec;
+        to_stage.push_back(f.from);
       }
+    }
+    if (!doomed && est >= crash_at[c] - 1e-9) {
+      // The container is already dead when this op could start.
+      doomed = true;
+      saw_crash[c] = 1;
+    }
+    if (doomed) {
+      lost[id] = 1;
+      result.lost_ops.push_back(LostOp{a->op_id, a->container, false});
+      continue;
     }
     // Input transfer from the storage service, absorbed by a warm cache.
     Seconds transfer = 0;
+    bool fetched = false;
     if (actual_input[id] > 0) {
       LruCache* cache = cache_of(a->container);
       bool hit = cache != nullptr && !costs[id].cache_key.empty() &&
                  cache->Touch(costs[id].cache_key);
       if (!hit) {
         transfer = actual_input[id] / opts_.net_mb_per_sec;
-        if (cache != nullptr && !costs[id].cache_key.empty()) {
-          cache->Put(costs[id].cache_key, actual_input[id]);
+        if (inject && faults->model != nullptr &&
+            faults->model->StorageOpFaults(faults->run_key,
+                                           static_cast<uint64_t>(a->op_id))) {
+          // Transient read fault: the fetch retries internally and lands
+          // late (latency spike), it does not kill the op.
+          transfer += faults->model->options().storage_fault_latency;
+          ++result.storage_faults;
         }
+        fetched = true;
       }
     }
     Seconds start = est;
-    Seconds end = start + flow_transfer + transfer + actual_cpu[id];
+    double s = slow[c];
+    Seconds end = start + flow_transfer * s + transfer * s + actual_cpu[id] * s;
+    ++result.executed_ops;
+    if (inject && end > crash_at[c] + 1e-9) {
+      // The container dies mid-op: the partial work (and the local disk
+      // holding the op's inputs/outputs) is lost.
+      lost[id] = 1;
+      saw_crash[c] = 1;
+      result.lost_ops.push_back(LostOp{a->op_id, a->container, false});
+      Assignment partial = *a;
+      partial.start = start;
+      partial.end = crash_at[c];
+      result.actual.Add(partial);
+      df_cursor[c] = crash_at[c];
+      continue;
+    }
+    for (int p : to_stage) delivered[c].insert(p);
+    if (fetched) {
+      LruCache* cache = cache_of(a->container);
+      if (cache != nullptr && !costs[id].cache_key.empty()) {
+        cache->Put(costs[id].cache_key, actual_input[id]);
+      }
+    }
     finish[id] = end;
     df_start[id] = start;
-    df_cursor[static_cast<size_t>(a->container)] = end;
+    df_cursor[c] = end;
     result.makespan = std::max(result.makespan, end);
-    ++result.executed_ops;
     Assignment actual = *a;
     actual.start = start;
     actual.end = end;
@@ -121,26 +216,40 @@ Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
   // and by the realized dataflow ops (which must run regardless). Build ops
   // may run up to the lease end — interior quantum boundaries are already
   // paid for — and are stopped there (Fig. 2c: B2) or when a dataflow op
-  // arrives (Fig. 2c: A1).
+  // arrives (Fig. 2c: A1). A crash ends the lease early: the provider stops
+  // charging at the failure quantum and in-flight builds are lost outright
+  // (no resumable progress — the local disk died with the container).
   int64_t leased_total = 0;
   Seconds busy_total = 0;
   for (int c = 0; c < nc; ++c) {
-    const auto& items = seq[static_cast<size_t>(c)];
+    auto ci = static_cast<size_t>(c);
+    const auto& items = seq[ci];
     Seconds planned_end = 0;
     for (const Assignment* a : items) {
       planned_end = std::max(planned_end, a->end);
     }
-    Seconds actual_df_end = df_cursor[static_cast<size_t>(c)];
+    Seconds actual_df_end = df_cursor[ci];
+    Seconds span = std::max(planned_end, actual_df_end);
+    bool crashed =
+        inject && (saw_crash[ci] != 0 || crash_at[ci] < span - 1e-9);
+    Seconds lease_span = crashed ? std::min(span, crash_at[ci]) : span;
     int64_t leased_q = std::max<int64_t>(
-        1, QuantaCeil(std::max(planned_end, actual_df_end), opts_.quantum));
+        1, QuantaCeil(lease_span, opts_.quantum));
     Seconds lease_end = static_cast<double>(leased_q) * opts_.quantum;
+    // Builds stop at the crash instant, not the end of its (paid) quantum.
+    Seconds build_bound = crashed ? crash_at[ci] : lease_end;
     leased_total += leased_q;
-    // Next dataflow op's actual start, per position in the planned sequence.
+    if (crashed) {
+      result.failed_containers.push_back(c);
+      result.failure_times.push_back(crash_at[ci]);
+    }
+    // Next dataflow op's actual start, per position in the planned sequence
+    // (lost dataflow ops never arrive, so they preempt nothing).
     std::vector<Seconds> next_df(items.size() + 1,
                                  std::numeric_limits<double>::infinity());
     for (size_t i = items.size(); i-- > 0;) {
       next_df[i] = next_df[i + 1];
-      if (!items[i]->optional) {
+      if (!items[i]->optional && !lost[static_cast<size_t>(items[i]->op_id)]) {
         next_df[i] = df_start[static_cast<size_t>(items[i]->op_id)];
       }
     }
@@ -149,18 +258,30 @@ Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
       const Assignment* a = items[i];
       auto id = static_cast<size_t>(a->op_id);
       if (!a->optional) {
-        cursor = std::max(cursor, finish[id]);
+        if (!lost[id]) cursor = std::max(cursor, finish[id]);
         continue;
       }
       Seconds start = cursor;
-      Seconds dur = actual_cpu[id];  // build time includes its IO
-      Seconds kill_at = std::max(std::min(next_df[i + 1], lease_end), start);
+      if (crashed && start >= crash_at[ci] - 1e-9) {
+        // The container is gone before this build could start.
+        result.lost_ops.push_back(LostOp{a->op_id, c, true});
+        continue;
+      }
+      Seconds dur = actual_cpu[id] * slow[ci];  // build time includes its IO
+      Seconds kill_at = std::max(std::min(next_df[i + 1], build_bound), start);
       Seconds end;
       ++result.executed_ops;
       if (start + dur <= kill_at + 1e-9) {
         end = start + dur;
-        result.builds.push_back(BuildCompletion{
-            dag.op(a->op_id).index_id, dag.op(a->op_id).index_partition, end});
+        result.builds.push_back(BuildCompletion{dag.op(a->op_id).index_id,
+                                                dag.op(a->op_id).index_partition,
+                                                end, c});
+      } else if (crashed && kill_at >= crash_at[ci] - 1e-9) {
+        // Killed by the crash itself: unlike a preemption, no partial
+        // progress survives (it lived on the dead local disk).
+        end = crash_at[ci];
+        ++result.killed_builds;
+        result.lost_ops.push_back(LostOp{a->op_id, c, true});
       } else {
         end = kill_at;
         ++result.killed_builds;
@@ -177,6 +298,13 @@ Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
     // Busy time on this container (assignments never overlap).
     for (const auto& a : result.actual.ContainerTimeline(c)) {
       busy_total += a.duration();
+    }
+  }
+
+  for (const auto& l : result.lost_ops) {
+    if (!l.optional) {
+      result.complete = false;
+      break;
     }
   }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cloud/container.h"
+#include "cloud/fault_model.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "dataflow/dag.h"
@@ -35,11 +36,25 @@ struct SimOptions {
   uint64_t seed = 1;
 };
 
+/// \brief Pre-drawn faults applied to one execution (optional).
+///
+/// `trace.containers` is indexed by the schedule's container indices;
+/// `model`/`run_key` supply the per-storage-operation transient-fault draws.
+/// Passing null to Run disables injection entirely — the zero-fault path is
+/// bit-identical to a simulator without fault support.
+struct FaultInjection {
+  const FaultModel* model = nullptr;
+  FaultTrace trace;
+  uint64_t run_key = 0;
+};
+
 /// \brief One completed index-build operator.
 struct BuildCompletion {
   std::string index_id;
   int partition = -1;
   Seconds finish = 0;
+  /// Schedule container the build ran on (for persist/crash bookkeeping).
+  int container = -1;
 };
 
 /// \brief One preempted index-build operator and how long it ran before
@@ -50,11 +65,20 @@ struct BuildKill {
   Seconds ran_for = 0;
 };
 
+/// \brief One operator lost to a container crash: it never ran, or its
+/// partial work died with the container's local disk (paper §3).
+struct LostOp {
+  int op_id = 0;
+  int container = 0;
+  bool optional = false;
+};
+
 /// \brief Outcome of executing one schedule.
 struct ExecResult {
-  /// Completion time of the last dataflow operator (actual).
+  /// Completion time of the last dataflow operator that finished (actual).
   Seconds makespan = 0;
-  /// Leased quanta actually charged (sum over containers).
+  /// Leased quanta actually charged (sum over containers; crashed
+  /// containers are charged through their failure quantum only).
   int64_t leased_quanta = 0;
   /// Idle seconds inside leased quanta (actual fragmentation).
   Seconds total_idle = 0;
@@ -62,11 +86,22 @@ struct ExecResult {
   int executed_ops = 0;
   /// Build ops stopped by preemption or quantum expiry (Table 7).
   int killed_builds = 0;
+  /// Transient storage-read faults absorbed as latency spikes.
+  int storage_faults = 0;
+  /// True when every mandatory (dataflow) operator finished. False means a
+  /// crash lost part of the dataflow and the caller must recover.
+  bool complete = true;
   /// Build ops that finished: their index partitions are now built.
   std::vector<BuildCompletion> builds;
   /// Preempted build ops with their partial progress.
   std::vector<BuildKill> kills;
-  /// The realized timeline.
+  /// Operators (dataflow and build) lost to container crashes.
+  std::vector<LostOp> lost_ops;
+  /// Containers that died mid-schedule, with their failure instants
+  /// (parallel vectors, ordered by container index).
+  std::vector<int> failed_containers;
+  std::vector<Seconds> failure_times;
+  /// The realized timeline (completed and crash-truncated work).
   Schedule actual;
 };
 
@@ -79,6 +114,13 @@ struct ExecResult {
 /// Dataflow operators keep their planned per-container order but start as
 /// soon as their dependencies allow — never waiting for build ops, which
 /// are preempted instead.
+///
+/// With fault injection, a container that crashes loses everything
+/// unfinished at the failure instant — dataflow ops (and transitively their
+/// descendants), running build ops (no resumable progress: the local disk is
+/// gone), and its cache contents; stragglers stretch CPU time and transfers
+/// on affected containers; transient storage-read faults add latency to
+/// cache-miss fetches.
 class ExecSimulator {
  public:
   explicit ExecSimulator(SimOptions options) : opts_(options) {}
@@ -87,10 +129,13 @@ class ExecSimulator {
   ///
   /// `costs` is indexed by op id. `containers`, when non-null, maps the
   /// schedule's container indices to live Container objects whose LRU
-  /// caches are consulted and updated (pass null for cold, cacheless runs).
+  /// caches are consulted and updated (pass null for cold, cacheless runs);
+  /// it must cover plan.num_containers() entries. `faults`, when non-null,
+  /// injects the pre-drawn fault trace.
   Result<ExecResult> Run(const Dag& dag, const Schedule& plan,
                          const std::vector<SimOpCost>& costs,
-                         std::vector<Container*>* containers = nullptr);
+                         std::vector<Container*>* containers = nullptr,
+                         const FaultInjection* faults = nullptr);
 
  private:
   SimOptions opts_;

@@ -105,6 +105,52 @@ TEST(EdgeCaseTest, ZeroDurationOpsSchedule) {
   EXPECT_GE(skyline->front().LeasedQuanta(60), 1);
 }
 
+TEST(EdgeCaseTest, SimulatorRejectsOpIdOutsideDag) {
+  Dag g = testutil::Independent(2, 10);
+  Schedule plan;
+  plan.Add(Assignment{0, 0, 0, 10, false});
+  plan.Add(Assignment{5, 0, 10, 20, false});  // no op 5 in the dag
+  std::vector<SimOpCost> costs(g.num_ops());
+  ExecSimulator sim(SimOptions{});
+  EXPECT_TRUE(sim.Run(g, plan, costs).status().IsInvalidArgument());
+}
+
+TEST(EdgeCaseTest, SimulatorRejectsNegativeContainer) {
+  Dag g = testutil::Independent(1, 10);
+  Schedule plan;
+  plan.Add(Assignment{0, -1, 0, 10, false});
+  std::vector<SimOpCost> costs(g.num_ops());
+  ExecSimulator sim(SimOptions{});
+  EXPECT_TRUE(sim.Run(g, plan, costs).status().IsInvalidArgument());
+}
+
+TEST(EdgeCaseTest, SimulatorRejectsNegativeCosts) {
+  Dag g = testutil::Independent(1, 10);
+  Schedule plan;
+  plan.Add(Assignment{0, 0, 0, 10, false});
+  ExecSimulator sim(SimOptions{});
+  std::vector<SimOpCost> bad_cpu{SimOpCost{-1.0, 0, ""}};
+  EXPECT_TRUE(sim.Run(g, plan, bad_cpu).status().IsInvalidArgument());
+  std::vector<SimOpCost> bad_input{SimOpCost{1.0, -5.0, ""}};
+  EXPECT_TRUE(sim.Run(g, plan, bad_input).status().IsInvalidArgument());
+}
+
+TEST(EdgeCaseTest, SimulatorRejectsShortContainerVector) {
+  // The plan uses containers 0 and 1 but only one live container is passed.
+  Dag g = testutil::Independent(2, 10);
+  Schedule plan;
+  plan.Add(Assignment{0, 0, 0, 10, false});
+  plan.Add(Assignment{1, 1, 0, 10, false});
+  std::vector<SimOpCost> costs(g.num_ops());
+  ContainerSpec spec;
+  PricingModel pricing;
+  Container cont(0, spec, pricing, 0);
+  std::vector<Container*> containers{&cont};
+  ExecSimulator sim(SimOptions{});
+  EXPECT_TRUE(
+      sim.Run(g, plan, costs, &containers).status().IsInvalidArgument());
+}
+
 TEST(EdgeCaseTest, QuantumBoundaryExactFit) {
   // An op ending exactly on the quantum boundary leases exactly one quantum
   // and leaves zero idle.

@@ -57,5 +57,37 @@ TEST(StorageServiceTest, EmptyStoreAccruesNothing) {
   EXPECT_DOUBLE_EQ(s.accrued_cost(), 0);
 }
 
+TEST(StorageServiceTest, ForwardAdvanceAccrues) {
+  StorageService s(Pricing());
+  s.Put("x", 100, 0);
+  s.AdvanceTo(60);
+  double after_one = s.accrued_mb_quanta();
+  EXPECT_GT(after_one, 0);
+  s.AdvanceTo(120);
+  EXPECT_GT(s.accrued_mb_quanta(), after_one);
+  EXPECT_DOUBLE_EQ(s.last_billed(), 120);
+}
+
+TEST(StorageServiceTest, BackwardAdvanceClampsWithoutCorruption) {
+  // AdvanceTo's precondition is non-decreasing time. A regression must be
+  // clamped (logged, ignored): billed state and the clock stay untouched,
+  // and later forward advances bill from the high-water mark only.
+  StorageService s(Pricing());
+  s.Put("x", 100, 0);
+  s.AdvanceTo(120);
+  double accrued = s.accrued_mb_quanta();
+  double cost = s.accrued_cost();
+  s.AdvanceTo(60);  // regression: no-op
+  EXPECT_DOUBLE_EQ(s.accrued_mb_quanta(), accrued);
+  EXPECT_DOUBLE_EQ(s.accrued_cost(), cost);
+  EXPECT_DOUBLE_EQ(s.last_billed(), 120);
+  s.AdvanceTo(180);  // forward again: exactly one more window billed
+  StorageService ref(Pricing());
+  ref.Put("x", 100, 0);
+  ref.AdvanceTo(180);
+  EXPECT_DOUBLE_EQ(s.accrued_mb_quanta(), ref.accrued_mb_quanta());
+  EXPECT_DOUBLE_EQ(s.accrued_cost(), ref.accrued_cost());
+}
+
 }  // namespace
 }  // namespace dfim
