@@ -1,0 +1,236 @@
+// Overload sweep: drives the open-loop QaaS service across rising arrival
+// rates (x a fault level), with admission control, deadline SLOs, brownout
+// and the storage circuit breaker on, and writes BENCH_overload.json. The
+// point is GRACEFUL degradation: as load grows the service sheds optional
+// index builds first, then whole dataflows; goodput (finished minus
+// deadline misses) never collapses below the no-index baseline; and every
+// arrival stays accounted for with zero slack.
+//
+// Usage: bench_overload [output.json]
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace dfim {
+namespace {
+
+struct Arm {
+  std::string name;
+  IndexPolicy policy = IndexPolicy::kGain;
+  double mean_interarrival = 60.0;
+  FaultOptions faults;
+};
+
+struct ArmResult {
+  ServiceMetrics m;
+  double wall_ms = 0;
+  bool consistent = true;
+  int accounting_slack = 0;
+  int goodput = 0;
+};
+
+ServiceOptions OverloadOptions(IndexPolicy policy, Seconds horizon,
+                               uint64_t seed) {
+  ServiceOptions so = bench::PaperServiceOptions(policy);
+  so.total_time = horizon;
+  so.seed = seed;
+  so.admission.open_loop = true;
+  so.admission.max_queue = 32;
+  so.admission.shed = ShedPolicy::kDeadlineInfeasible;
+  so.admission.slo_factor = 4.0;
+  so.admission.retry_budget = 64;
+  so.brownout.pressure_lo_quanta = 1.0;
+  so.brownout.pressure_hi_quanta = 8.0;
+  so.breaker.open_after = 4;
+  so.breaker.open_duration = 300.0;
+  return so;
+}
+
+ArmResult RunArm(const Arm& arm, Seconds horizon, uint64_t seed) {
+  bench::PaperSetup setup(seed);
+  ServiceOptions so = OverloadOptions(arm.policy, horizon, seed);
+  so.faults = arm.faults;
+  QaasService service(&setup.catalog, so);
+  ArrivalOptions arrivals;
+  arrivals.mean_interarrival = arm.mean_interarrival;
+  OpenLoopWorkloadClient client(setup.generator.get(), arrivals,
+                                {{AppType::kMontage, 1e9}}, seed);
+  auto t0 = std::chrono::steady_clock::now();
+  auto m = service.Run(&client);
+  auto t1 = std::chrono::steady_clock::now();
+  if (!m.ok()) {
+    std::fprintf(stderr, "arm %s failed: %s\n", arm.name.c_str(),
+                 m.status().ToString().c_str());
+    std::exit(1);
+  }
+  ArmResult r;
+  r.m = *m;
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  // Open loop: the identity is exact, zero slack allowed.
+  r.accounting_slack = m->dataflows_arrived - m->dataflows_finished -
+                       m->dataflows_failed - m->dataflows_overran -
+                       m->dataflows_shed;
+  r.goodput = m->dataflows_finished - m->deadlines_missed;
+  for (const auto& idx : setup.catalog.IndexIds()) {
+    auto def = setup.catalog.GetIndexDef(idx);
+    auto state = setup.catalog.GetIndexState(idx);
+    if (!def.ok() || !state.ok()) continue;
+    for (size_t p = 0; p < (*state)->num_partitions(); ++p) {
+      if ((*state)->part(p).built &&
+          !service.storage().Exists(
+              (*def)->PartitionPath(static_cast<int>(p)))) {
+        r.consistent = false;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+}  // namespace dfim
+
+int main(int argc, char** argv) {
+  using namespace dfim;
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_overload.json";
+  const bool fast = bench::FastMode();
+  const Seconds horizon = (fast ? 60.0 : 720.0) * 60.0;
+  const uint64_t seed = 7;
+
+  // Load sweep, light to heavy, at two fault levels; each load level gets a
+  // Gain arm (all overload controls on) and a no-index goodput floor.
+  std::vector<double> rates = fast
+                                  ? std::vector<double>{120.0, 60.0, 20.0}
+                                  : std::vector<double>{240.0, 120.0, 60.0,
+                                                        30.0, 15.0};
+  std::vector<FaultOptions> fault_levels(2);
+  fault_levels[1].crash_rate = 0.02;
+  fault_levels[1].storage_fault_rate = 0.05;
+  fault_levels[1].seed = 17;
+
+  std::vector<Arm> arms;
+  for (size_t fl = 0; fl < fault_levels.size(); ++fl) {
+    for (double rate : rates) {
+      for (IndexPolicy policy : {IndexPolicy::kGain, IndexPolicy::kNoIndex}) {
+        Arm a;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%s_ia%03d_f%zu",
+                      policy == IndexPolicy::kGain ? "gain" : "noindex",
+                      static_cast<int>(rate), fl);
+        a.name = buf;
+        a.policy = policy;
+        a.mean_interarrival = rate;
+        a.faults = fault_levels[fl];
+        arms.push_back(a);
+      }
+    }
+  }
+
+  bench::Header("Overload sweep (open loop, Montage, " +
+                std::to_string(static_cast<int>(horizon / 60.0)) + " quanta)");
+  std::printf("%-18s %8s %8s %8s %8s %8s %8s %9s %8s %7s\n", "arm", "arrived",
+              "finished", "shed", "ddl.miss", "goodput", "b.shed", "qdelay.q",
+              "peak.q", "ok?");
+
+  std::string json = "{\n  \"bench\": \"overload\",\n";
+  json += "  \"workload\": \"montage\",\n  \"horizon_quanta\": " +
+          std::to_string(static_cast<int>(horizon / 60.0)) + ",\n";
+  json += "  \"seed\": " + std::to_string(seed) + ",\n  \"arms\": [\n";
+
+  bool all_ok = true;
+  std::vector<ArmResult> results;
+  for (size_t i = 0; i < arms.size(); ++i) {
+    ArmResult r = RunArm(arms[i], horizon, seed);
+    results.push_back(r);
+    const ServiceMetrics& m = r.m;
+    bool ok = r.consistent && r.accounting_slack == 0;
+    all_ok = all_ok && ok;
+    std::printf("%-18s %8d %8d %8d %8d %8d %8d %9.1f %8d %7s\n",
+                arms[i].name.c_str(), m.dataflows_arrived,
+                m.dataflows_finished, m.dataflows_shed, m.deadlines_missed,
+                r.goodput, m.builds_shed, m.queue_delay_quanta,
+                m.peak_queue_len, ok ? "yes" : "NO");
+
+    char buf[800];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"arm\": \"%s\", \"policy\": \"%s\", "
+        "\"mean_interarrival\": %.0f, \"crash_rate\": %.4f, "
+        "\"storage_fault_rate\": %.4f,\n"
+        "     \"dataflows_arrived\": %d, \"dataflows_finished\": %d, "
+        "\"dataflows_failed\": %d, \"dataflows_overran\": %d, "
+        "\"dataflows_shed\": %d,\n"
+        "     \"shed_queue_full\": %d, \"shed_infeasible\": %d, "
+        "\"deadlines_missed\": %d, \"goodput\": %d, \"builds_shed\": %d,\n"
+        "     \"breaker_opens\": %d, \"retries_denied\": %d, "
+        "\"queue_delay_quanta\": %.2f, \"peak_queue_len\": %d,\n"
+        "     \"total_vm_quanta\": %lld, \"index_partitions_built\": %d, "
+        "\"storage_clock_clamps\": %lld,\n"
+        "     \"accounting_slack\": %d, \"catalog_storage_consistent\": %s, "
+        "\"wall_ms\": %.1f}",
+        arms[i].name.c_str(),
+        arms[i].policy == IndexPolicy::kGain ? "gain" : "noindex",
+        arms[i].mean_interarrival, arms[i].faults.crash_rate,
+        arms[i].faults.storage_fault_rate, m.dataflows_arrived,
+        m.dataflows_finished, m.dataflows_failed, m.dataflows_overran,
+        m.dataflows_shed, m.shed_queue_full, m.shed_infeasible,
+        m.deadlines_missed, r.goodput, m.builds_shed, m.breaker_opens,
+        m.retries_denied, m.queue_delay_quanta, m.peak_queue_len,
+        static_cast<long long>(m.total_vm_quanta), m.index_partitions_built,
+        static_cast<long long>(m.storage_clock_clamps), r.accounting_slack,
+        r.consistent ? "true" : "false", r.wall_ms);
+    json += buf;
+    json += (i + 1 < arms.size()) ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  // Graceful-degradation checks over the per-fault-level Gain sweeps
+  // (arms alternate gain/noindex per rate, rates light to heavy).
+  const size_t per_level = rates.size() * 2;
+  for (size_t fl = 0; fl < fault_levels.size(); ++fl) {
+    int first_policy_shed = -1;  // load index where admission starts dropping
+    int first_build_shed = -1;   // load index where brownout starts
+    for (size_t j = 0; j < rates.size(); ++j) {
+      const ArmResult& gain = results[fl * per_level + j * 2];
+      const ArmResult& noindex = results[fl * per_level + j * 2 + 1];
+      if (first_policy_shed < 0 &&
+          gain.m.shed_queue_full + gain.m.shed_infeasible > 0) {
+        first_policy_shed = static_cast<int>(j);
+      }
+      if (first_build_shed < 0 && gain.m.builds_shed > 0) {
+        first_build_shed = static_cast<int>(j);
+      }
+      // Goodput floor: indexes + shedding must not do worse than just
+      // running everything with no index management at all.
+      if (gain.goodput < noindex.goodput) {
+        std::printf("DEGRADATION VIOLATION: fault level %zu, interarrival "
+                    "%.0f s: gain goodput %d < noindex %d\n",
+                    fl, rates[j], gain.goodput, noindex.goodput);
+        all_ok = false;
+      }
+    }
+    // Brownout before load shedding: if admission ever dropped dataflows,
+    // builds must have been shed at that load level or a lighter one.
+    if (first_policy_shed >= 0 &&
+        (first_build_shed < 0 || first_build_shed > first_policy_shed)) {
+      std::printf("DEGRADATION VIOLATION: fault level %zu: dataflows shed "
+                  "(load idx %d) before any builds shed (idx %d)\n",
+                  fl, first_policy_shed, first_build_shed);
+      all_ok = false;
+    }
+  }
+
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s (all checks %s)\n", out_path,
+              all_ok ? "passed" : "FAILED");
+  return all_ok ? 0 : 1;
+}

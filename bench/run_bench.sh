@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Builds the benches in Release (-O2 -DNDEBUG) and emits BENCH_sched.json
-# and BENCH_faults.json at the repo root.
+# Builds the benches in Release (-O2 -DNDEBUG) and emits BENCH_sched.json,
+# BENCH_faults.json and BENCH_overload.json at the repo root.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -8,7 +8,8 @@ BUILD="$ROOT/build-release"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
     -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
-cmake --build "$BUILD" -j --target bench_sched_scale bench_faults
+cmake --build "$BUILD" -j --target bench_sched_scale bench_faults bench_overload
 
 "$BUILD/bench/bench_sched_scale" "$ROOT/BENCH_sched.json"
 "$BUILD/bench/bench_faults" "$ROOT/BENCH_faults.json"
+"$BUILD/bench/bench_overload" "$ROOT/BENCH_overload.json"

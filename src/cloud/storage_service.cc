@@ -11,7 +11,10 @@ void StorageService::Settle(Seconds now) {
   // arrive slightly out of order when callers register a batch of objects
   // grouped by container; only AdvanceTo treats a regression as a caller
   // bug worth logging.)
-  if (now <= last_billed_) return;
+  if (now <= last_billed_) {
+    if (now < last_billed_) ++clock_clamps_;
+    return;
+  }
   double quanta = (now - last_billed_) / pricing_.quantum;
   accrued_mb_quanta_ += used_ * quanta;
   accrued_cost_ += pricing_.StorageCost(used_, quanta);
@@ -51,6 +54,7 @@ void StorageService::AdvanceTo(Seconds now) {
   if (now < last_billed_ - 1e-9) {
     DFIM_LOG(kWarn) << "StorageService::AdvanceTo: time regression " << now
                     << " < " << last_billed_ << "; clamping";
+    ++clock_clamps_;
     return;
   }
   Settle(now);

@@ -44,8 +44,13 @@ class StorageService {
   /// the bill up to their own timestamp first. A time regression is clamped
   /// to the last billed instant — logged as a caller bug here, silently for
   /// Put/Delete (object batches legitimately arrive slightly out of order) —
-  /// rather than accruing negative MB·quanta.
+  /// rather than accruing negative MB·quanta. Every clamp, silent or
+  /// logged, increments clock_clamps() so callers can surface regressions
+  /// as a metric instead of losing them.
   void AdvanceTo(Seconds now);
+
+  /// Number of time regressions clamped so far (Put/Delete/AdvanceTo).
+  int64_t clock_clamps() const { return clock_clamps_; }
 
   /// Dollars accrued so far (up to the last AdvanceTo/Put/Delete).
   Dollars accrued_cost() const { return accrued_cost_; }
@@ -64,6 +69,7 @@ class StorageService {
   Seconds last_billed_ = 0;
   Dollars accrued_cost_ = 0;
   double accrued_mb_quanta_ = 0;
+  int64_t clock_clamps_ = 0;
 };
 
 }  // namespace dfim

@@ -7,24 +7,27 @@
 namespace dfim {
 
 Result<std::vector<Schedule>> Interleaver::Interleave(
-    const Dag& dag, const std::vector<Seconds>& durations) const {
+    const Dag& dag, const std::vector<Seconds>& durations,
+    double build_fraction) const {
   switch (mode_) {
     case InterleaveMode::kNone:
       return scheduler_.ScheduleDag(dag, durations, /*place_optional=*/false);
     case InterleaveMode::kOnline:
-      return scheduler_.ScheduleDag(dag, durations, /*place_optional=*/true);
+      return scheduler_.ScheduleDag(dag, durations,
+                                    /*place_optional=*/build_fraction > 0);
     case InterleaveMode::kLp: {
       // Algorithm 2: schedule the dataflow alone, then pack every schedule
       // in the skyline with build ops.
       DFIM_ASSIGN_OR_RETURN(
           std::vector<Schedule> skyline,
           scheduler_.ScheduleDag(dag, durations, /*place_optional=*/false));
+      if (build_fraction <= 0) return skyline;
       std::vector<int> build_ops;
       for (const auto& op : dag.ops()) {
         if (op.optional) build_ops.push_back(op.id);
       }
       for (auto& s : skyline) {
-        s = PackIntoIdleSlots(s, dag, durations, build_ops);
+        s = PackIntoIdleSlots(s, dag, durations, build_ops, build_fraction);
       }
       return skyline;
     }
@@ -35,12 +38,19 @@ Result<std::vector<Schedule>> Interleaver::Interleave(
 Schedule Interleaver::PackIntoIdleSlots(
     const Schedule& schedule, const Dag& dag,
     const std::vector<Seconds>& durations,
-    const std::vector<int>& build_op_ids) const {
+    const std::vector<int>& build_op_ids, double capacity_fraction) const {
   const Seconds quantum = scheduler_.options().quantum;
   std::vector<IdleSlot> slots = schedule.FindIdleSlots(quantum);
   std::vector<double> slot_sizes;
   slot_sizes.reserve(slots.size());
-  for (const auto& s : slots) slot_sizes.push_back(s.size());
+  // The brownout knob shrinks what the knapsack may fill, not the slots
+  // themselves; >= 1 keeps the arithmetic bit-identical to the unthrottled
+  // path (no multiply by 1.0).
+  for (const auto& s : slots) {
+    slot_sizes.push_back(capacity_fraction >= 1.0
+                             ? s.size()
+                             : s.size() * capacity_fraction);
+  }
 
   std::vector<KnapsackItem> items;
   items.reserve(build_op_ids.size());

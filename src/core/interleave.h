@@ -35,17 +35,27 @@ class Interleaver {
 
   /// \brief Returns the skyline of schedules, each containing the dataflow
   /// assignments and whatever build ops were interleaved.
+  ///
+  /// `build_fraction` in [0, 1] is the overload-brownout knob: it scales
+  /// the idle-slot capacity offered to the build-op knapsack (kLp), so
+  /// under queue pressure fewer optional builds ride along. 1.0 (the
+  /// default) is bit-identical to the unthrottled path; 0 packs nothing.
+  /// kOnline mode is throttled upstream (the tuner caps the candidate
+  /// list), since its optional ops are placed inside the skyline search.
   Result<std::vector<Schedule>> Interleave(
-      const Dag& dag, const std::vector<Seconds>& durations) const;
+      const Dag& dag, const std::vector<Seconds>& durations,
+      double build_fraction = 1.0) const;
 
   /// \brief The LP packing step alone (Algorithm 2, lines 7-18): packs the
   /// given build ops into the idle slots of `schedule` by per-slot 0/1
-  /// knapsack, highest-gain-first within each slot.
+  /// knapsack, highest-gain-first within each slot. `capacity_fraction`
+  /// scales the capacity of every idle slot (brownout; 1.0 = full slots).
   ///
   /// Returns the schedule with the chosen build assignments appended.
   Schedule PackIntoIdleSlots(const Schedule& schedule, const Dag& dag,
                              const std::vector<Seconds>& durations,
-                             const std::vector<int>& build_op_ids) const;
+                             const std::vector<int>& build_op_ids,
+                             double capacity_fraction = 1.0) const;
 
   InterleaveMode mode() const { return mode_; }
   const SchedulerOptions& scheduler_options() const {

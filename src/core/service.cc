@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -24,6 +25,18 @@ std::string_view IndexPolicyToString(IndexPolicy policy) {
   return "?";
 }
 
+std::string_view ShedPolicyToString(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kRejectNewest:
+      return "reject-newest";
+    case ShedPolicy::kRejectByCost:
+      return "reject-by-cost";
+    case ShedPolicy::kDeadlineInfeasible:
+      return "deadline-infeasible";
+  }
+  return "?";
+}
+
 QaasService::QaasService(Catalog* catalog, ServiceOptions options)
     : catalog_(catalog),
       opts_(options),
@@ -41,6 +54,7 @@ QaasService::QaasService(Catalog* catalog, ServiceOptions options)
   // same options, and a zero/negative thread count means "serial".
   opts_.tuner.sched.num_threads = std::max(1, opts_.tuner.sched.num_threads);
   opts_.tuner.sched.skyline_cap = std::max(1, opts_.tuner.sched.skyline_cap);
+  retry_budget_left_ = opts_.admission.retry_budget;
 }
 
 std::vector<Container*> QaasService::AcquireContainers(int n, Seconds start) {
@@ -139,18 +153,31 @@ uint64_t PersistKey(const std::string& index_id, int partition, int retry) {
 
 Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
                                                     Seconds start,
-                                                    ServiceMetrics* metrics) {
+                                                    ServiceMetrics* metrics,
+                                                    double build_fraction) {
   bool tuned = opts_.policy == IndexPolicy::kGain ||
                opts_.policy == IndexPolicy::kGainNoDelete;
   TunerDecision decision;
-  if (tuned) {
+  if (tuned && build_fraction <= 0) {
+    // Full brownout: skip the tuning step entirely — schedule the bare
+    // dataflow, no build ops, no deletions. History is still recorded below
+    // so gains keep accumulating for when pressure subsides. Every unbuilt
+    // candidate the tuner might have picked counts as shed (an upper-bound
+    // proxy; the tuner was never consulted).
+    DFIM_ASSIGN_OR_RETURN(decision, BaselineDecision(df));
+    for (const auto& idx : df.candidate_indexes) {
+      if (!tuner_.IsBuilt(idx)) ++decision.builds_shed;
+    }
+  } else if (tuned) {
     DFIM_ASSIGN_OR_RETURN(
         decision,
         tuner_.OnDataflow(df, history_, start,
-                          opts_.resumable_builds ? &build_progress_ : nullptr));
+                          opts_.resumable_builds ? &build_progress_ : nullptr,
+                          build_fraction));
   } else {
     DFIM_ASSIGN_OR_RETURN(decision, BaselineDecision(df));
   }
+  metrics->builds_shed += decision.builds_shed;
 
   FaultModel fault_model(opts_.faults);
   const bool inject = fault_model.enabled();
@@ -247,7 +274,23 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
         for (int c : exec.failed_containers) {
           container_died |= c == b.container;
         }
+        const bool breaker_on = opts_.breaker.open_after > 0;
+        Seconds persist_at = start + elapsed + b.finish;
+        if (breaker_on && breaker_state_ == BreakerState::kOpen) {
+          if (persist_at >= breaker_open_until_) {
+            breaker_state_ = BreakerState::kHalfOpen;
+          } else {
+            // Breaker open: the persist path is known-bad; skip the Put
+            // outright instead of burning retries and backoff delay.
+            ++metrics->builds_discarded;
+            continue;
+          }
+        }
         int retries = container_died ? 0 : opts_.storage_put_max_retries;
+        // A half-open breaker allows exactly one probe attempt.
+        if (breaker_on && breaker_state_ == BreakerState::kHalfOpen) {
+          retries = 0;
+        }
         bool persisted = false;
         Seconds backoff = opts_.storage_backoff_initial;
         for (int r = 0; r <= retries; ++r) {
@@ -257,10 +300,28 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
             break;
           }
           ++metrics->storage_retries;
+          if (breaker_on) {
+            ++breaker_faults_;
+            if (breaker_state_ == BreakerState::kHalfOpen ||
+                breaker_faults_ >= opts_.breaker.open_after) {
+              // Trip (or re-trip after a failed half-open probe).
+              breaker_state_ = BreakerState::kOpen;
+              breaker_open_until_ = persist_at + opts_.breaker.open_duration;
+              breaker_faults_ = 0;
+              ++metrics->breaker_opens;
+              break;
+            }
+          }
           if (r < retries) {
             persist_delay += backoff;
             backoff = std::min(backoff * 2.0, opts_.storage_backoff_cap);
           }
+        }
+        if (persisted && breaker_on) {
+          // Any success closes the breaker (half-open probe) and resets the
+          // consecutive-fault count.
+          breaker_faults_ = 0;
+          breaker_state_ = BreakerState::kClosed;
         }
         if (!persisted) {
           ++metrics->builds_discarded;
@@ -323,6 +384,19 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
       failed = true;
       ++metrics->dataflows_failed;
       break;
+    }
+    // The fleet-wide retry budget caps recovery work across all dataflows:
+    // under overload, re-paying quanta for suffix re-execution steals
+    // capacity from the queue, so once the budget is spent crash-lost
+    // dataflows fail fast instead.
+    if (opts_.admission.retry_budget >= 0) {
+      if (retry_budget_left_ <= 0) {
+        ++metrics->retries_denied;
+        failed = true;
+        ++metrics->dataflows_failed;
+        break;
+      }
+      --retry_budget_left_;
     }
     auto to_orig = [&](int local) {
       return attempt == 0 ? local : orig_ids[static_cast<size_t>(local)];
@@ -511,6 +585,7 @@ void QaasService::ApplyDueUpdates(Seconds now, ServiceMetrics* metrics) {
 }
 
 Result<ServiceMetrics> QaasService::Run(WorkloadClient* client) {
+  if (opts_.admission.open_loop) return RunOpenLoop(client);
   ServiceMetrics metrics;
   Seconds clock = 0;
   Seconds settled = 0;
@@ -536,6 +611,141 @@ Result<ServiceMetrics> QaasService::Run(WorkloadClient* client) {
   // horizon; the bill is already settled through `settled` in that case.
   storage_.AdvanceTo(std::max({opts_.total_time, clock, settled}));
   metrics.storage_cost = storage_.accrued_cost();
+  metrics.storage_clock_clamps = storage_.clock_clamps();
+  return metrics;
+}
+
+void QaasService::Admit(Dataflow df, std::deque<Pending>* queue,
+                        ServiceMetrics* metrics) {
+  ++metrics->dataflows_arrived;
+  Pending p;
+  p.arrival = df.issued_at;
+  auto cp = df.dag.CriticalPath();
+  p.estimate = cp.ok() ? *cp : 0;
+  if (opts_.admission.slo_factor > 0) {
+    p.deadline = p.arrival + opts_.admission.slo_factor * p.estimate;
+  }
+  p.df = std::move(df);
+
+  int cap = opts_.admission.max_queue;
+  if (cap > 0 && static_cast<int>(queue->size()) >= cap) {
+    if (opts_.admission.shed == ShedPolicy::kRejectByCost) {
+      // Drop the most expensive pending entry — the arrival included — so
+      // cheap work keeps flowing under overload.
+      auto worst = queue->end();
+      Seconds worst_est = p.estimate;
+      for (auto it = queue->begin(); it != queue->end(); ++it) {
+        if (it->estimate > worst_est) {
+          worst_est = it->estimate;
+          worst = it;
+        }
+      }
+      ++metrics->dataflows_shed;
+      ++metrics->shed_queue_full;
+      if (worst == queue->end()) return;  // the arrival itself is worst
+      queue->erase(worst);
+    } else {
+      // kRejectNewest and kDeadlineInfeasible both tail-drop when full.
+      ++metrics->dataflows_shed;
+      ++metrics->shed_queue_full;
+      return;
+    }
+  }
+  queue->push_back(std::move(p));
+  metrics->peak_queue_len =
+      std::max(metrics->peak_queue_len, static_cast<int>(queue->size()));
+}
+
+double QaasService::BuildFraction(double pressure_quanta) {
+  const BrownoutOptions& b = opts_.brownout;
+  if (b.pressure_hi_quanta <= 0) return 1.0;
+  if (brownout_off_) {
+    if (pressure_quanta < b.pressure_lo_quanta * b.resume_fraction) {
+      brownout_off_ = false;  // hysteretic re-enable
+    } else {
+      return 0;
+    }
+  }
+  if (pressure_quanta >= b.pressure_hi_quanta) {
+    brownout_off_ = true;
+    return 0;
+  }
+  if (pressure_quanta <= b.pressure_lo_quanta) return 1.0;
+  return 1.0 - (pressure_quanta - b.pressure_lo_quanta) /
+                   (b.pressure_hi_quanta - b.pressure_lo_quanta);
+}
+
+Result<ServiceMetrics> QaasService::RunOpenLoop(WorkloadClient* client) {
+  ServiceMetrics metrics;
+  const Seconds quantum = opts_.tuner.sched.quantum;
+  Seconds clock = 0;    // when the service front door is next free
+  Seconds settled = 0;
+  std::deque<Pending> queue;
+  std::optional<Dataflow> next_df = client->Next(0, opts_.total_time);
+
+  // Event loop in virtual-time order: an arrival is admitted the moment it
+  // occurs; the head of the queue is dequeued when the server frees up.
+  // Every arrival is accounted exactly once — finished, overran, failed, or
+  // shed — so arrived == finished + failed + overran + shed with zero slack.
+  while (next_df.has_value() || !queue.empty()) {
+    Seconds dequeue_at = queue.empty()
+                             ? std::numeric_limits<Seconds>::infinity()
+                             : std::max(clock, queue.front().arrival);
+    if (next_df.has_value() && next_df->issued_at <= dequeue_at) {
+      Admit(std::move(*next_df), &queue, &metrics);
+      next_df = client->Next(0, opts_.total_time);
+      continue;
+    }
+
+    Pending p = std::move(queue.front());
+    queue.pop_front();
+    Seconds start = std::max(clock, p.arrival);
+    if (start >= opts_.total_time) {
+      // Stranded: the horizon closed while this entry waited.
+      ++metrics.dataflows_shed;
+      continue;
+    }
+    if (opts_.admission.shed == ShedPolicy::kDeadlineInfeasible &&
+        p.deadline > 0 && start + p.estimate > p.deadline) {
+      // Early drop: even started immediately it cannot meet its deadline,
+      // so don't waste server time on it.
+      ++metrics.dataflows_shed;
+      ++metrics.shed_infeasible;
+      continue;
+    }
+
+    double pressure = (start - p.arrival) / quantum;
+    double fraction = BuildFraction(pressure);
+    ApplyDueUpdates(start, &metrics);
+    DFIM_ASSIGN_OR_RETURN(RunOutcome out,
+                          RunOne(p.df, start, &metrics, fraction));
+    clock = out.finish;
+    settled = std::max(settled, out.settled);
+    metrics.queue_delay_quanta += pressure;
+    if (!out.failed) {
+      if (out.finish <= opts_.total_time) {
+        ++metrics.dataflows_finished;
+      } else {
+        ++metrics.dataflows_overran;
+      }
+      if (p.deadline > 0 && out.finish > p.deadline) {
+        ++metrics.deadlines_missed;
+      }
+    }
+    // RunOne appended this dataflow's timeline point; stamp the overload
+    // state onto it.
+    TimelinePoint& pt = metrics.timeline.back();
+    pt.queue_len = static_cast<int>(queue.size());
+    pt.queue_delay_quanta = pressure;
+    pt.dataflows_shed = metrics.dataflows_shed;
+    pt.deadlines_missed = metrics.deadlines_missed;
+    pt.builds_shed = metrics.builds_shed;
+    pt.breaker_opens = metrics.breaker_opens;
+  }
+
+  storage_.AdvanceTo(std::max({opts_.total_time, clock, settled}));
+  metrics.storage_cost = storage_.accrued_cost();
+  metrics.storage_clock_clamps = storage_.clock_clamps();
   return metrics;
 }
 

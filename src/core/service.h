@@ -32,6 +32,69 @@ enum class IndexPolicy {
 
 std::string_view IndexPolicyToString(IndexPolicy policy);
 
+/// \brief What the bounded admission queue sheds when it is full.
+enum class ShedPolicy {
+  /// Drop the arriving dataflow (classic tail drop).
+  kRejectNewest,
+  /// Drop the pending dataflow with the largest estimated makespan
+  /// (including the arrival itself) — protects cheap work under overload.
+  kRejectByCost,
+  /// Tail-drop on a full queue, plus an early drop at dequeue time of any
+  /// dataflow that can no longer meet its deadline even if started
+  /// immediately (requires `slo_factor` > 0).
+  kDeadlineInfeasible,
+};
+
+std::string_view ShedPolicyToString(ShedPolicy policy);
+
+/// \brief Open-loop admission control (all off by default: `open_loop`
+/// false keeps the paper's closed-loop issue-on-return path bit-identical).
+struct AdmissionOptions {
+  /// Arrival-driven service loop: dataflows queue at their arrival times
+  /// instead of being issued when the previous one returns.
+  bool open_loop = false;
+  /// Pending-queue capacity (0 = unbounded, nothing is ever shed).
+  int max_queue = 0;
+  ShedPolicy shed = ShedPolicy::kRejectNewest;
+  /// Deadline = arrival + slo_factor x estimated makespan (DAG critical
+  /// path). 0 disables deadlines and SLO accounting.
+  double slo_factor = 0;
+  /// Fleet-wide cap on recovery attempts across all dataflows; once spent,
+  /// crash-lost dataflows fail immediately instead of rescheduling their
+  /// suffix. -1 = unlimited (the per-dataflow max_recovery_attempts still
+  /// applies either way).
+  int retry_budget = -1;
+};
+
+/// \brief Pressure-based brownout of optional index builds.
+///
+/// Pressure is the queue delay (in quanta) of the dataflow being dequeued.
+/// Between `lo` and `hi` the fraction of beneficial builds kept falls
+/// linearly from 1 to 0; at `hi` tuning disables entirely and only
+/// re-enables (hysteresis) once pressure drops below lo x resume_fraction.
+struct BrownoutOptions {
+  /// Pressure at which shedding starts (0 with hi == 0 disables brownout).
+  double pressure_lo_quanta = 0;
+  /// Pressure at which tuning shuts off entirely; <= 0 disables brownout.
+  double pressure_hi_quanta = 0;
+  /// Re-enable threshold as a fraction of pressure_lo_quanta.
+  double resume_fraction = 0.5;
+};
+
+/// \brief Circuit breaker on the storage persist (Put) path.
+///
+/// Counts consecutive transient-fault draws across persist attempts; at
+/// `open_after` the breaker opens and build persists are skipped outright
+/// (discarded without burning backoff delay) until `open_duration` of
+/// simulated time passes, after which a single half-open probe either
+/// closes the breaker or re-opens it.
+struct BreakerOptions {
+  /// Consecutive transient storage faults that open the breaker (0 = off).
+  int open_after = 0;
+  /// Simulated seconds the breaker stays open before the half-open probe.
+  Seconds open_duration = 300.0;
+};
+
 /// \brief Service configuration (Table 3 defaults).
 struct ServiceOptions {
   IndexPolicy policy = IndexPolicy::kGain;
@@ -95,6 +158,13 @@ struct ServiceOptions {
   Seconds storage_backoff_initial = 1.0;
   Seconds storage_backoff_cap = 30.0;
   /// @}
+  /// \name Overload robustness (all defaults keep the closed-loop paths
+  /// bit-identical to a service without overload support).
+  /// @{
+  AdmissionOptions admission;
+  BrownoutOptions brownout;
+  BreakerOptions breaker;
+  /// @}
   uint64_t seed = 99;
 };
 
@@ -110,6 +180,18 @@ struct TimelinePoint {
   /// Cumulative failure/recovery counters at this point.
   int containers_failed = 0;
   int dataflows_failed = 0;
+  /// \name Overload state at this point (open-loop runs; zero otherwise).
+  /// @{
+  /// Pending dataflows right after this one was dequeued and executed.
+  int queue_len = 0;
+  /// Queue delay (quanta) this dataflow suffered before starting.
+  double queue_delay_quanta = 0;
+  /// Cumulative overload counters at this point.
+  int dataflows_shed = 0;
+  int deadlines_missed = 0;
+  int builds_shed = 0;
+  int breaker_opens = 0;
+  /// @}
 };
 
 /// \brief Aggregated service metrics (Fig. 12/14, Table 7).
@@ -147,6 +229,34 @@ struct ServiceMetrics {
   /// Completed builds discarded: their partition was never persisted
   /// (dead container, or Put failed after all retries).
   int builds_discarded = 0;
+  /// @}
+  /// \name Overload & SLO accounting (open-loop runs; zero otherwise).
+  /// Open-loop identity: arrived == finished + failed + overran + shed.
+  /// @{
+  /// Dataflows dropped without execution (queue full, deadline-infeasible,
+  /// or stranded in the queue when the horizon closed).
+  int dataflows_shed = 0;
+  /// Sheds caused by a full queue (subset of dataflows_shed).
+  int shed_queue_full = 0;
+  /// Early drops of deadline-infeasible entries (subset of dataflows_shed).
+  int shed_infeasible = 0;
+  /// Dataflows that finished past their deadline (they still count as
+  /// finished; goodput = finished - deadlines_missed).
+  int deadlines_missed = 0;
+  /// Beneficial index builds excluded by the brownout knob.
+  int builds_shed = 0;
+  /// Times the storage circuit breaker opened (including re-opens).
+  int breaker_opens = 0;
+  /// Recovery attempts denied because the fleet-wide retry budget ran out.
+  int retries_denied = 0;
+  /// Total queue delay (quanta) summed over executed dataflows.
+  double queue_delay_quanta = 0;
+  /// Largest pending-queue length observed at any admission.
+  int peak_queue_len = 0;
+  /// Storage-billing clock regressions absorbed by the high-water clamp
+  /// (surfaced from StorageService; nonzero means callers settled storage
+  /// out of order).
+  int64_t storage_clock_clamps = 0;
   /// @}
   std::vector<TimelinePoint> timeline;
 
@@ -196,10 +306,32 @@ class QaasService {
     Seconds settled = 0;
   };
 
+  /// One entry of the open-loop pending queue.
+  struct Pending {
+    Dataflow df;
+    Seconds arrival = 0;
+    /// Cheap makespan lower bound (DAG critical path).
+    Seconds estimate = 0;
+    /// Absolute deadline (0 = none).
+    Seconds deadline = 0;
+  };
+
   /// Executes one dataflow starting at `start`, retrying crash-lost DAG
   /// suffixes up to max_recovery_attempts when fault injection is active.
+  /// `build_fraction` is the brownout knob (1.0 = unthrottled, bit-identical
+  /// to the pre-overload path; 0 = no tuning at all this dataflow).
   Result<RunOutcome> RunOne(const Dataflow& df, Seconds start,
-                            ServiceMetrics* metrics);
+                            ServiceMetrics* metrics,
+                            double build_fraction = 1.0);
+
+  /// The arrival-driven service loop (admission.open_loop).
+  Result<ServiceMetrics> RunOpenLoop(WorkloadClient* client);
+
+  /// Admits one arrival into the pending queue, shedding per policy.
+  void Admit(Dataflow df, std::deque<Pending>* queue, ServiceMetrics* metrics);
+
+  /// Brownout knob from queue pressure (quanta), with hysteresis.
+  double BuildFraction(double pressure_quanta);
 
   /// Policy step for kNoIndex / kRandom.
   Result<TunerDecision> BaselineDecision(const Dataflow& df);
@@ -226,6 +358,19 @@ class QaasService {
   /// Next scheduled update batch (update_interval_quanta > 0 only).
   Seconds next_update_ = 0;
   int next_container_id_ = 0;
+  /// \name Overload state
+  /// @{
+  /// Remaining fleet-wide recovery attempts (admission.retry_budget >= 0).
+  int retry_budget_left_ = -1;
+  /// Brownout hysteresis: true once pressure crossed pressure_hi_quanta,
+  /// until it falls below pressure_lo_quanta x resume_fraction.
+  bool brownout_off_ = false;
+  /// Storage persist circuit breaker.
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+  BreakerState breaker_state_ = BreakerState::kClosed;
+  int breaker_faults_ = 0;
+  Seconds breaker_open_until_ = 0;
+  /// @}
 };
 
 }  // namespace dfim

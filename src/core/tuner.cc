@@ -179,7 +179,7 @@ IndexGains OnlineIndexTuner::EvaluateIndex(
 
 Result<TunerDecision> OnlineIndexTuner::OnDataflow(
     const Dataflow& df, const std::deque<DataflowRecord>& history, Seconds now,
-    const BuildProgress* progress) const {
+    const BuildProgress* progress, double build_fraction) const {
   TunerDecision d;
 
   // The potential set Pi: the dataflow's candidates plus indexes seen in
@@ -209,6 +209,18 @@ Result<TunerDecision> OnlineIndexTuner::OnDataflow(
       beneficial.begin(), beneficial.end(),
       [](const auto& a, const auto& b) { return a.second > b.second; });
 
+  // Overload brownout: under queue pressure only the top fraction of
+  // beneficial indexes (by gain) keeps its build ops; the rest are shed
+  // before any build op is materialized.
+  if (build_fraction < 1.0 && !beneficial.empty()) {
+    auto keep = static_cast<size_t>(std::ceil(
+        std::max(0.0, build_fraction) * static_cast<double>(beneficial.size())));
+    if (keep < beneficial.size()) {
+      d.builds_shed = static_cast<int>(beneficial.size() - keep);
+      beneficial.resize(keep);
+    }
+  }
+
   // Build the combined DAG: dataflow ops + build ops of beneficial indexes.
   d.combined = df.dag;
   int next_id = static_cast<int>(d.combined.num_ops());
@@ -227,8 +239,9 @@ Result<TunerDecision> OnlineIndexTuner::OnDataflow(
                      &d.durations, &d.costs);
 
   // Lines 10-11: interleave and select the fastest schedule.
-  DFIM_ASSIGN_OR_RETURN(d.skyline,
-                        interleaver_.Interleave(d.combined, d.durations));
+  DFIM_ASSIGN_OR_RETURN(
+      d.skyline,
+      interleaver_.Interleave(d.combined, d.durations, build_fraction));
   if (d.skyline.empty()) return Status::Internal("empty schedule skyline");
   d.chosen = d.skyline.front();
   for (const auto& a : d.chosen.assignments()) {

@@ -46,6 +46,9 @@ struct TunerDecision {
   std::map<std::string, IndexGains> gains;
   /// Build ops included in `chosen`.
   int build_ops_scheduled = 0;
+  /// Beneficial indexes excluded by the overload brownout cap (their build
+  /// ops were never appended to `combined`).
+  int builds_shed = 0;
 };
 
 /// \brief Algorithm 1: Online Index Tuning.
@@ -61,11 +64,16 @@ class OnlineIndexTuner {
 
   /// Runs the tuning step for the issued dataflow `df` at time `now`.
   /// `progress` (optional) enables resumable builds: build ops are emitted
-  /// with their remaining (not full) build time.
+  /// with their remaining (not full) build time. `build_fraction` in [0, 1]
+  /// is the overload-brownout knob: it caps the beneficial-index list at
+  /// ceil(fraction x size) highest-gain entries and shrinks the idle-slot
+  /// knapsack by the same factor; 1.0 (the default) is bit-identical to
+  /// the unthrottled path.
   Result<TunerDecision> OnDataflow(const Dataflow& df,
                                    const std::deque<DataflowRecord>& history,
                                    Seconds now,
-                                   const BuildProgress* progress = nullptr) const;
+                                   const BuildProgress* progress = nullptr,
+                                   double build_fraction = 1.0) const;
 
   /// \brief Deletion-only sweep (Algorithm 1 is also "triggered
   /// periodically... to delete indexes that become non beneficial when

@@ -56,4 +56,62 @@ std::optional<Dataflow> PhaseWorkloadClient::Next(Seconds not_before,
   return gen_->Generate(AppAt(clock_), seq_++, clock_);
 }
 
+ArrivalProcess::ArrivalProcess(ArrivalOptions options, uint64_t seed)
+    : opts_(options), rng_(seed) {
+  if (opts_.bursty()) {
+    phase_end_ = rng_.Exponential(opts_.mean_baseline_duration);
+  }
+}
+
+Seconds ArrivalProcess::NextArrival() {
+  while (true) {
+    double mean =
+        in_burst_ ? opts_.burst_mean_interarrival : opts_.mean_interarrival;
+    Seconds gap = rng_.Exponential(mean);
+    if (!opts_.bursty() || clock_ + gap <= phase_end_) {
+      clock_ += gap;
+      return clock_;
+    }
+    // The draw crossed the phase boundary: by memorylessness the residual
+    // is redrawn at the next phase's rate from the boundary itself.
+    clock_ = phase_end_;
+    in_burst_ = !in_burst_;
+    phase_end_ = clock_ + rng_.Exponential(in_burst_
+                                               ? opts_.mean_burst_duration
+                                               : opts_.mean_baseline_duration);
+  }
+}
+
+OpenLoopWorkloadClient::OpenLoopWorkloadClient(DataflowGenerator* gen,
+                                               ArrivalOptions arrivals,
+                                               std::vector<WorkloadPhase> phases,
+                                               uint64_t seed)
+    : gen_(gen),
+      arrivals_(arrivals, seed),
+      phases_(std::move(phases)),
+      mix_rng_(seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+AppType OpenLoopWorkloadClient::AppAt(Seconds t) const {
+  Seconds acc = 0;
+  for (const auto& ph : phases_) {
+    acc += ph.duration;
+    if (t < acc) return ph.app;
+  }
+  return phases_.empty() ? AppType::kMontage : phases_.back().app;
+}
+
+std::optional<Dataflow> OpenLoopWorkloadClient::Next(Seconds /*not_before*/,
+                                                     Seconds horizon) {
+  if (exhausted_) return std::nullopt;
+  Seconds at = arrivals_.NextArrival();
+  if (at > horizon) {
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  AppType app = phases_.empty()
+                    ? static_cast<AppType>(mix_rng_.UniformInt(0, 2))
+                    : AppAt(at);
+  return gen_->Generate(app, seq_++, at);
+}
+
 }  // namespace dfim

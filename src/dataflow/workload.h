@@ -51,6 +51,80 @@ struct WorkloadPhase {
   Seconds duration;
 };
 
+/// \brief Open-loop arrival process knobs.
+///
+/// Open-loop arrivals model "heavy traffic from millions of users": the
+/// stream does not wait for results, so queueing and overload become
+/// possible. Plain Poisson by default; setting `burst_mean_interarrival`
+/// turns the process into a two-state MMPP (Markov-modulated Poisson):
+/// exponential holding times alternate a baseline phase with a burst phase
+/// that arrives at its own (higher) rate.
+struct ArrivalOptions {
+  /// Mean interarrival (seconds) of the baseline phase.
+  double mean_interarrival = 60.0;
+  /// Mean interarrival of the burst phase; <= 0 disables bursts (Poisson).
+  double burst_mean_interarrival = 0;
+  /// Mean exponential holding time of the baseline phase.
+  Seconds mean_baseline_duration = 1800.0;
+  /// Mean exponential holding time of the burst phase.
+  Seconds mean_burst_duration = 300.0;
+
+  bool bursty() const { return burst_mean_interarrival > 0; }
+};
+
+/// \brief Deterministic open-loop arrival clock (Poisson or 2-state MMPP).
+///
+/// Every draw comes from one explicitly seeded Rng, so the arrival sequence
+/// is a pure function of (options, seed). Phase switches exploit the
+/// exponential's memorylessness: an interarrival draw that crosses the
+/// phase boundary is discarded and redrawn at the new phase's rate from the
+/// boundary, which is distribution-correct and keeps the walk simple.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(ArrivalOptions options, uint64_t seed);
+
+  /// Strictly advances and returns the arrival clock.
+  Seconds NextArrival();
+
+  /// True when the process is currently in the burst phase.
+  bool in_burst() const { return in_burst_; }
+
+ private:
+  ArrivalOptions opts_;
+  Rng rng_;
+  Seconds clock_ = 0;
+  bool in_burst_ = false;
+  /// End of the current MMPP phase (bursty() only).
+  Seconds phase_end_ = 0;
+};
+
+/// \brief Open-loop client: arrivals ignore `not_before` entirely.
+///
+/// The closed-loop clients above model the paper's sequential QaaS user;
+/// this one models an arrival-driven service front door. The application
+/// mix follows `phases` when given (last phase extends to infinity) and is
+/// uniformly random when `phases` is empty.
+class OpenLoopWorkloadClient : public WorkloadClient {
+ public:
+  OpenLoopWorkloadClient(DataflowGenerator* gen, ArrivalOptions arrivals,
+                         std::vector<WorkloadPhase> phases, uint64_t seed);
+
+  /// The next arrival, independent of `not_before` (open loop), or nullopt
+  /// once the arrival clock passes `horizon`.
+  std::optional<Dataflow> Next(Seconds not_before, Seconds horizon) override;
+
+  /// Family active at time `t` (uniform mix when no phases were given).
+  AppType AppAt(Seconds t) const;
+
+ private:
+  DataflowGenerator* gen_;
+  ArrivalProcess arrivals_;
+  std::vector<WorkloadPhase> phases_;
+  Rng mix_rng_;
+  int seq_ = 0;
+  bool exhausted_ = false;
+};
+
 /// \brief The paper's "phase generator" (§6.1): Cybershake for 33.3 quanta,
 /// Ligo for 16.6, Montage for 66.6, Cybershake again for 27.3, measuring
 /// how the tuner adapts to workload changes.

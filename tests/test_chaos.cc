@@ -1,0 +1,244 @@
+/// Chaos property fuzzer: sweeps seeds x fault profiles x admission/control
+/// profiles x arrival processes through the open-loop QaaS service and
+/// asserts the structural invariants that must hold under ANY combination:
+///
+///   1. Accounting identity, zero slack:
+///      arrived == finished + failed + overran + shed.
+///   2. Catalog subset of storage: every partition the catalog says is built
+///      was persisted.
+///   3. Counter sanity: sheds decompose, bounded queues never overflow,
+///      cumulative timeline series never decrease.
+///   4. Determinism spot check: one config per seed re-runs bit-identically.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/service.h"
+#include "dataflow/workload.h"
+
+namespace dfim {
+namespace {
+
+struct FaultProfile {
+  std::string name;
+  FaultOptions faults;
+};
+
+struct ControlProfile {
+  std::string name;
+  AdmissionOptions admission;
+  BrownoutOptions brownout;
+  BreakerOptions breaker;
+};
+
+struct ArrivalProfile {
+  std::string name;
+  ArrivalOptions arrivals;
+};
+
+std::vector<FaultProfile> FaultProfiles() {
+  std::vector<FaultProfile> out;
+  out.push_back({"clean", FaultOptions{}});
+  FaultOptions mild;
+  mild.crash_rate = 0.02;
+  mild.storage_fault_rate = 0.05;
+  mild.seed = 31;
+  out.push_back({"mild", mild});
+  FaultOptions harsh;
+  harsh.crash_rate = 0.1;
+  harsh.straggler_rate = 0.3;
+  harsh.storage_fault_rate = 0.2;
+  harsh.seed = 77;
+  out.push_back({"harsh", harsh});
+  return out;
+}
+
+std::vector<ControlProfile> ControlProfiles() {
+  std::vector<ControlProfile> out;
+  ControlProfile open;
+  open.name = "uncontrolled";
+  open.admission.open_loop = true;
+  out.push_back(open);
+
+  ControlProfile tail;
+  tail.name = "tail-drop+slo+budget";
+  tail.admission.open_loop = true;
+  tail.admission.max_queue = 8;
+  tail.admission.shed = ShedPolicy::kRejectNewest;
+  tail.admission.slo_factor = 3.0;
+  tail.admission.retry_budget = 4;
+  out.push_back(tail);
+
+  ControlProfile cost;
+  cost.name = "cost-drop+brownout+breaker";
+  cost.admission.open_loop = true;
+  cost.admission.max_queue = 4;
+  cost.admission.shed = ShedPolicy::kRejectByCost;
+  cost.brownout.pressure_lo_quanta = 0.5;
+  cost.brownout.pressure_hi_quanta = 3.0;
+  cost.breaker.open_after = 3;
+  cost.breaker.open_duration = 240.0;
+  out.push_back(cost);
+
+  ControlProfile full;
+  full.name = "deadline-drop+everything";
+  full.admission.open_loop = true;
+  full.admission.max_queue = 6;
+  full.admission.shed = ShedPolicy::kDeadlineInfeasible;
+  full.admission.slo_factor = 2.0;
+  full.admission.retry_budget = 2;
+  full.brownout.pressure_lo_quanta = 1.0;
+  full.brownout.pressure_hi_quanta = 4.0;
+  full.breaker.open_after = 4;
+  out.push_back(full);
+  return out;
+}
+
+std::vector<ArrivalProfile> ArrivalProfiles() {
+  std::vector<ArrivalProfile> out;
+  ArrivalProfile poisson;
+  poisson.name = "poisson-30s";
+  poisson.arrivals.mean_interarrival = 30.0;
+  out.push_back(poisson);
+  ArrivalProfile bursty;
+  bursty.name = "mmpp-60s/6s";
+  bursty.arrivals.mean_interarrival = 60.0;
+  bursty.arrivals.burst_mean_interarrival = 6.0;
+  bursty.arrivals.mean_baseline_duration = 600.0;
+  bursty.arrivals.mean_burst_duration = 180.0;
+  out.push_back(bursty);
+  return out;
+}
+
+struct ChaosRun {
+  ServiceMetrics metrics;
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<FileDatabase> db;
+  std::unique_ptr<QaasService> service;
+};
+
+ChaosRun RunConfig(uint64_t seed, const FaultProfile& fp,
+                   const ControlProfile& cp, const ArrivalProfile& ap) {
+  ChaosRun run;
+  run.catalog = std::make_unique<Catalog>();
+  FileDatabaseOptions fdo;
+  fdo.montage_files = 4;
+  fdo.ligo_files = 4;
+  fdo.cybershake_files = 4;
+  run.db = std::make_unique<FileDatabase>(run.catalog.get(), fdo);
+  EXPECT_TRUE(run.db->Populate().ok());
+  DataflowGenerator gen(run.db.get(), seed);
+
+  ServiceOptions so;
+  // Alternate the index policy too, for wider path coverage.
+  so.policy = seed % 2 == 0 ? IndexPolicy::kGain : IndexPolicy::kGainNoDelete;
+  so.total_time = 25.0 * 60.0;
+  so.tuner.sched.max_containers = 12;
+  so.tuner.sched.skyline_cap = 3;
+  so.sim.time_error = 0.1;
+  so.sim.data_error = 0.1;
+  so.faults = fp.faults;
+  so.admission = cp.admission;
+  so.brownout = cp.brownout;
+  so.breaker = cp.breaker;
+  so.seed = seed;
+  run.service = std::make_unique<QaasService>(run.catalog.get(), so);
+
+  OpenLoopWorkloadClient client(&gen, ap.arrivals, {}, seed * 7 + 1);
+  auto m = run.service->Run(&client);
+  EXPECT_TRUE(m.ok()) << m.status().ToString();
+  if (m.ok()) run.metrics = *m;
+  return run;
+}
+
+void CheckInvariants(const ChaosRun& run, const std::string& label,
+                     const ControlProfile& cp) {
+  const ServiceMetrics& m = run.metrics;
+  // (1) Accounting identity, zero slack.
+  EXPECT_EQ(m.dataflows_arrived, m.dataflows_finished + m.dataflows_failed +
+                                     m.dataflows_overran + m.dataflows_shed)
+      << label;
+  // (3) Counter sanity.
+  EXPECT_GE(m.dataflows_shed, m.shed_queue_full + m.shed_infeasible) << label;
+  EXPECT_GE(m.queue_delay_quanta, 0) << label;
+  EXPECT_GE(m.builds_shed, 0) << label;
+  EXPECT_GE(m.breaker_opens, 0) << label;
+  EXPECT_GE(m.retries_denied, 0) << label;
+  EXPECT_EQ(m.storage_clock_clamps, 0)
+      << label << ": the service must settle storage in order";
+  if (cp.admission.max_queue > 0) {
+    EXPECT_LE(m.peak_queue_len, cp.admission.max_queue) << label;
+  }
+  for (size_t i = 1; i < m.timeline.size(); ++i) {
+    EXPECT_GE(m.timeline[i].dataflows_shed, m.timeline[i - 1].dataflows_shed)
+        << label;
+    EXPECT_GE(m.timeline[i].builds_shed, m.timeline[i - 1].builds_shed)
+        << label;
+    EXPECT_GE(m.timeline[i].breaker_opens, m.timeline[i - 1].breaker_opens)
+        << label;
+    EXPECT_GE(m.timeline[i].containers_failed,
+              m.timeline[i - 1].containers_failed)
+        << label;
+  }
+  // (2) Catalog subset of storage.
+  for (const auto& idx : run.catalog->IndexIds()) {
+    auto def = run.catalog->GetIndexDef(idx);
+    auto state = run.catalog->GetIndexState(idx);
+    ASSERT_TRUE(def.ok() && state.ok()) << label;
+    for (size_t p = 0; p < (*state)->num_partitions(); ++p) {
+      if (!(*state)->part(p).built) continue;
+      EXPECT_TRUE(run.service->storage().Exists(
+          (*def)->PartitionPath(static_cast<int>(p))))
+          << label << ": " << idx << " partition " << p
+          << " built but never persisted";
+    }
+  }
+}
+
+TEST(ChaosTest, InvariantsHoldAcrossTheConfigLattice) {
+  const std::vector<uint64_t> seeds{1, 2, 3, 4, 5};
+  const auto faults = FaultProfiles();
+  const auto controls = ControlProfiles();
+  const auto arrivals = ArrivalProfiles();
+  int configs = 0;
+  for (uint64_t seed : seeds) {
+    for (const auto& fp : faults) {
+      for (const auto& cp : controls) {
+        for (const auto& ap : arrivals) {
+          std::string label = "seed=" + std::to_string(seed) + " " + fp.name +
+                              " " + cp.name + " " + ap.name;
+          ChaosRun run = RunConfig(seed, fp, cp, ap);
+          CheckInvariants(run, label, cp);
+          ++configs;
+        }
+      }
+    }
+  }
+  // The sweep is the point: 5 seeds x 3 fault x 4 control x 2 arrival.
+  EXPECT_GE(configs, 100);
+}
+
+TEST(ChaosTest, EachSeedReproducesBitIdentically) {
+  const auto fp = FaultProfiles()[2];    // harsh
+  const auto cp = ControlProfiles()[3];  // everything on
+  const auto ap = ArrivalProfiles()[1];  // bursty
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    ChaosRun a = RunConfig(seed, fp, cp, ap);
+    ChaosRun b = RunConfig(seed, fp, cp, ap);
+    EXPECT_EQ(a.metrics.dataflows_arrived, b.metrics.dataflows_arrived);
+    EXPECT_EQ(a.metrics.dataflows_finished, b.metrics.dataflows_finished);
+    EXPECT_EQ(a.metrics.dataflows_shed, b.metrics.dataflows_shed);
+    EXPECT_EQ(a.metrics.builds_shed, b.metrics.builds_shed);
+    EXPECT_EQ(a.metrics.breaker_opens, b.metrics.breaker_opens);
+    EXPECT_EQ(a.metrics.total_vm_quanta, b.metrics.total_vm_quanta);
+    EXPECT_EQ(a.metrics.total_time_quanta, b.metrics.total_time_quanta);
+    EXPECT_EQ(a.metrics.storage_cost, b.metrics.storage_cost);
+    EXPECT_EQ(a.metrics.queue_delay_quanta, b.metrics.queue_delay_quanta);
+  }
+}
+
+}  // namespace
+}  // namespace dfim

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/service.h"
+#include "dataflow/workload.h"
+
+namespace dfim {
+namespace {
+
+/// Small database + open-loop service harness for the overload tests.
+struct OverloadFixture {
+  explicit OverloadFixture(const ServiceOptions& so, uint64_t seed = 5) {
+    FileDatabaseOptions fdo;
+    fdo.montage_files = 4;
+    fdo.ligo_files = 4;
+    fdo.cybershake_files = 4;
+    db = std::make_unique<FileDatabase>(&catalog, fdo);
+    EXPECT_TRUE(db->Populate().ok());
+    gen = std::make_unique<DataflowGenerator>(db.get(), seed);
+    service = std::make_unique<QaasService>(&catalog, so);
+  }
+
+  ServiceMetrics Run(const ArrivalOptions& arrivals, uint64_t seed = 5) {
+    OpenLoopWorkloadClient client(gen.get(), arrivals,
+                                  {{AppType::kMontage, 1e9}}, seed);
+    auto m = service->Run(&client);
+    EXPECT_TRUE(m.ok()) << m.status().ToString();
+    return m.ok() ? *m : ServiceMetrics{};
+  }
+
+  /// Open-loop identity: every arrival is finished, failed, overran, or
+  /// shed — exactly, with zero slack.
+  static void CheckAccounting(const ServiceMetrics& m) {
+    EXPECT_EQ(m.dataflows_arrived, m.dataflows_finished + m.dataflows_failed +
+                                       m.dataflows_overran + m.dataflows_shed);
+    EXPECT_GE(m.dataflows_shed, m.shed_queue_full + m.shed_infeasible);
+  }
+
+  void CheckCatalogStorageConsistent() {
+    for (const auto& idx : catalog.IndexIds()) {
+      auto def = catalog.GetIndexDef(idx);
+      auto state = catalog.GetIndexState(idx);
+      ASSERT_TRUE(def.ok() && state.ok());
+      for (size_t p = 0; p < (*state)->num_partitions(); ++p) {
+        if (!(*state)->part(p).built) continue;
+        EXPECT_TRUE(service->storage().Exists(
+            (*def)->PartitionPath(static_cast<int>(p))))
+            << idx << " partition " << p << " built but never persisted";
+      }
+    }
+  }
+
+  Catalog catalog;
+  std::unique_ptr<FileDatabase> db;
+  std::unique_ptr<DataflowGenerator> gen;
+  std::unique_ptr<QaasService> service;
+};
+
+ServiceOptions BaseOptions(Seconds horizon = 40.0 * 60.0) {
+  ServiceOptions so;
+  so.policy = IndexPolicy::kGain;
+  so.total_time = horizon;
+  so.tuner.sched.max_containers = 12;
+  so.tuner.sched.skyline_cap = 3;
+  so.sim.time_error = 0.1;
+  so.sim.data_error = 0.1;
+  so.seed = 5;
+  so.admission.open_loop = true;
+  return so;
+}
+
+ArrivalOptions Arrivals(double mean) {
+  ArrivalOptions a;
+  a.mean_interarrival = mean;
+  return a;
+}
+
+TEST(OverloadTest, ClosedLoopDefaultsKeepOverloadCountersZero) {
+  // With admission.open_loop false (the default) nothing overload-related
+  // may fire: the paper's closed-loop path is untouched.
+  ServiceOptions so = BaseOptions();
+  so.admission = AdmissionOptions{};
+  OverloadFixture f(so);
+  PhaseWorkloadClient client(f.gen.get(), 60.0, {{AppType::kMontage, 1e9}}, 5);
+  auto m = f.service->Run(&client);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m->dataflows_finished, 0);
+  EXPECT_EQ(m->dataflows_shed, 0);
+  EXPECT_EQ(m->deadlines_missed, 0);
+  EXPECT_EQ(m->builds_shed, 0);
+  EXPECT_EQ(m->breaker_opens, 0);
+  EXPECT_EQ(m->retries_denied, 0);
+  EXPECT_EQ(m->queue_delay_quanta, 0);
+  EXPECT_EQ(m->peak_queue_len, 0);
+  EXPECT_EQ(m->storage_clock_clamps, 0);
+  for (const auto& pt : m->timeline) {
+    EXPECT_EQ(pt.queue_len, 0);
+    EXPECT_EQ(pt.builds_shed, 0);
+  }
+}
+
+TEST(OverloadTest, OpenLoopAccountsEveryArrivalExactly) {
+  // Overloaded (arrivals much faster than service) with an unbounded queue:
+  // nothing is shed at admission, but horizon-stranded entries still count,
+  // and the identity holds with zero slack.
+  OverloadFixture f(BaseOptions());
+  ServiceMetrics m = f.Run(Arrivals(15.0));
+  EXPECT_GT(m.dataflows_arrived, 0);
+  EXPECT_GT(m.dataflows_finished, 0);
+  OverloadFixture::CheckAccounting(m);
+  EXPECT_EQ(m.shed_queue_full, 0);  // unbounded queue
+  EXPECT_GT(m.peak_queue_len, 0);
+  EXPECT_GT(m.queue_delay_quanta, 0);
+  f.CheckCatalogStorageConsistent();
+}
+
+TEST(OverloadTest, OpenLoopIsDeterministic) {
+  auto run = [] {
+    OverloadFixture f(BaseOptions());
+    return f.Run(Arrivals(20.0));
+  };
+  ServiceMetrics a = run();
+  ServiceMetrics b = run();
+  EXPECT_EQ(a.dataflows_arrived, b.dataflows_arrived);
+  EXPECT_EQ(a.dataflows_finished, b.dataflows_finished);
+  EXPECT_EQ(a.dataflows_shed, b.dataflows_shed);
+  EXPECT_EQ(a.total_vm_quanta, b.total_vm_quanta);
+  EXPECT_EQ(a.queue_delay_quanta, b.queue_delay_quanta);  // bit-identical
+  EXPECT_EQ(a.storage_cost, b.storage_cost);
+}
+
+TEST(OverloadTest, BoundedQueueShedsAndRespectsCapacity) {
+  ServiceOptions so = BaseOptions();
+  so.admission.max_queue = 4;
+  so.admission.shed = ShedPolicy::kRejectNewest;
+  OverloadFixture f(so);
+  ServiceMetrics m = f.Run(Arrivals(10.0));
+  EXPECT_GT(m.shed_queue_full, 0);
+  EXPECT_LE(m.peak_queue_len, 4);
+  OverloadFixture::CheckAccounting(m);
+}
+
+TEST(OverloadTest, AllShedPoliciesKeepTheIdentity) {
+  for (ShedPolicy policy : {ShedPolicy::kRejectNewest, ShedPolicy::kRejectByCost,
+                            ShedPolicy::kDeadlineInfeasible}) {
+    ServiceOptions so = BaseOptions();
+    so.admission.max_queue = 3;
+    so.admission.shed = policy;
+    so.admission.slo_factor = 2.0;
+    OverloadFixture f(so);
+    ServiceMetrics m = f.Run(Arrivals(10.0));
+    EXPECT_GT(m.dataflows_shed, 0) << ShedPolicyToString(policy);
+    OverloadFixture::CheckAccounting(m);
+    f.CheckCatalogStorageConsistent();
+  }
+}
+
+TEST(OverloadTest, DeadlinesMissedCountedUnderOverload) {
+  ServiceOptions so = BaseOptions();
+  so.admission.slo_factor = 2.0;  // tight: queue delay blows deadlines
+  OverloadFixture f(so);
+  ServiceMetrics m = f.Run(Arrivals(15.0));
+  EXPECT_GT(m.deadlines_missed, 0);
+  // Misses still count as finished: goodput is the difference.
+  EXPECT_LE(m.deadlines_missed, m.dataflows_finished);
+  OverloadFixture::CheckAccounting(m);
+}
+
+TEST(OverloadTest, InfeasibleEntriesDroppedEarly) {
+  ServiceOptions so = BaseOptions();
+  so.admission.shed = ShedPolicy::kDeadlineInfeasible;
+  so.admission.slo_factor = 1.0;  // any queue delay makes entries infeasible
+  OverloadFixture f(so);
+  ServiceMetrics m = f.Run(Arrivals(15.0));
+  EXPECT_GT(m.shed_infeasible, 0);
+  OverloadFixture::CheckAccounting(m);
+}
+
+TEST(OverloadTest, BrownoutShedsBuildsUnderPressure) {
+  ServiceOptions base = BaseOptions();
+  OverloadFixture plain(base);
+  ServiceMetrics without = plain.Run(Arrivals(15.0));
+
+  ServiceOptions so = BaseOptions();
+  so.brownout.pressure_lo_quanta = 0.5;
+  so.brownout.pressure_hi_quanta = 3.0;
+  OverloadFixture f(so);
+  ServiceMetrics with = f.Run(Arrivals(15.0));
+
+  EXPECT_EQ(without.builds_shed, 0);
+  EXPECT_GT(with.builds_shed, 0);
+  // Shedding builds can only reduce index-building work.
+  EXPECT_LE(with.index_partitions_built, without.index_partitions_built);
+  OverloadFixture::CheckAccounting(with);
+  f.CheckCatalogStorageConsistent();
+}
+
+TEST(OverloadTest, BreakerOpensAndCutsRetryTraffic) {
+  // storage_fault_rate = 1.0: every Put attempt faults, so without the
+  // breaker every build burns the full retry ladder (max_retries + 1 draws);
+  // with it, the ladder trips at open_after and later builds are skipped
+  // outright while open, so far fewer retries are burned.
+  auto run = [](int open_after) {
+    ServiceOptions so = BaseOptions();
+    so.faults.storage_fault_rate = 1.0;
+    so.faults.seed = 13;
+    so.breaker.open_after = open_after;
+    so.breaker.open_duration = 240.0;
+    OverloadFixture f(so);
+    ServiceMetrics m = f.Run(Arrivals(30.0));
+    OverloadFixture::CheckAccounting(m);
+    f.CheckCatalogStorageConsistent();
+    return m;
+  };
+  ServiceMetrics without = run(0);
+  ServiceMetrics with = run(3);
+  EXPECT_EQ(without.breaker_opens, 0);
+  EXPECT_GT(without.builds_discarded, 0);
+  EXPECT_GT(with.breaker_opens, 0);
+  EXPECT_GT(with.builds_discarded, 0);
+  // Nothing ever persists at rate 1.0 either way.
+  EXPECT_EQ(without.index_partitions_built, 0);
+  EXPECT_EQ(with.index_partitions_built, 0);
+  EXPECT_LT(with.storage_retries, without.storage_retries);
+}
+
+TEST(OverloadTest, RetryBudgetCapsFleetWideRecovery) {
+  auto run = [](int budget) {
+    ServiceOptions so = BaseOptions(60.0 * 60.0);
+    so.faults.crash_rate = 0.3;
+    so.faults.seed = 21;
+    so.admission.retry_budget = budget;
+    OverloadFixture f(so);
+    ServiceMetrics m = f.Run(Arrivals(60.0));
+    OverloadFixture::CheckAccounting(m);
+    return m;
+  };
+  ServiceMetrics unlimited = run(-1);
+  ServiceMetrics capped = run(2);
+  EXPECT_EQ(unlimited.retries_denied, 0);
+  EXPECT_GT(capped.retries_denied, 0);
+  EXPECT_LE(capped.recovery_quanta, unlimited.recovery_quanta);
+}
+
+TEST(OverloadTest, TimelineCarriesMonotoneOverloadCounters) {
+  ServiceOptions so = BaseOptions();
+  so.admission.max_queue = 4;
+  so.admission.slo_factor = 2.0;
+  so.brownout.pressure_lo_quanta = 0.5;
+  so.brownout.pressure_hi_quanta = 3.0;
+  OverloadFixture f(so);
+  ServiceMetrics m = f.Run(Arrivals(12.0));
+  ASSERT_FALSE(m.timeline.empty());
+  for (size_t i = 1; i < m.timeline.size(); ++i) {
+    EXPECT_GE(m.timeline[i].dataflows_shed, m.timeline[i - 1].dataflows_shed);
+    EXPECT_GE(m.timeline[i].deadlines_missed,
+              m.timeline[i - 1].deadlines_missed);
+    EXPECT_GE(m.timeline[i].builds_shed, m.timeline[i - 1].builds_shed);
+    EXPECT_GE(m.timeline[i].breaker_opens, m.timeline[i - 1].breaker_opens);
+    EXPECT_GE(m.timeline[i].queue_len, 0);
+  }
+  // Sheds can still happen after the last executed dataflow (stranded
+  // queue entries at the horizon), so the last point is a lower bound.
+  EXPECT_LE(m.timeline.back().dataflows_shed, m.dataflows_shed);
+  EXPECT_EQ(m.timeline.back().builds_shed, m.builds_shed);
+}
+
+}  // namespace
+}  // namespace dfim

@@ -89,5 +89,25 @@ TEST(StorageServiceTest, BackwardAdvanceClampsWithoutCorruption) {
   EXPECT_DOUBLE_EQ(s.accrued_cost(), ref.accrued_cost());
 }
 
+TEST(StorageServiceTest, ClockClampsAreCountedNotSilent) {
+  // Regressions used to be absorbed silently; they are now surfaced as a
+  // counter so callers that settle storage out of order can be detected.
+  StorageService s(Pricing());
+  s.Put("x", 100, 0);
+  s.AdvanceTo(120);
+  EXPECT_EQ(s.clock_clamps(), 0);
+  s.AdvanceTo(60);  // AdvanceTo regression
+  EXPECT_EQ(s.clock_clamps(), 1);
+  s.Put("y", 50, 30);  // Put settling before the high-water mark
+  EXPECT_EQ(s.clock_clamps(), 2);
+  s.Delete("y", 10);  // Delete too
+  EXPECT_EQ(s.clock_clamps(), 3);
+  // Landing exactly on the mark is in-order, not a regression.
+  s.Put("z", 10, 120);
+  EXPECT_EQ(s.clock_clamps(), 3);
+  s.AdvanceTo(180);  // forward motion never counts
+  EXPECT_EQ(s.clock_clamps(), 3);
+}
+
 }  // namespace
 }  // namespace dfim

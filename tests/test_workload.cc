@@ -95,5 +95,102 @@ TEST_F(WorkloadTest, PhaseClientEmptyPhasesDefaults) {
   EXPECT_EQ(client.AppAt(100), AppType::kMontage);
 }
 
+TEST(ArrivalProcessTest, PoissonArrivalsIncreaseAtRoughlyTheMeanRate) {
+  ArrivalOptions opts;
+  opts.mean_interarrival = 60.0;
+  ArrivalProcess proc(opts, 17);
+  Seconds prev = 0;
+  int count = 0;
+  while (true) {
+    Seconds at = proc.NextArrival();
+    EXPECT_GT(at, prev);
+    prev = at;
+    if (at > 36000.0) break;  // 10 hours
+    ++count;
+    EXPECT_FALSE(proc.in_burst());  // plain Poisson never bursts
+  }
+  // Exp(60 s) over 10 h: ~600 arrivals.
+  EXPECT_GT(count, 450);
+  EXPECT_LT(count, 750);
+}
+
+TEST(ArrivalProcessTest, DeterministicForSameSeed) {
+  ArrivalOptions opts;
+  opts.burst_mean_interarrival = 10.0;
+  ArrivalProcess a(opts, 5);
+  ArrivalProcess b(opts, 5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.NextArrival(), b.NextArrival());
+    EXPECT_EQ(a.in_burst(), b.in_burst());
+  }
+}
+
+TEST(ArrivalProcessTest, MmppBurstsRaiseTheArrivalRate) {
+  ArrivalOptions base;
+  base.mean_interarrival = 60.0;
+  ArrivalOptions mmpp = base;
+  mmpp.burst_mean_interarrival = 6.0;
+  mmpp.mean_baseline_duration = 1800.0;
+  mmpp.mean_burst_duration = 600.0;
+  auto count_until = [](ArrivalProcess* p, Seconds horizon) {
+    int n = 0;
+    while (p->NextArrival() <= horizon) ++n;
+    return n;
+  };
+  ArrivalProcess poisson(base, 23);
+  ArrivalProcess bursty(mmpp, 23);
+  Seconds horizon = 24 * 3600.0;
+  int n_poisson = count_until(&poisson, horizon);
+  int n_bursty = count_until(&bursty, horizon);
+  // Burst phases at 10x the rate for ~1/4 of the time: clearly more
+  // arrivals than the pure baseline process.
+  EXPECT_GT(n_bursty, n_poisson + n_poisson / 2);
+}
+
+TEST_F(WorkloadTest, OpenLoopClientIgnoresNotBefore) {
+  ArrivalOptions opts;
+  opts.mean_interarrival = 60.0;
+  OpenLoopWorkloadClient a(gen_.get(), opts, {}, 41);
+  OpenLoopWorkloadClient b(gen_.get(), opts, {}, 41);
+  for (int i = 0; i < 50; ++i) {
+    auto x = a.Next(0, 1e9);
+    auto y = b.Next(1e6, 1e9);  // huge not_before must not delay arrivals
+    ASSERT_TRUE(x.has_value());
+    ASSERT_TRUE(y.has_value());
+    EXPECT_EQ(x->issued_at, y->issued_at);
+    EXPECT_EQ(x->app, y->app);
+  }
+}
+
+TEST_F(WorkloadTest, OpenLoopClientExhaustsAtHorizonAndStaysExhausted) {
+  ArrivalOptions opts;
+  opts.mean_interarrival = 120.0;
+  OpenLoopWorkloadClient client(gen_.get(), opts, {}, 43);
+  Seconds horizon = 3600;
+  Seconds prev = 0;
+  int expect_id = 0;
+  while (auto df = client.Next(0, horizon)) {
+    EXPECT_GT(df->issued_at, prev);
+    EXPECT_LE(df->issued_at, horizon);
+    EXPECT_EQ(df->id, expect_id++);
+    prev = df->issued_at;
+  }
+  EXPECT_GT(expect_id, 0);
+  // The latch holds even for a bigger horizon.
+  EXPECT_FALSE(client.Next(0, horizon * 10).has_value());
+}
+
+TEST_F(WorkloadTest, OpenLoopClientFollowsPhases) {
+  auto phases = PhaseWorkloadClient::PaperPhases(60.0);
+  ArrivalOptions opts;
+  opts.mean_interarrival = 300.0;
+  OpenLoopWorkloadClient client(gen_.get(), opts, phases, 47);
+  EXPECT_EQ(client.AppAt(0), AppType::kCybershake);
+  EXPECT_EQ(client.AppAt(10000.0 + 1), AppType::kLigo);
+  while (auto df = client.Next(0, 720.0 * 60.0)) {
+    EXPECT_EQ(df->app, client.AppAt(df->issued_at));
+  }
+}
+
 }  // namespace
 }  // namespace dfim
