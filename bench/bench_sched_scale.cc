@@ -4,11 +4,21 @@
 // BENCH_sched.json (min/median runtime per config, generate_stats style) so
 // successive PRs have a recorded perf trajectory.
 //
+// Also microbenches the slot-search primitives: the flat SoA Timeline scans
+// (FindSlot / MaxGapWithInsert) against the retained AoS
+// std::vector<Assignment> walk they replaced, on timelines tiled from the
+// schedules this config actually produces. Checksums are compared
+// bit-identically so neither side can be dead-code-eliminated or wrong.
+//
 // Usage: bench_sched_scale [output.json]
+// Env:   DFIM_FAST=1        fewer repetitions (CI smoke)
+//        DFIM_BENCH_CHECK=1 exit nonzero if any engine or slot-search
+//                           median speedup falls below 1.0x
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -95,6 +105,153 @@ Stats TimeEngine(const Dag& g, const std::vector<Seconds>& durations,
   return MakeStats(std::move(runtimes));
 }
 
+/// Retained AoS baseline: the pre-SoA timeline walk, byte-for-byte the
+/// semantics Timeline::FindSlot now implements over flat columns.
+Seconds AosFindSlot(const std::vector<Assignment>& tl, Seconds est,
+                    Seconds duration) {
+  Seconds cursor = 0;
+  for (const auto& a : tl) {
+    Seconds candidate = std::max(est, cursor);
+    if (a.start - candidate >= duration - 1e-9) return candidate;
+    cursor = std::max(cursor, a.end);
+  }
+  return std::max(est, cursor);
+}
+
+/// Retained AoS baseline for Timeline::MaxGapWithInsert.
+Seconds AosMaxGapWithInsert(const std::vector<Assignment>& tl,
+                            const Assignment& a, Seconds quantum) {
+  Seconds best = 0;
+  Seconds cursor = 0;
+  bool placed = false;
+  for (const auto& x : tl) {
+    if (!placed && x.start >= a.start) {
+      best = std::max(best, a.start - cursor);
+      cursor = std::max(cursor, a.end);
+      placed = true;
+    }
+    best = std::max(best, x.start - cursor);
+    cursor = std::max(cursor, x.end);
+  }
+  if (!placed) {
+    best = std::max(best, a.start - cursor);
+    cursor = std::max(cursor, a.end);
+  }
+  Seconds lease_end =
+      static_cast<double>(std::max<int64_t>(1, QuantaCeil(cursor, quantum))) *
+      quantum;
+  return std::max(best, lease_end - cursor);
+}
+
+struct SlotProbe {
+  Seconds est;
+  Seconds duration;
+};
+
+struct SlotBench {
+  Stats aos;
+  Stats flat;
+  double speedup_median = 0;
+};
+
+/// Times the slot-search primitives on timelines tiled from `schedule`:
+/// each container's assignments are repeated `tiles` times, shifted by the
+/// schedule makespan, so the scans cover realistic multi-quantum timelines
+/// rather than the handful of entries one dataflow produces.
+SlotBench TimeSlotSearch(const Schedule& schedule, int num_containers,
+                         int tiles, int probes, Seconds quantum, int reps,
+                         uint64_t seed) {
+  Seconds span = std::max<Seconds>(schedule.makespan(), 1.0);
+  std::vector<Timeline> flat(static_cast<size_t>(num_containers));
+  std::vector<std::vector<Assignment>> aos(
+      static_cast<size_t>(num_containers));
+  for (int t = 0; t < tiles; ++t) {
+    for (const auto& a : schedule.SortedByContainer()) {
+      if (a.container < 0 || a.container >= num_containers) continue;
+      Assignment shifted = a;
+      shifted.start += static_cast<double>(t) * span;
+      shifted.end += static_cast<double>(t) * span;
+      flat[static_cast<size_t>(a.container)].Insert(shifted);
+      auto& tl = aos[static_cast<size_t>(a.container)];
+      tl.insert(std::lower_bound(tl.begin(), tl.end(), shifted,
+                                 [](const Assignment& x, const Assignment& y) {
+                                   return x.start < y.start;
+                                 }),
+                shifted);
+    }
+  }
+
+  Rng rng(seed);
+  std::vector<SlotProbe> probe_set;
+  probe_set.reserve(static_cast<size_t>(probes));
+  for (int i = 0; i < probes; ++i) {
+    probe_set.push_back({rng.Uniform(0.0, static_cast<double>(tiles) * span),
+                         rng.Uniform(0.0, 120.0)});
+  }
+
+  // Checksums accumulate every returned slot and gap so the compiler cannot
+  // discard either loop; they must match bit-for-bit across representations.
+  auto run_aos = [&] {
+    double sum = 0;
+    for (const auto& p : probe_set) {
+      for (const auto& tl : aos) {
+        sum += AosFindSlot(tl, p.est, p.duration);
+        Assignment a;
+        a.op_id = 0;
+        a.start = p.est;
+        a.end = p.est + p.duration;
+        sum += AosMaxGapWithInsert(tl, a, quantum);
+      }
+    }
+    return sum;
+  };
+  auto run_flat = [&] {
+    double sum = 0;
+    for (const auto& p : probe_set) {
+      for (const auto& tl : flat) {
+        sum += tl.FindSlot(p.est, p.duration);
+        Assignment a;
+        a.op_id = 0;
+        a.start = p.est;
+        a.end = p.est + p.duration;
+        sum += tl.MaxGapWithInsert(a, quantum);
+      }
+    }
+    return sum;
+  };
+
+  double aos_sum = run_aos();  // warm + checksum
+  double flat_sum = run_flat();
+  if (aos_sum != flat_sum) {
+    std::fprintf(stderr,
+                 "FATAL: slot-search checksum mismatch (aos=%.17g flat=%.17g)\n",
+                 aos_sum, flat_sum);
+    std::exit(1);
+  }
+
+  SlotBench out;
+  std::vector<double> aos_ms, flat_ms;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    double s = run_aos();
+    auto t1 = std::chrono::steady_clock::now();
+    double f = run_flat();
+    auto t2 = std::chrono::steady_clock::now();
+    if (s != aos_sum || f != flat_sum) {
+      std::fprintf(stderr, "FATAL: slot-search checksum drifted\n");
+      std::exit(1);
+    }
+    aos_ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+    flat_ms.push_back(
+        std::chrono::duration<double, std::milli>(t2 - t1).count());
+  }
+  out.aos = MakeStats(std::move(aos_ms));
+  out.flat = MakeStats(std::move(flat_ms));
+  out.speedup_median =
+      out.flat.median_ms > 0 ? out.aos.median_ms / out.flat.median_ms : 0;
+  return out;
+}
+
 bool SameSkylines(const std::vector<Schedule>& a,
                   const std::vector<Schedule>& b) {
   if (a.size() != b.size()) return false;
@@ -151,6 +308,8 @@ int main(int argc, char** argv) {
   std::printf("%-22s %-12s %10s %10s %10s %8s %s\n", "config", "engine",
               "min(ms)", "median(ms)", "speedup", "same?", "");
   bool first = true;
+  double min_engine_speedup = 1e30;
+  double min_slot_speedup = 1e30;
   for (const auto& cfg : configs) {
     Dag g = RandomLayeredDag(cfg.width, cfg.depth, cfg.optional_ops, 42);
     auto durations = Durations(g);
@@ -172,6 +331,12 @@ int main(int argc, char** argv) {
     bool identical =
         SameSkylines(naive_sky, inc_sky) && SameSkylines(inc_sky, par_sky);
     double speedup = inc.median_ms > 0 ? naive.median_ms / inc.median_ms : 0;
+    min_engine_speedup = std::min(min_engine_speedup, speedup);
+
+    SlotBench slot = TimeSlotSearch(inc_sky.front(), cfg.containers,
+                                    /*tiles=*/16, /*probes=*/4096,
+                                    /*quantum=*/60.0, reps, /*seed=*/42);
+    min_slot_speedup = std::min(min_slot_speedup, slot.speedup_median);
 
     char label[64];
     std::snprintf(label, sizeof(label), "%dx%d+%d c%d cap%d", cfg.width,
@@ -182,6 +347,10 @@ int main(int argc, char** argv) {
                 inc.min_ms, inc.median_ms, speedup, identical ? "yes" : "NO");
     std::printf("%-22s %-12s %10.3f %10.3f\n", "", "parallel2", par.min_ms,
                 par.median_ms);
+    std::printf("%-22s %-12s %10.3f %10.3f\n", "", "slot:aos", slot.aos.min_ms,
+                slot.aos.median_ms);
+    std::printf("%-22s %-12s %10.3f %10.3f %9.2fx\n", "", "slot:flat",
+                slot.flat.min_ms, slot.flat.median_ms, slot.speedup_median);
 
     if (!first) json += ",\n";
     first = false;
@@ -199,6 +368,14 @@ int main(int argc, char** argv) {
     json += ",\n";
     AppendStats(&json, "parallel2", par);
     json += ",\n";
+    AppendStats(&json, "slot_search_aos", slot.aos);
+    json += ",\n";
+    AppendStats(&json, "slot_search_flat", slot.flat);
+    json += ",\n";
+    std::snprintf(buf, sizeof(buf),
+                  "      \"slot_search_speedup_median\": %.3f,\n",
+                  slot.speedup_median);
+    json += buf;
     std::snprintf(buf, sizeof(buf),
                   "      \"speedup_median\": %.3f, \"identical_schedules\": %s\n"
                   "    }",
@@ -219,5 +396,19 @@ int main(int argc, char** argv) {
   std::fputs(json.c_str(), f);
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path);
+
+  const char* check = std::getenv("DFIM_BENCH_CHECK");
+  if (check != nullptr && check[0] == '1') {
+    if (min_engine_speedup < 1.0 || min_slot_speedup < 1.0) {
+      std::fprintf(stderr,
+                   "BENCH CHECK FAILED: min engine speedup %.3fx, min "
+                   "slot-search speedup %.3fx (both must be >= 1.0x)\n",
+                   min_engine_speedup, min_slot_speedup);
+      return 1;
+    }
+    std::printf("bench check ok: min engine speedup %.3fx, min slot-search "
+                "speedup %.3fx\n",
+                min_engine_speedup, min_slot_speedup);
+  }
   return 0;
 }

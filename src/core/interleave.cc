@@ -40,6 +40,9 @@ Schedule Interleaver::PackIntoIdleSlots(
     const std::vector<Seconds>& durations,
     const std::vector<int>& build_op_ids, double capacity_fraction) const {
   const Seconds quantum = scheduler_.options().quantum;
+  // Idle slots come from the shared Timeline gap walk
+  // (Timeline::AppendIdleSlots via Schedule::FindIdleSlots), so the packer
+  // sees exactly the gaps the scheduler's MaxGap tie-break accounted for.
   std::vector<IdleSlot> slots = schedule.FindIdleSlots(quantum);
   std::vector<double> slot_sizes;
   slot_sizes.reserve(slots.size());

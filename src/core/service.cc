@@ -232,12 +232,11 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
                           simulator.Run(*cur_dag, *cur_plan, *cur_costs,
                                         &containers, fip));
 
-    // Lease bookkeeping: extend each container through its realized end.
-    for (int c = 0; c < nc; ++c) {
-      Seconds last = 0;
-      for (const auto& a : exec.actual.ContainerTimeline(c)) {
-        last = std::max(last, a.end);
-      }
+    // Lease bookkeeping: extend each container through its realized end
+    // (Timeline::last_end() is the per-container high-water mark).
+    std::vector<Timeline> actual_tls = exec.actual.BuildTimelines();
+    for (int c = 0; c < nc && c < static_cast<int>(actual_tls.size()); ++c) {
+      Seconds last = actual_tls[static_cast<size_t>(c)].last_end();
       if (last > 0) {
         containers[static_cast<size_t>(c)]->ExtendLeaseTo(start + elapsed +
                                                           last);
@@ -615,15 +614,36 @@ Result<ServiceMetrics> QaasService::Run(WorkloadClient* client) {
   return metrics;
 }
 
+Seconds QaasService::CorrectedEstimate(AppType app, Seconds raw) const {
+  if (opts_.admission.estimate_ewma_alpha <= 0) return raw;
+  auto it = ewma_ratio_.find(app);
+  if (it == ewma_ratio_.end()) return raw;
+  if (it->second.count < opts_.admission.estimate_ewma_warmup) return raw;
+  return raw * it->second.ratio;
+}
+
+void QaasService::ObserveMakespan(AppType app, Seconds raw_estimate,
+                                  Seconds observed) {
+  double alpha = opts_.admission.estimate_ewma_alpha;
+  if (alpha <= 0 || raw_estimate <= 0 || observed <= 0) return;
+  double ratio = observed / raw_estimate;
+  EwmaState& state = ewma_ratio_[app];  // starts at the 1.0 prior
+  state.ratio = alpha * ratio + (1.0 - alpha) * state.ratio;
+  ++state.count;
+}
+
 void QaasService::Admit(Dataflow df, std::deque<Pending>* queue,
                         ServiceMetrics* metrics) {
   ++metrics->dataflows_arrived;
   Pending p;
   p.arrival = df.issued_at;
   auto cp = df.dag.CriticalPath();
-  p.estimate = cp.ok() ? *cp : 0;
+  p.raw_estimate = cp.ok() ? *cp : 0;
+  p.estimate = CorrectedEstimate(df.app, p.raw_estimate);
   if (opts_.admission.slo_factor > 0) {
-    p.deadline = p.arrival + opts_.admission.slo_factor * p.estimate;
+    // The SLO contract stays pinned to the raw critical path so the
+    // deadline itself does not drift as the correction learns.
+    p.deadline = p.arrival + opts_.admission.slo_factor * p.raw_estimate;
   }
   p.df = std::move(df);
 
@@ -723,6 +743,8 @@ Result<ServiceMetrics> QaasService::RunOpenLoop(WorkloadClient* client) {
     settled = std::max(settled, out.settled);
     metrics.queue_delay_quanta += pressure;
     if (!out.failed) {
+      // Feed the realized makespan back into the family's estimate ratio.
+      ObserveMakespan(p.df.app, p.raw_estimate, out.finish - start);
       if (out.finish <= opts_.total_time) {
         ++metrics.dataflows_finished;
       } else {

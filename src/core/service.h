@@ -64,6 +64,20 @@ struct AdmissionOptions {
   /// suffix. -1 = unlimited (the per-dataflow max_recovery_attempts still
   /// applies either way).
   int retry_budget = -1;
+  /// Feed observed makespans back into the admission estimate: a per-app-
+  /// family EWMA of observed/critical-path ratios scales the bare
+  /// `CriticalPath()` bound used by kRejectByCost ordering and the
+  /// kDeadlineInfeasible dequeue check. Deadlines themselves stay pinned to
+  /// the raw critical path (the SLO contract does not drift with the
+  /// correction). 0 disables feedback (estimates bit-identical to before).
+  double estimate_ewma_alpha = 0;
+  /// Observations required per app family before the EWMA correction is
+  /// applied. The ratio starts at a prior of 1.0 and blends every
+  /// observation in, but the estimate stays the raw critical path until the
+  /// family has this many samples — a cold first run (no indexes built yet)
+  /// would otherwise seed an inflated ratio that sheds every later arrival
+  /// and starves the feedback loop of further observations.
+  int estimate_ewma_warmup = 3;
 };
 
 /// \brief Pressure-based brownout of optional index builds.
@@ -310,9 +324,13 @@ class QaasService {
   struct Pending {
     Dataflow df;
     Seconds arrival = 0;
-    /// Cheap makespan lower bound (DAG critical path).
+    /// Makespan estimate used for admission decisions: the DAG critical
+    /// path, scaled by the app family's observed EWMA ratio when
+    /// estimate_ewma_alpha > 0.
     Seconds estimate = 0;
-    /// Absolute deadline (0 = none).
+    /// Raw critical-path bound (feeds the EWMA ratio after execution).
+    Seconds raw_estimate = 0;
+    /// Absolute deadline (0 = none); always off the raw estimate.
     Seconds deadline = 0;
   };
 
@@ -332,6 +350,15 @@ class QaasService {
 
   /// Brownout knob from queue pressure (quanta), with hysteresis.
   double BuildFraction(double pressure_quanta);
+
+  /// Admission estimate for `app`: `raw` scaled by the family's observed
+  /// EWMA makespan/critical-path ratio (identity until the family has
+  /// estimate_ewma_warmup observations).
+  Seconds CorrectedEstimate(AppType app, Seconds raw) const;
+
+  /// Folds one observed (makespan, critical path) pair into the family's
+  /// EWMA ratio (no-op when estimate_ewma_alpha == 0).
+  void ObserveMakespan(AppType app, Seconds raw_estimate, Seconds observed);
 
   /// Policy step for kNoIndex / kRandom.
   Result<TunerDecision> BaselineDecision(const Dataflow& df);
@@ -362,6 +389,14 @@ class QaasService {
   /// @{
   /// Remaining fleet-wide recovery attempts (admission.retry_budget >= 0).
   int retry_budget_left_ = -1;
+  /// Per-app-family EWMA of observed makespan / critical-path ratios
+  /// (estimate_ewma_alpha > 0 only). The ratio blends from a prior of 1.0;
+  /// `count` gates application behind estimate_ewma_warmup.
+  struct EwmaState {
+    double ratio = 1.0;
+    int count = 0;
+  };
+  std::map<AppType, EwmaState> ewma_ratio_;
   /// Brownout hysteresis: true once pressure crossed pressure_hi_quanta,
   /// until it falls below pressure_lo_quanta x resume_fraction.
   bool brownout_off_ = false;

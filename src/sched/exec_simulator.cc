@@ -295,10 +295,11 @@ Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
       actual.end = end;
       result.actual.Add(actual);
     }
-    // Busy time on this container (assignments never overlap).
-    for (const auto& a : result.actual.ContainerTimeline(c)) {
-      busy_total += a.duration();
-    }
+  }
+  // Busy time per container (assignments never overlap), settled off the
+  // same Timeline type the schedulers and interleaver use.
+  for (const Timeline& tl : result.actual.BuildTimelines()) {
+    busy_total += tl.BusySeconds();
   }
 
   for (const auto& l : result.lost_ops) {

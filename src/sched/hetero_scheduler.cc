@@ -14,7 +14,7 @@ namespace {
 /// probing a candidate never rescans untouched containers (same two-phase
 /// probe/commit structure as the homogeneous SkylineScheduler).
 struct HeteroPartial {
-  std::vector<std::vector<Assignment>> timelines;
+  std::vector<Timeline> timelines;
   std::vector<int> ctype;  // VM type per used container
   std::vector<std::vector<int>> delivered;
   std::vector<Seconds> op_finish;
@@ -101,12 +101,11 @@ bool Probe(const HeteroPartial& base, int base_idx, const Dag& dag,
     }
   }
   Seconds occupancy = base_dur / vt.speed + transfer_in;
-  static const std::vector<Assignment> kEmptyTimeline;
-  const std::vector<Assignment>& tl =
-      c < static_cast<int>(base.timelines.size())
-          ? base.timelines[static_cast<size_t>(c)]
-          : kEmptyTimeline;
-  Seconds start = FindSlot(tl, est, occupancy);
+  static const Timeline kEmptyTimeline;
+  const Timeline& tl = c < static_cast<int>(base.timelines.size())
+                           ? base.timelines[static_cast<size_t>(c)]
+                           : kEmptyTimeline;
+  Seconds start = tl.FindSlot(est, occupancy);
   Seconds end = start + occupancy;
   Seconds new_last = std::max(
       c < static_cast<int>(base.last_end.size())
@@ -166,7 +165,7 @@ void Commit(const HeteroPartial& base, const Dag& dag, const Operator& op,
   a.start = p.start;
   a.end = p.end;
   a.optional = op.optional;
-  InsertSorted(&tl, a);
+  tl.Insert(a);
   out->last_end[cs] = std::max(out->last_end[cs], a.end);
   out->quanta[cs] = std::max<int64_t>(1, QuantaCeil(out->last_end[cs], quantum));
   out->makespan = p.makespan;
@@ -287,8 +286,11 @@ Result<std::vector<TypedSchedule>> HeteroSkylineScheduler::ScheduleDag(
   out.reserve(skyline.size());
   for (const HeteroPartial& p : skyline) {
     TypedSchedule ts;
-    for (const auto& tl : p.timelines) {
-      for (const auto& a : tl) ts.schedule.Add(a);
+    for (size_t c = 0; c < p.timelines.size(); ++c) {
+      const Timeline& tl = p.timelines[c];
+      for (size_t i = 0; i < tl.size(); ++i) {
+        ts.schedule.Add(tl.At(i, static_cast<int>(c)));
+      }
     }
     ts.container_type = p.ctype;
     ts.money = p.money;

@@ -46,7 +46,9 @@ Result<Schedule> LoadBalanceScheduler::ScheduleDag(
   DFIM_ASSIGN_OR_RETURN(std::vector<int> order, dag.TopologicalOrder());
 
   auto nc = static_cast<size_t>(num_containers);
-  std::vector<Seconds> avail(nc, 0);
+  // Per-container timelines; appends are monotone, so Timeline::last_end()
+  // is the container's availability point.
+  std::vector<Timeline> tls(nc);
   std::vector<Seconds> load(nc, 0);  // accumulated work per container
   std::vector<Seconds> finish(dag.num_ops(), 0);
   std::vector<int> placed(dag.num_ops(), 0);
@@ -64,7 +66,7 @@ Result<Schedule> LoadBalanceScheduler::ScheduleDag(
     for (size_t i = 1; i < nc; ++i) {
       if (load[i] < load[c]) c = i;
     }
-    Seconds est = avail[c];
+    Seconds est = tls[c].last_end();
     Seconds transfer_in = 0;
     for (int fid : dag.in_flows(id)) {
       const Flow& f = dag.flows()[static_cast<size_t>(fid)];
@@ -88,7 +90,7 @@ Result<Schedule> LoadBalanceScheduler::ScheduleDag(
     a.end = est + dur;
     a.optional = false;
     schedule.Add(a);
-    avail[c] = a.end;
+    tls[c].Insert(a);
     load[c] += dur;
     finish[static_cast<size_t>(id)] = a.end;
     placed[static_cast<size_t>(id)] = static_cast<int>(c);

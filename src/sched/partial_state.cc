@@ -26,79 +26,13 @@ void PartialState::RecomputeCaches(Seconds quantum) {
   money = 0;
   max_gap = 0;
   for (size_t i = 0; i < n; ++i) {
-    const auto& tl = timelines[i];
-    Seconds end = 0;
-    for (const auto& a : tl) end = std::max(end, a.end);
-    last_end[i] = end;
-    quanta[i] = TimelineQuanta(tl, quantum);
-    gap[i] = TimelineMaxGap(tl, quantum);
+    const Timeline& tl = timelines[i];
+    last_end[i] = tl.last_end();
+    quanta[i] = tl.Quanta(quantum);
+    gap[i] = tl.MaxGap(quantum);
     money += quanta[i];
     max_gap = std::max(max_gap, gap[i]);
   }
-}
-
-Seconds FindSlot(const std::vector<Assignment>& tl, Seconds est,
-                 Seconds duration) {
-  Seconds cursor = 0;
-  for (const auto& a : tl) {
-    Seconds candidate = std::max(est, cursor);
-    if (a.start - candidate >= duration - 1e-9) return candidate;
-    cursor = std::max(cursor, a.end);
-  }
-  return std::max(est, cursor);
-}
-
-void InsertSorted(std::vector<Assignment>* tl, const Assignment& a) {
-  auto it = std::lower_bound(
-      tl->begin(), tl->end(), a,
-      [](const Assignment& x, const Assignment& y) { return x.start < y.start; });
-  tl->insert(it, a);
-}
-
-int64_t TimelineQuanta(const std::vector<Assignment>& tl, Seconds quantum) {
-  if (tl.empty()) return 0;
-  Seconds end = 0;
-  for (const auto& a : tl) end = std::max(end, a.end);
-  return std::max<int64_t>(1, QuantaCeil(end, quantum));
-}
-
-Seconds TimelineMaxGap(const std::vector<Assignment>& tl, Seconds quantum) {
-  if (tl.empty()) return 0;
-  Seconds best = 0;
-  Seconds cursor = 0;
-  for (const auto& a : tl) {
-    best = std::max(best, a.start - cursor);
-    cursor = std::max(cursor, a.end);
-  }
-  Seconds lease_end =
-      static_cast<double>(std::max<int64_t>(1, QuantaCeil(cursor, quantum))) *
-      quantum;
-  return std::max(best, lease_end - cursor);
-}
-
-Seconds TimelineMaxGapWithInsert(const std::vector<Assignment>& tl,
-                                 const Assignment& a, Seconds quantum) {
-  Seconds best = 0;
-  Seconds cursor = 0;
-  bool placed = false;
-  for (const auto& x : tl) {
-    // InsertSorted puts `a` before the first element with start >= a.start.
-    if (!placed && x.start >= a.start) {
-      best = std::max(best, a.start - cursor);
-      cursor = std::max(cursor, a.end);
-      placed = true;
-    }
-    best = std::max(best, x.start - cursor);
-    cursor = std::max(cursor, x.end);
-  }
-  if (!placed) {
-    best = std::max(best, a.start - cursor);
-    cursor = std::max(cursor, a.end);
-  }
-  Seconds lease_end =
-      static_cast<double>(std::max<int64_t>(1, QuantaCeil(cursor, quantum))) *
-      quantum;
-  return std::max(best, lease_end - cursor);
 }
 
 bool ProbePlacement(const PartialState& base, int base_idx, const Dag& dag,
@@ -135,12 +69,11 @@ bool ProbePlacement(const PartialState& base, int base_idx, const Dag& dag,
     }
   }
   Seconds occupancy = dur + transfer_in;
-  static const std::vector<Assignment> kEmptyTimeline;
-  const std::vector<Assignment>& tl =
-      c < static_cast<int>(base.timelines.size())
-          ? base.timelines[static_cast<size_t>(c)]
-          : kEmptyTimeline;
-  Seconds start = FindSlot(tl, est, occupancy);
+  static const Timeline kEmptyTimeline;
+  const Timeline& tl = c < static_cast<int>(base.timelines.size())
+                           ? base.timelines[static_cast<size_t>(c)]
+                           : kEmptyTimeline;
+  Seconds start = tl.FindSlot(est, occupancy);
   Assignment a;
   a.op_id = op.id;
   a.container = c;
@@ -173,7 +106,7 @@ bool ProbePlacement(const PartialState& base, int base_idx, const Dag& dag,
   out->makespan = op.optional ? base.makespan : std::max(base.makespan, a.end);
   out->money = money;
   out->num_ops = base.num_ops + 1;
-  out->gap_c = TimelineMaxGapWithInsert(tl, a, quantum);
+  out->gap_c = tl.MaxGapWithInsert(a, quantum);
   Seconds mg = out->gap_c;
   for (size_t i = 0; i < base.gap.size(); ++i) {
     if (static_cast<int>(i) == c) continue;
@@ -229,7 +162,7 @@ void CommitPlacement(const PartialState& base, const Dag& dag,
   a.start = probe.start;
   a.end = probe.end;
   a.optional = probe.optional;
-  InsertSorted(&tl, a);
+  tl.Insert(a);
   out->last_end[cs] = std::max(out->last_end[cs], a.end);
   out->quanta[cs] = std::max<int64_t>(1, QuantaCeil(out->last_end[cs], quantum));
   out->gap[cs] = probe.gap_c;

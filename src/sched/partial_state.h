@@ -45,8 +45,9 @@ struct SchedulerOptions {
 /// and idle-gap summaries cached so evaluating a candidate placement never
 /// rescans containers it does not touch.
 struct PartialState {
-  /// Per-container sorted, non-overlapping assignments.
-  std::vector<std::vector<Assignment>> timelines;
+  /// Per-container sorted, non-overlapping assignments (SoA Timelines with
+  /// incrementally maintained lease/gap summaries).
+  std::vector<Timeline> timelines;
   /// Per-container sorted list of producer ops whose output has already
   /// been staged there (an output is transferred once per container and
   /// then served from local disk — paper §3/§6.1 caching).
@@ -76,7 +77,8 @@ struct PartialState {
   /// Rebuilds every cached summary (quanta, gap, money, max_gap) from the
   /// timelines alone. The naive reference path calls this after every
   /// placement; the incremental path only at commit, for the touched
-  /// container.
+  /// container. The per-timeline summaries are O(1) reads — Timeline
+  /// maintains them on Insert.
   void RecomputeCaches(Seconds quantum);
 };
 
@@ -117,27 +119,6 @@ struct PlacementProbe {
   int newly[kInlineDelivered] = {0};
 };
 
-/// \brief Earliest feasible start >= `est` of a `duration`-long interval on
-/// the timeline (gap insertion). Returns the start time.
-Seconds FindSlot(const std::vector<Assignment>& tl, Seconds est,
-                 Seconds duration);
-
-/// Inserts `a` keeping the timeline sorted by start (before equal starts).
-void InsertSorted(std::vector<Assignment>* tl, const Assignment& a);
-
-/// Leased quanta of one timeline: 0 when empty, else at least 1.
-int64_t TimelineQuanta(const std::vector<Assignment>& tl, Seconds quantum);
-
-/// Largest idle gap of one timeline, including the paid lease tail
-/// (0 when empty).
-Seconds TimelineMaxGap(const std::vector<Assignment>& tl, Seconds quantum);
-
-/// TimelineMaxGap of `tl` with `a` virtually inserted at its sorted
-/// position — bit-identical to InsertSorted + TimelineMaxGap, without
-/// touching the timeline.
-Seconds TimelineMaxGapWithInsert(const std::vector<Assignment>& tl,
-                                 const Assignment& a, Seconds quantum);
-
 /// \brief Probes placing `op` (effective duration `dur`) from
 /// `base` (= skyline[base_idx]) onto container `c`.
 ///
@@ -161,6 +142,12 @@ void CommitPlacement(const PartialState& base, const Dag& dag,
 template <typename T>
 void SampleEvenlySpaced(std::vector<T>* kept, int cap) {
   if (cap <= 0 || static_cast<int>(kept->size()) <= cap) return;
+  if (cap == 1) {
+    // The step below would divide by zero (0 * inf -> NaN -> llround UB);
+    // a cap of one keeps the fastest endpoint.
+    kept->erase(kept->begin() + 1, kept->end());
+    return;
+  }
   std::vector<T> sampled;
   sampled.reserve(static_cast<size_t>(cap));
   double step = static_cast<double>(kept->size() - 1) /

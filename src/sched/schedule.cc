@@ -42,14 +42,27 @@ int64_t Schedule::LeasedQuanta(Seconds quantum) const {
   return total;
 }
 
-std::vector<Assignment> Schedule::ContainerTimeline(int container) const {
-  std::vector<Assignment> out;
+Timeline Schedule::BuildTimeline(int container) const {
+  Timeline tl;
   for (const auto& a : assignments_) {
-    if (a.container == container) out.push_back(a);
+    if (a.container == container) tl.Insert(a);
   }
-  std::sort(out.begin(), out.end(), [](const Assignment& x, const Assignment& y) {
-    return x.start < y.start;
-  });
+  return tl;
+}
+
+std::vector<Timeline> Schedule::BuildTimelines() const {
+  std::vector<Timeline> tls(static_cast<size_t>(num_containers()));
+  for (const auto& a : assignments_) {
+    tls[static_cast<size_t>(a.container)].Insert(a);
+  }
+  return tls;
+}
+
+std::vector<Assignment> Schedule::ContainerTimeline(int container) const {
+  Timeline tl = BuildTimeline(container);
+  std::vector<Assignment> out;
+  out.reserve(tl.size());
+  for (size_t i = 0; i < tl.size(); ++i) out.push_back(tl.At(i, container));
   return out;
 }
 
@@ -65,37 +78,9 @@ std::vector<Assignment> Schedule::SortedByContainer() const {
 
 std::vector<IdleSlot> Schedule::FindIdleSlots(Seconds quantum) const {
   std::vector<IdleSlot> slots;
-  int nc = num_containers();
-  for (int c = 0; c < nc; ++c) {
-    auto timeline = ContainerTimeline(c);
-    if (timeline.empty()) continue;
-    Seconds last_end = timeline.back().end;
-    auto leased =
-        static_cast<double>(std::max<int64_t>(1, QuantaCeil(last_end, quantum)));
-    Seconds lease_end = leased * quantum;
-    // Walk gaps between assignments plus the tail up to the lease end.
-    Seconds cursor = 0;
-    size_t i = 0;
-    auto emit = [&slots, quantum, c](Seconds lo, Seconds hi) {
-      // Split [lo, hi) at quantum boundaries.
-      while (hi - lo > 1e-9) {
-        auto q = static_cast<int64_t>(std::floor(lo / quantum + 1e-9));
-        Seconds q_end = static_cast<double>(q + 1) * quantum;
-        Seconds piece_end = std::min(hi, q_end);
-        if (piece_end - lo > 1e-9) {
-          slots.push_back(IdleSlot{c, q, lo, piece_end});
-        }
-        lo = piece_end;
-      }
-    };
-    while (i < timeline.size()) {
-      if (timeline[i].start - cursor > 1e-9) {
-        emit(cursor, timeline[i].start);
-      }
-      cursor = std::max(cursor, timeline[i].end);
-      ++i;
-    }
-    if (lease_end - cursor > 1e-9) emit(cursor, lease_end);
+  std::vector<Timeline> tls = BuildTimelines();
+  for (size_t c = 0; c < tls.size(); ++c) {
+    tls[c].AppendIdleSlots(static_cast<int>(c), quantum, &slots);
   }
   return slots;
 }
@@ -107,13 +92,8 @@ Seconds Schedule::TotalIdle(Seconds quantum) const {
 }
 
 bool Schedule::CheckNoOverlap() const {
-  int nc = num_containers();
-  for (int c = 0; c < nc; ++c) {
-    auto timeline = ContainerTimeline(c);
-    for (size_t i = 0; i < timeline.size(); ++i) {
-      if (timeline[i].end < timeline[i].start - 1e-9) return false;
-      if (i > 0 && timeline[i].start < timeline[i - 1].end - 1e-9) return false;
-    }
+  for (const Timeline& tl : BuildTimelines()) {
+    if (!tl.NoOverlap()) return false;
   }
   return true;
 }

@@ -7,32 +7,9 @@
 
 #include "common/units.h"
 #include "dataflow/dag.h"
+#include "sched/timeline.h"
 
 namespace dfim {
-
-/// \brief One operator placed on a container for an estimated time window.
-struct Assignment {
-  int op_id = 0;
-  int container = 0;
-  Seconds start = 0;
-  Seconds end = 0;
-  /// Mirrors Operator::optional (build-index ops).
-  bool optional = false;
-
-  Seconds duration() const { return end - start; }
-};
-
-/// \brief An idle slot f(id, q, c, S): a maximal operator-free interval
-/// inside one leased quantum of one container (paper §3).
-struct IdleSlot {
-  int container = 0;
-  /// Zero-based quantum index within the schedule.
-  int64_t quantum_index = 0;
-  Seconds start = 0;
-  Seconds end = 0;
-
-  Seconds size() const { return end - start; }
-};
 
 /// \brief An execution schedule Sd: assignments of operators to containers,
 /// with derived time/money/fragmentation metrics (paper §3).
@@ -65,11 +42,19 @@ class Schedule {
   int64_t LeasedQuanta(Seconds quantum) const;
 
   /// The fragmentation of the schedule: all idle slots in leased quanta,
-  /// split at quantum boundaries, ordered by (container, start).
+  /// split at quantum boundaries, ordered by (container, start). Delegates
+  /// the per-container gap walk to Timeline::AppendIdleSlots so the
+  /// interleaver and the schedulers share one gap semantics.
   std::vector<IdleSlot> FindIdleSlots(Seconds quantum) const;
 
   /// Total idle seconds across FindIdleSlots.
   Seconds TotalIdle(Seconds quantum) const;
+
+  /// One container's assignments as a sorted SoA Timeline.
+  Timeline BuildTimeline(int container) const;
+
+  /// All containers' timelines (index = container id).
+  std::vector<Timeline> BuildTimelines() const;
 
   /// Assignments of one container sorted by start time.
   std::vector<Assignment> ContainerTimeline(int container) const;

@@ -50,14 +50,14 @@ bool NaiveAssign(const PartialState& base, const Dag& dag, const Operator& op,
   for (int p : newly_delivered) {
     dl.insert(std::lower_bound(dl.begin(), dl.end(), p), p);
   }
-  Seconds start = FindSlot(tl, est, occupancy);
+  Seconds start = tl.FindSlot(est, occupancy);
   Assignment a;
   a.op_id = op.id;
   a.container = c;
   a.start = start;
   a.end = start + occupancy;
   a.optional = op.optional;
-  InsertSorted(&tl, a);
+  tl.Insert(a);
   out->RecomputeCaches(quantum);
   if (op.optional) {
     if (out->money > base.money) return false;
@@ -72,8 +72,11 @@ bool NaiveAssign(const PartialState& base, const Dag& dag, const Operator& op,
 
 Schedule ToSchedule(const PartialState& p) {
   Schedule s;
-  for (const auto& tl : p.timelines) {
-    for (const auto& a : tl) s.Add(a);
+  for (size_t c = 0; c < p.timelines.size(); ++c) {
+    const Timeline& tl = p.timelines[c];
+    for (size_t i = 0; i < tl.size(); ++i) {
+      s.Add(tl.At(i, static_cast<int>(c)));
+    }
   }
   return s;
 }

@@ -243,6 +243,41 @@ TEST(OverloadTest, RetryBudgetCapsFleetWideRecovery) {
   EXPECT_LE(capped.recovery_quanta, unlimited.recovery_quanta);
 }
 
+TEST(OverloadTest, EwmaFeedbackCutsWrongSideAdmissions) {
+  // In this fixture the bare critical-path estimate is *conservative* in
+  // steady state: execution overlaps the transfers the critical path
+  // serializes, and built indexes shorten ops below their estimates, so
+  // observed/critical-path ratios settle around 0.9 (the cold first
+  // dataflow, with no indexes yet, is the one outlier above 1). At a tight
+  // SLO the infeasibility check therefore errs on the shed side: it rejects
+  // queued dataflows that would have met their deadline. Feeding observed
+  // makespans back (per-app-family EWMA, applied after a short warmup so
+  // the cold outlier cannot poison the loop) deflates the estimate toward
+  // reality and recovers those wrong-side sheds — strictly more dataflows
+  // finish, strictly fewer are shed as infeasible, and none of the extra
+  // admissions finish late. The deadline itself stays pinned to the raw
+  // critical path, so both runs chase the same SLO contract.
+  auto run = [](double alpha) {
+    ServiceOptions so = BaseOptions();
+    so.admission.shed = ShedPolicy::kDeadlineInfeasible;
+    so.admission.slo_factor = 1.05;
+    so.admission.estimate_ewma_alpha = alpha;
+    OverloadFixture f(so);
+    ServiceMetrics m = f.Run(Arrivals(120.0));
+    OverloadFixture::CheckAccounting(m);
+    return m;
+  };
+  ServiceMetrics base = run(0);
+  ServiceMetrics ewma = run(0.5);
+  // The bare estimate leaves wrong-side decisions on the table.
+  EXPECT_GT(base.shed_infeasible, 0);
+  // Fewer wrong-side admissions: the corrected estimate admits entries the
+  // raw one shed, they finish, and deadline misses do not go up.
+  EXPECT_GT(ewma.dataflows_finished, base.dataflows_finished);
+  EXPECT_LT(ewma.shed_infeasible, base.shed_infeasible);
+  EXPECT_LE(ewma.deadlines_missed, base.deadlines_missed);
+}
+
 TEST(OverloadTest, TimelineCarriesMonotoneOverloadCounters) {
   ServiceOptions so = BaseOptions();
   so.admission.max_queue = 4;
