@@ -6,10 +6,20 @@
 // some dataflows, but every dataflow stays accounted for and the catalog
 // never references an unpersisted partition.
 //
+// A second sweep measures tail tolerance (DESIGN.md §9): speculation
+// on/off across straggler rates, plus a hedged-reads pair, on a
+// fixed-count workload so both arms of each pair run the exact same
+// dataflow sequence. Self-checked: speculation/hedging must cut the p50
+// and p99 makespan at non-trivial fault rates while `total_vm_quanta`
+// stays identical — tail latency bought with quanta already paid for.
+//
 // Usage: bench_faults [output.json]
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -66,6 +76,79 @@ ArmResult RunArm(const Arm& arm, Seconds horizon, uint64_t seed) {
       }
     }
   }
+  return r;
+}
+
+// ---- Tail-tolerance sweep ---------------------------------------------------
+
+/// Issues exactly `count` dataflows, ignoring the service horizon: both arms
+/// of a speculation on/off pair then execute the identical dataflow
+/// sequence, which is what makes the vm-quanta equality check exact.
+class FixedCountClient : public WorkloadClient {
+ public:
+  FixedCountClient(DataflowGenerator* gen, int count, uint64_t seed)
+      : inner_(gen, 60.0, {{AppType::kMontage, 1e9}}, seed), left_(count) {}
+
+  std::optional<Dataflow> Next(Seconds not_before, Seconds) override {
+    if (left_ <= 0) return std::nullopt;
+    --left_;
+    return inner_.Next(not_before, std::numeric_limits<double>::max());
+  }
+
+ private:
+  PhaseWorkloadClient inner_;
+  int left_;
+};
+
+struct TailArm {
+  std::string name;
+  FaultOptions faults;
+  SpeculationOptions spec;
+};
+
+struct TailResult {
+  ServiceMetrics m;
+  double p50 = 0;
+  double p99 = 0;
+};
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t i = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[i];
+}
+
+TailResult RunTailArm(const TailArm& arm, int count, uint64_t seed) {
+  bench::PaperSetup setup(seed);
+  // kNoIndex keeps the planner feedback-free: per-dataflow plans depend
+  // only on the dataflow itself, so speculation cannot change what is
+  // scheduled — only how fast it finishes.
+  ServiceOptions so = bench::PaperServiceOptions(IndexPolicy::kNoIndex);
+  so.total_time = 1e12;  // the fixed-count client decides when to stop
+  // Cache-less containers: cache warmth otherwise couples one dataflow's
+  // finish time to the next one's read volume (container reuse is
+  // wall-clock based), which would blur the per-pair vm-quanta equality
+  // this sweep asserts exactly.
+  so.container.disk = 0;
+  so.faults = arm.faults;
+  so.speculation = arm.spec;
+  so.seed = seed;
+  QaasService service(&setup.catalog, so);
+  FixedCountClient client(setup.generator.get(), count, seed);
+  auto m = service.Run(&client);
+  if (!m.ok()) {
+    std::fprintf(stderr, "tail arm %s failed: %s\n", arm.name.c_str(),
+                 m.status().ToString().c_str());
+    std::exit(1);
+  }
+  TailResult r;
+  r.m = *m;
+  std::vector<double> makespans;
+  makespans.reserve(m->timeline.size());
+  for (const auto& pt : m->timeline) makespans.push_back(pt.makespan_quanta);
+  r.p50 = Percentile(makespans, 0.5);
+  r.p99 = Percentile(makespans, 0.99);
   return r;
 }
 
@@ -155,6 +238,85 @@ int main(int argc, char** argv) {
         r.accounting_slack, r.consistent ? "true" : "false", r.wall_ms);
     json += buf;
     json += (i + 1 < arms.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+
+  // ---- Tail-tolerance sweep: speculation/hedging on vs off. ----------------
+  const int tail_count = fast ? 30 : 80;
+  std::vector<std::pair<TailArm, TailArm>> pairs;
+  for (double rate : {0.0, 0.1, 0.2, 0.3}) {
+    TailArm off;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "straggler_%.1f", rate);
+    off.name = buf;
+    off.faults.straggler_rate = rate;
+    off.faults.straggler_slowdown_min = 2.0;
+    off.faults.straggler_slowdown_max = 3.0;
+    off.faults.seed = 17;
+    TailArm on = off;
+    on.spec.speculate = true;
+    on.spec.spec_slowdown_threshold = 1.5;
+    pairs.emplace_back(off, on);
+  }
+  {
+    TailArm off;
+    off.name = "storage_hedge_0.2";
+    off.faults.storage_fault_rate = 0.2;
+    off.faults.storage_fault_latency = 30.0;
+    off.faults.seed = 17;
+    TailArm on = off;
+    on.spec.hedge_reads = true;
+    on.spec.hedge_after = 5.0;
+    pairs.emplace_back(off, on);
+  }
+
+  bench::Header("Tail tolerance: speculation/hedging, " +
+                std::to_string(tail_count) + " fixed dataflows (kNoIndex)");
+  std::printf("%-18s %9s %9s %9s %9s %10s %6s %6s %7s %7s\n", "pair",
+              "p50.off", "p50.on", "p99.off", "p99.on", "vm.quanta", "spec",
+              "wins", "hedges", "equal?");
+
+  json += "  \"speculation\": [\n";
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    TailResult off = RunTailArm(pairs[i].first, tail_count, seed);
+    TailResult on = RunTailArm(pairs[i].second, tail_count, seed);
+    const bool stragglers = pairs[i].second.spec.speculate;
+    const double rate = stragglers ? pairs[i].first.faults.straggler_rate
+                                   : pairs[i].first.faults.storage_fault_rate;
+    // The contract: tail tolerance may never cost a single extra quantum,
+    // and must not hurt the tail; at non-trivial fault rates it must help.
+    bool ok = on.m.total_vm_quanta == off.m.total_vm_quanta &&
+              on.p50 <= off.p50 + 1e-9 && on.p99 <= off.p99 + 1e-9;
+    if (rate >= 0.1) {
+      ok = ok && on.p99 < off.p99 - 1e-9 &&
+           (stragglers ? on.m.spec_wins > 0 : on.m.hedge_wins > 0);
+    } else {
+      // Nothing to speculate on: bit-identical, with idle counters.
+      ok = ok && on.p50 == off.p50 && on.p99 == off.p99 &&
+           on.m.ops_speculated == 0 && on.m.hedged_reads == 0;
+    }
+    all_ok = all_ok && ok;
+    std::printf("%-18s %9.2f %9.2f %9.2f %9.2f %10lld %6d %6d %7d %7s\n",
+                pairs[i].first.name.c_str(), off.p50, on.p50, off.p99, on.p99,
+                static_cast<long long>(on.m.total_vm_quanta),
+                on.m.ops_speculated, on.m.spec_wins, on.m.hedged_reads,
+                ok ? "yes" : "NO");
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"pair\": \"%s\", \"rate\": %.2f, \"dataflows\": %d,\n"
+        "     \"p50_off\": %.4f, \"p50_on\": %.4f, \"p99_off\": %.4f, "
+        "\"p99_on\": %.4f,\n"
+        "     \"vm_quanta_off\": %lld, \"vm_quanta_on\": %lld, "
+        "\"ops_speculated\": %d, \"spec_wins\": %d, \"spec_cancelled\": %d,\n"
+        "     \"hedged_reads\": %d, \"hedge_wins\": %d, \"ok\": %s}",
+        pairs[i].first.name.c_str(), rate, tail_count, off.p50, on.p50,
+        off.p99, on.p99, static_cast<long long>(off.m.total_vm_quanta),
+        static_cast<long long>(on.m.total_vm_quanta), on.m.ops_speculated,
+        on.m.spec_wins, on.m.spec_cancelled, on.m.hedged_reads,
+        on.m.hedge_wins, ok ? "true" : "false");
+    json += buf;
+    json += (i + 1 < pairs.size()) ? ",\n" : "\n";
   }
   json += "  ]\n}\n";
 

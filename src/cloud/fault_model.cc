@@ -32,6 +32,31 @@ double ToUnit(uint64_t x) {
 
 }  // namespace
 
+Status ValidateFaultOptions(const FaultOptions& opts) {
+  auto bad_rate = [](double r) { return !(r >= 0.0 && r <= 1.0); };
+  if (bad_rate(opts.crash_rate)) {
+    return Status::InvalidArgument("crash_rate must be in [0, 1]");
+  }
+  if (bad_rate(opts.straggler_rate)) {
+    return Status::InvalidArgument("straggler_rate must be in [0, 1]");
+  }
+  if (bad_rate(opts.storage_fault_rate)) {
+    return Status::InvalidArgument("storage_fault_rate must be in [0, 1]");
+  }
+  if (!(opts.straggler_slowdown_min >= 1.0)) {
+    return Status::InvalidArgument("straggler_slowdown_min must be >= 1");
+  }
+  if (!(opts.straggler_slowdown_max >= opts.straggler_slowdown_min)) {
+    return Status::InvalidArgument(
+        "straggler_slowdown_max must be >= straggler_slowdown_min");
+  }
+  if (opts.storage_fault_rate > 0 && !(opts.storage_fault_latency > 0)) {
+    return Status::InvalidArgument(
+        "storage_fault_latency must be positive when storage_fault_rate > 0");
+  }
+  return Status::OK();
+}
+
 FaultTrace FaultModel::DrawTrace(uint64_t run_key, int num_containers,
                                  Seconds horizon, Seconds quantum) const {
   FaultTrace trace;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/status.h"
 #include "common/units.h"
 
 namespace dfim {
@@ -41,6 +42,16 @@ struct FaultOptions {
     return crash_rate > 0 || straggler_rate > 0 || storage_fault_rate > 0;
   }
 };
+
+/// \brief Rejects out-of-range fault knobs before any draw consumes them.
+///
+/// Rates must lie in [0, 1]; the straggler slowdown range must satisfy
+/// 1 <= min <= max (a slowdown below 1 would *speed up* a "straggler" and
+/// break the speculation watermark's healthy-estimate assumption); the
+/// storage fault latency must be positive whenever the fault rate is
+/// nonzero. Called from the simulator and the service entry points so a
+/// misconfigured harness fails fast instead of producing silent nonsense.
+Status ValidateFaultOptions(const FaultOptions& opts);
 
 /// \brief Pre-drawn faults of one container for one execution.
 struct ContainerFaults {

@@ -4,6 +4,27 @@
 
 namespace dfim {
 
+LruCache::LruCache(const LruCache& other)
+    : capacity_(other.capacity_),
+      used_(other.used_),
+      lru_(other.lru_),
+      hits_(other.hits_),
+      misses_(other.misses_) {
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) map_[it->key] = it;
+}
+
+LruCache& LruCache::operator=(const LruCache& other) {
+  if (this == &other) return *this;
+  capacity_ = other.capacity_;
+  used_ = other.used_;
+  lru_ = other.lru_;
+  hits_ = other.hits_;
+  misses_ = other.misses_;
+  map_.clear();
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) map_[it->key] = it;
+  return *this;
+}
+
 std::vector<std::string> LruCache::Put(const std::string& key, MegaBytes size) {
   std::vector<std::string> evicted;
   auto it = map_.find(key);

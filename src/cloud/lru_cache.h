@@ -22,6 +22,15 @@ class LruCache {
   /// \param capacity total cache capacity in MB (items beyond it evict LRU).
   explicit LruCache(MegaBytes capacity) : capacity_(capacity) {}
 
+  /// Deep copy: the key→iterator map is rebuilt against the copied list —
+  /// the implicitly-generated copy would leave the new map's iterators
+  /// pointing into the *source* object's list. Copies are what the
+  /// execution simulator's speculation shadow pass snapshots.
+  LruCache(const LruCache& other);
+  LruCache& operator=(const LruCache& other);
+  LruCache(LruCache&&) = default;
+  LruCache& operator=(LruCache&&) = default;
+
   /// \brief Inserts (or refreshes) `key` with the given size.
   ///
   /// Items larger than the whole capacity are not cached. Returns the list

@@ -50,6 +50,29 @@ MegaBytes StorageService::SizeOf(const std::string& path) const {
   return it == objects_.end() ? 0 : it->second;
 }
 
+ReadOutcome StorageService::SimulateRead(Seconds base_latency,
+                                         bool primary_fault,
+                                         Seconds fault_latency,
+                                         bool hedge_enabled,
+                                         Seconds hedge_after,
+                                         bool hedge_fault) {
+  ReadOutcome out;
+  out.primary_fault = primary_fault;
+  out.latency = base_latency;
+  if (primary_fault) out.latency += fault_latency;
+  if (hedge_enabled && out.latency > hedge_after + 1e-9) {
+    out.hedged = true;
+    out.hedge_fault = hedge_fault;
+    Seconds dup =
+        hedge_after + base_latency + (hedge_fault ? fault_latency : 0);
+    if (dup < out.latency - 1e-9) {
+      out.latency = dup;
+      out.hedge_won = true;
+    }
+  }
+  return out;
+}
+
 void StorageService::AdvanceTo(Seconds now) {
   if (now < last_billed_ - 1e-9) {
     DFIM_LOG(kWarn) << "StorageService::AdvanceTo: time regression " << now

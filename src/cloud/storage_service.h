@@ -11,6 +11,24 @@
 
 namespace dfim {
 
+/// \brief Outcome of one (possibly hedged) storage read.
+///
+/// Reads in the simulator are latency, not bytes: a transient fault delays
+/// the response instead of failing it, and a hedge issues one duplicate
+/// request whose response races the primary (first response wins).
+struct ReadOutcome {
+  /// Effective latency the reader observes.
+  Seconds latency = 0;
+  /// The primary request hit a transient fault (latency spike).
+  bool primary_fault = false;
+  /// A duplicate request was issued (the primary outlived hedge_after).
+  bool hedged = false;
+  /// The duplicate hit its own, independently drawn, transient fault.
+  bool hedge_fault = false;
+  /// The duplicate's response arrived before the primary's.
+  bool hedge_won = false;
+};
+
 /// \brief The cloud's persistent object store (paper §3, Cloud Model).
 ///
 /// Tracks named objects (table partitions, index partitions, intermediate
@@ -51,6 +69,20 @@ class StorageService {
 
   /// Number of time regressions clamped so far (Put/Delete/AdvanceTo).
   int64_t clock_clamps() const { return clock_clamps_; }
+
+  /// \brief Latency semantics of one (possibly hedged) read — pure, the
+  /// fault draws are the caller's (the execution simulator draws them
+  /// deterministically per (run_key, op_key, attempt)).
+  ///
+  /// The primary takes `base_latency` plus `fault_latency` when
+  /// `primary_fault`. With hedging on, a primary that outlives `hedge_after`
+  /// triggers one duplicate (its independent fault draw passed in as
+  /// `hedge_fault`), and the reader proceeds with whichever response lands
+  /// first; ties go to the primary. With hedging off the arithmetic is
+  /// bit-identical to the un-hedged read path (DESIGN.md §9).
+  static ReadOutcome SimulateRead(Seconds base_latency, bool primary_fault,
+                                  Seconds fault_latency, bool hedge_enabled,
+                                  Seconds hedge_after, bool hedge_fault);
 
   /// Dollars accrued so far (up to the last AdvanceTo/Put/Delete).
   Dollars accrued_cost() const { return accrued_cost_; }

@@ -43,6 +43,11 @@ Schedule Interleaver::PackIntoIdleSlots(
   // Idle slots come from the shared Timeline gap walk
   // (Timeline::AppendIdleSlots via Schedule::FindIdleSlots), so the packer
   // sees exactly the gaps the scheduler's MaxGap tie-break accounted for.
+  // These planned slots are shared at runtime: the execution simulator's
+  // speculative clones claim realized idle time on the same paid leases
+  // (via Timeline::FindSlotBounded), and builds packed here yield to them —
+  // a preempted build's remaining slot time, and any cancelled clone's,
+  // flows back to this knapsack on the next dataflow (DESIGN.md §9).
   std::vector<IdleSlot> slots = schedule.FindIdleSlots(quantum);
   std::vector<double> slot_sizes;
   slot_sizes.reserve(slots.size());

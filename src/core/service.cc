@@ -220,12 +220,21 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
     ExecSimulator simulator(sim);
     FaultInjection fi;
     const FaultInjection* fip = nullptr;
-    if (inject) {
-      fi.model = &fault_model;
+    if (inject || opts_.speculation.enabled()) {
+      fi.model = inject ? &fault_model : nullptr;
       fi.run_key = static_cast<uint64_t>(df.id) * 0x100000001b3ULL +
                    static_cast<uint64_t>(attempt);
       fi.trace = fault_model.DrawTrace(fi.run_key, nc, cur_plan->TotalSpan(),
                                        sim.quantum);
+      fi.spec = opts_.speculation;
+      // Breaker coordination: a hedge is an extra storage request, and
+      // piling duplicates onto a store that already tripped the breaker
+      // would double-trip it — suppress hedging while the breaker is open.
+      if (fi.spec.hedge_reads && opts_.breaker.open_after > 0 &&
+          breaker_state_ == BreakerState::kOpen &&
+          start + elapsed < breaker_open_until_) {
+        fi.spec.suppress_hedges = true;
+      }
       fip = &fi;
     }
     DFIM_ASSIGN_OR_RETURN(ExecResult exec,
@@ -259,6 +268,14 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
           static_cast<int>(exec.failed_containers.size());
     }
     metrics->storage_faults += exec.storage_faults;
+    metrics->storage_reads += exec.storage_reads;
+    metrics->ops_speculated += exec.ops_speculated;
+    metrics->spec_wins += exec.spec_wins;
+    metrics->spec_cancelled += exec.spec_cancelled;
+    metrics->spec_cancelled_quanta +=
+        exec.spec_cancelled_seconds / sim.quantum;
+    metrics->hedged_reads += exec.hedged_reads;
+    metrics->hedge_wins += exec.hedge_wins;
 
     // Register completed index partitions. Each is persisted to the storage
     // service at completion; under fault injection the Put may fail
@@ -539,6 +556,11 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
   pt.storage_cost = storage_.accrued_cost();
   pt.containers_failed = metrics->containers_failed;
   pt.dataflows_failed = metrics->dataflows_failed;
+  pt.makespan_quanta = elapsed / opts_.tuner.sched.quantum;
+  pt.ops_speculated = metrics->ops_speculated;
+  pt.spec_wins = metrics->spec_wins;
+  pt.hedged_reads = metrics->hedged_reads;
+  pt.hedge_wins = metrics->hedge_wins;
   for (const auto& idx : catalog_->IndexIds()) {
     auto st = catalog_->GetIndexState(idx);
     if (st.ok() && (*st)->NumBuilt() > 0) {
@@ -584,6 +606,10 @@ void QaasService::ApplyDueUpdates(Seconds now, ServiceMetrics* metrics) {
 }
 
 Result<ServiceMetrics> QaasService::Run(WorkloadClient* client) {
+  // Fail fast on misconfigured knobs before any draw consumes them —
+  // DrawTrace would otherwise walk negative/>1 hazards raw.
+  DFIM_RETURN_NOT_OK(ValidateFaultOptions(opts_.faults));
+  DFIM_RETURN_NOT_OK(ValidateSpeculationOptions(opts_.speculation));
   if (opts_.admission.open_loop) return RunOpenLoop(client);
   ServiceMetrics metrics;
   Seconds clock = 0;
@@ -674,6 +700,14 @@ void QaasService::Admit(Dataflow df, std::deque<Pending>* queue,
   queue->push_back(std::move(p));
   metrics->peak_queue_len =
       std::max(metrics->peak_queue_len, static_cast<int>(queue->size()));
+  SampleQueuePressure(static_cast<int>(queue->size()));
+}
+
+void QaasService::SampleQueuePressure(int queue_len) {
+  double alpha = opts_.brownout.queue_ewma_alpha;
+  if (alpha <= 0) return;
+  queue_ewma_ =
+      alpha * static_cast<double>(queue_len) + (1.0 - alpha) * queue_ewma_;
 }
 
 double QaasService::BuildFraction(double pressure_quanta) {
@@ -735,7 +769,12 @@ Result<ServiceMetrics> QaasService::RunOpenLoop(WorkloadClient* client) {
     }
 
     double pressure = (start - p.arrival) / quantum;
-    double fraction = BuildFraction(pressure);
+    SampleQueuePressure(static_cast<int>(queue.size()));
+    // Brownout signal: the smoothed queue length when enabled (it rises as
+    // soon as the queue grows, before any dataflow is actually delayed),
+    // the per-dequeue delay otherwise.
+    double fraction = BuildFraction(
+        opts_.brownout.queue_ewma_alpha > 0 ? queue_ewma_ : pressure);
     ApplyDueUpdates(start, &metrics);
     DFIM_ASSIGN_OR_RETURN(RunOutcome out,
                           RunOne(p.df, start, &metrics, fraction));

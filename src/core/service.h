@@ -93,6 +93,14 @@ struct BrownoutOptions {
   double pressure_hi_quanta = 0;
   /// Re-enable threshold as a fraction of pressure_lo_quanta.
   double resume_fraction = 0.5;
+  /// Smoothed pressure signal: when > 0, pressure is an EWMA of the pending
+  /// queue *length* sampled at every arrival and dequeue event instead of
+  /// the per-dequeue queue delay — the smoothed signal rises as soon as the
+  /// queue starts growing, so brownout reacts before the first delayed
+  /// dataflow. The lo/hi thresholds are then read in queue entries rather
+  /// than delay quanta. 0 (default) keeps the delay signal bit-identical to
+  /// before.
+  double queue_ewma_alpha = 0;
 };
 
 /// \brief Circuit breaker on the storage persist (Put) path.
@@ -179,6 +187,13 @@ struct ServiceOptions {
   BrownoutOptions brownout;
   BreakerOptions breaker;
   /// @}
+  /// \name Tail tolerance (off by default: with speculation and hedging
+  /// disabled the execution path is bit-identical per seed to a service
+  /// without this layer). Hedges are suppressed while the storage circuit
+  /// breaker is open so duplicates never double-trip it (DESIGN.md §9).
+  /// @{
+  SpeculationOptions speculation;
+  /// @}
   uint64_t seed = 99;
 };
 
@@ -205,6 +220,18 @@ struct TimelinePoint {
   int deadlines_missed = 0;
   int builds_shed = 0;
   int breaker_opens = 0;
+  /// @}
+  /// \name Tail-tolerance state at this point (zero when off).
+  /// @{
+  /// This dataflow's realized makespan (execution + recovery + persist
+  /// backoff), in quanta — the tail-latency series the speculation bench
+  /// reads p50/p99 from.
+  double makespan_quanta = 0;
+  /// Cumulative speculation/hedging counters at this point.
+  int ops_speculated = 0;
+  int spec_wins = 0;
+  int hedged_reads = 0;
+  int hedge_wins = 0;
   /// @}
 };
 
@@ -240,9 +267,30 @@ struct ServiceMetrics {
   int storage_retries = 0;
   /// Transient storage-read faults absorbed as latency spikes.
   int storage_faults = 0;
+  /// Read requests issued to the storage service (cache-miss fetches plus
+  /// hedge duplicates and clone fetches). The read-side companion of
+  /// `storage_retries` (which only counts Put retries): read-path fault
+  /// draws are a subset of these, so storage_faults <= storage_reads +
+  /// storage_retries always holds.
+  int storage_reads = 0;
   /// Completed builds discarded: their partition was never persisted
   /// (dead container, or Put failed after all retries).
   int builds_discarded = 0;
+  /// @}
+  /// \name Tail tolerance (speculation & hedging; zero when off).
+  /// @{
+  /// Speculative clones spawned into already-paid idle slots.
+  int ops_speculated = 0;
+  /// Clones that beat their original (first finisher wins).
+  int spec_wins = 0;
+  /// Clones cancelled because the original finished first.
+  int spec_cancelled = 0;
+  /// Reserved slot quanta returned to the build knapsack by cancellations.
+  double spec_cancelled_quanta = 0;
+  /// Duplicate storage reads issued after hedge_after elapsed, and how many
+  /// beat the primary.
+  int hedged_reads = 0;
+  int hedge_wins = 0;
   /// @}
   /// \name Overload & SLO accounting (open-loop runs; zero otherwise).
   /// Open-loop identity: arrived == finished + failed + overran + shed.
@@ -351,6 +399,11 @@ class QaasService {
   /// Brownout knob from queue pressure (quanta), with hysteresis.
   double BuildFraction(double pressure_quanta);
 
+  /// Folds one queue-length observation into the smoothed pressure signal
+  /// (no-op when brownout.queue_ewma_alpha == 0). Sampled at every arrival
+  /// (Admit) and dequeue event.
+  void SampleQueuePressure(int queue_len);
+
   /// Admission estimate for `app`: `raw` scaled by the family's observed
   /// EWMA makespan/critical-path ratio (identity until the family has
   /// estimate_ewma_warmup observations).
@@ -400,6 +453,9 @@ class QaasService {
   /// Brownout hysteresis: true once pressure crossed pressure_hi_quanta,
   /// until it falls below pressure_lo_quanta x resume_fraction.
   bool brownout_off_ = false;
+  /// Smoothed queue-length pressure (brownout.queue_ewma_alpha > 0 only),
+  /// updated at every arrival and dequeue event.
+  double queue_ewma_ = 0;
   /// Storage persist circuit breaker.
   enum class BreakerState { kClosed, kOpen, kHalfOpen };
   BreakerState breaker_state_ = BreakerState::kClosed;

@@ -36,16 +36,49 @@ struct SimOptions {
   uint64_t seed = 1;
 };
 
+/// \brief Tail-tolerance knobs (speculative re-execution + hedged reads).
+///
+/// Both features are off by default; with both off (or hedging suppressed)
+/// the simulator takes exactly the pre-speculation code path, so the
+/// disabled configuration is bit-identical per seed to a build without this
+/// layer. See DESIGN.md §9.
+struct SpeculationOptions {
+  /// Clone ops whose observed elapsed time exceeds the watermark
+  /// (`spec_slowdown_threshold` × healthy estimate) onto healthy containers
+  /// — but only into already-paid idle slots (marginal-cost-zero rule).
+  bool speculate = false;
+  /// Watermark multiplier; must be > 1 (a clone is only worth spawning once
+  /// the op has provably overrun its healthy estimate).
+  double spec_slowdown_threshold = 1.5;
+  /// Issue one duplicate for a storage read that has not completed within
+  /// `hedge_after`; first response wins.
+  bool hedge_reads = false;
+  Seconds hedge_after = 15.0;
+  /// Set by the service while the storage circuit breaker is open: a hedge
+  /// is an *extra* request, and piling duplicates onto a store that is
+  /// already tripping the breaker would double-trip it.
+  bool suppress_hedges = false;
+
+  bool enabled() const { return speculate || hedge_reads; }
+};
+
+/// Rejects `spec_slowdown_threshold <= 1` (speculation on) and
+/// non-positive `hedge_after` (hedging on).
+Status ValidateSpeculationOptions(const SpeculationOptions& opts);
+
 /// \brief Pre-drawn faults applied to one execution (optional).
 ///
 /// `trace.containers` is indexed by the schedule's container indices;
 /// `model`/`run_key` supply the per-storage-operation transient-fault draws.
 /// Passing null to Run disables injection entirely — the zero-fault path is
-/// bit-identical to a simulator without fault support.
+/// bit-identical to a simulator without fault support. `spec` rides along
+/// because both tail-tolerance features consume the same deterministic
+/// draw streams (hedges and clone reads re-draw under salted op keys).
 struct FaultInjection {
   const FaultModel* model = nullptr;
   FaultTrace trace;
   uint64_t run_key = 0;
+  SpeculationOptions spec;
 };
 
 /// \brief One completed index-build operator.
@@ -88,6 +121,23 @@ struct ExecResult {
   int killed_builds = 0;
   /// Transient storage-read faults absorbed as latency spikes.
   int storage_faults = 0;
+  /// Read requests issued to the storage service (cache-miss fetches,
+  /// hedge duplicates, clone fetches). `storage_faults` draws are a subset
+  /// of these; Put retries are counted by the service, not here.
+  int storage_reads = 0;
+  /// Speculative clones spawned into already-paid idle slots.
+  int ops_speculated = 0;
+  /// Clones that finished before their original (first finisher wins).
+  int spec_wins = 0;
+  /// Clones cancelled because the original finished first.
+  int spec_cancelled = 0;
+  /// Reserved slot seconds handed back to the build knapsack when clones
+  /// were cancelled (reservation end minus cancellation instant).
+  Seconds spec_cancelled_seconds = 0;
+  /// Duplicate storage reads issued after `hedge_after` elapsed.
+  int hedged_reads = 0;
+  /// Hedge duplicates that beat the primary read.
+  int hedge_wins = 0;
   /// True when every mandatory (dataflow) operator finished. False means a
   /// crash lost part of the dataflow and the caller must recover.
   bool complete = true;
@@ -121,6 +171,13 @@ struct ExecResult {
 /// gone), and its cache contents; stragglers stretch CPU time and transfers
 /// on affected containers; transient storage-read faults add latency to
 /// cache-miss fetches.
+///
+/// With `FaultInjection::spec` enabled, a shadow dataflow pass (the exact
+/// no-speculation algorithm, run against copies of the container caches)
+/// first establishes what each container *would* have been charged; that
+/// shadow lease is both the clone placement bound and the billing floor, so
+/// speculation can only ever consume quanta that were already paid for —
+/// `leased_quanta` is identical with and without speculation (DESIGN.md §9).
 class ExecSimulator {
  public:
   explicit ExecSimulator(SimOptions options) : opts_(options) {}

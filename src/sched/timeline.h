@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "common/units.h"
@@ -92,6 +93,15 @@ class Timeline {
   /// \brief Earliest feasible start >= `est` of a `duration`-long interval
   /// on the timeline (gap insertion). Returns the start time.
   Seconds FindSlot(Seconds est, Seconds duration) const;
+
+  /// \brief FindSlot restricted to already-paid time: the interval must also
+  /// end by `bound` (e.g. the container's charged lease end). Returns
+  /// nullopt when no such slot exists. Because FirstFit yields the earliest
+  /// feasible candidate and candidates are non-decreasing across later
+  /// gaps, one bound check on the first fit decides feasibility exactly.
+  /// This is how speculation keeps clones marginal-cost-zero (DESIGN.md §9).
+  std::optional<Seconds> FindSlotBounded(Seconds est, Seconds duration,
+                                         Seconds bound) const;
 
   /// Leased quanta: 0 when empty, else at least 1. O(1) from last_end().
   int64_t Quanta(Seconds quantum) const;
@@ -317,6 +327,17 @@ inline Seconds Timeline::FindSlot(Seconds est, Seconds duration) const {
   (void)timeline_internal::FirstFit(starts_.data(), ends_.data(), 0,
                                     starts_.size(), est, duration, &cursor);
   return std::max(est, cursor);
+}
+
+inline std::optional<Seconds> Timeline::FindSlotBounded(Seconds est,
+                                                        Seconds duration,
+                                                        Seconds bound) const {
+  Seconds cursor = 0;
+  (void)timeline_internal::FirstFit(starts_.data(), ends_.data(), 0,
+                                    starts_.size(), est, duration, &cursor);
+  Seconds start = std::max(est, cursor);
+  if (start + duration <= bound + 1e-9) return start;
+  return std::nullopt;
 }
 
 inline int64_t Timeline::Quanta(Seconds quantum) const {

@@ -39,6 +39,11 @@ struct ArrivalProfile {
   ArrivalOptions arrivals;
 };
 
+struct SpecProfile {
+  std::string name;
+  SpeculationOptions spec;
+};
+
 std::vector<FaultProfile> FaultProfiles() {
   std::vector<FaultProfile> out;
   out.push_back({"clean", FaultOptions{}});
@@ -113,6 +118,18 @@ std::vector<ArrivalProfile> ArrivalProfiles() {
   return out;
 }
 
+std::vector<SpecProfile> SpecProfiles() {
+  std::vector<SpecProfile> out;
+  out.push_back({"spec-off", SpeculationOptions{}});
+  SpeculationOptions on;
+  on.speculate = true;
+  on.spec_slowdown_threshold = 1.5;
+  on.hedge_reads = true;
+  on.hedge_after = 10.0;
+  out.push_back({"spec+hedge", on});
+  return out;
+}
+
 struct ChaosRun {
   ServiceMetrics metrics;
   std::unique_ptr<Catalog> catalog;
@@ -121,7 +138,8 @@ struct ChaosRun {
 };
 
 ChaosRun RunConfig(uint64_t seed, const FaultProfile& fp,
-                   const ControlProfile& cp, const ArrivalProfile& ap) {
+                   const ControlProfile& cp, const ArrivalProfile& ap,
+                   const SpecProfile& sp = SpecProfile{}) {
   ChaosRun run;
   run.catalog = std::make_unique<Catalog>();
   FileDatabaseOptions fdo;
@@ -144,6 +162,7 @@ ChaosRun RunConfig(uint64_t seed, const FaultProfile& fp,
   so.admission = cp.admission;
   so.brownout = cp.brownout;
   so.breaker = cp.breaker;
+  so.speculation = sp.spec;
   so.seed = seed;
   run.service = std::make_unique<QaasService>(run.catalog.get(), so);
 
@@ -183,6 +202,21 @@ void CheckInvariants(const ChaosRun& run, const std::string& label,
               m.timeline[i - 1].containers_failed)
         << label;
   }
+  // (3b) Tail-tolerance counters: every clone resolves exactly one way,
+  // hedge wins are a subset of hedges, cumulative series never decrease.
+  EXPECT_EQ(m.ops_speculated, m.spec_wins + m.spec_cancelled) << label;
+  EXPECT_LE(m.hedge_wins, m.hedged_reads) << label;
+  EXPECT_GE(m.spec_cancelled_quanta, 0.0) << label;
+  EXPECT_LE(m.storage_faults, m.storage_reads + m.storage_retries) << label;
+  for (size_t i = 1; i < m.timeline.size(); ++i) {
+    EXPECT_GE(m.timeline[i].ops_speculated, m.timeline[i - 1].ops_speculated)
+        << label;
+    EXPECT_GE(m.timeline[i].spec_wins, m.timeline[i - 1].spec_wins) << label;
+    EXPECT_GE(m.timeline[i].hedged_reads, m.timeline[i - 1].hedged_reads)
+        << label;
+    EXPECT_GE(m.timeline[i].hedge_wins, m.timeline[i - 1].hedge_wins)
+        << label;
+  }
   // (2) Catalog subset of storage.
   for (const auto& idx : run.catalog->IndexIds()) {
     auto def = run.catalog->GetIndexDef(idx);
@@ -203,31 +237,37 @@ TEST(ChaosTest, InvariantsHoldAcrossTheConfigLattice) {
   const auto faults = FaultProfiles();
   const auto controls = ControlProfiles();
   const auto arrivals = ArrivalProfiles();
+  const auto specs = SpecProfiles();
   int configs = 0;
   for (uint64_t seed : seeds) {
     for (const auto& fp : faults) {
       for (const auto& cp : controls) {
         for (const auto& ap : arrivals) {
-          std::string label = "seed=" + std::to_string(seed) + " " + fp.name +
-                              " " + cp.name + " " + ap.name;
-          ChaosRun run = RunConfig(seed, fp, cp, ap);
-          CheckInvariants(run, label, cp);
-          ++configs;
+          for (const auto& sp : specs) {
+            std::string label = "seed=" + std::to_string(seed) + " " +
+                                fp.name + " " + cp.name + " " + ap.name +
+                                " " + sp.name;
+            ChaosRun run = RunConfig(seed, fp, cp, ap, sp);
+            CheckInvariants(run, label, cp);
+            ++configs;
+          }
         }
       }
     }
   }
-  // The sweep is the point: 5 seeds x 3 fault x 4 control x 2 arrival.
-  EXPECT_GE(configs, 100);
+  // The sweep is the point: 5 seeds x 3 fault x 4 control x 2 arrival x
+  // 2 speculation.
+  EXPECT_GE(configs, 200);
 }
 
 TEST(ChaosTest, EachSeedReproducesBitIdentically) {
   const auto fp = FaultProfiles()[2];    // harsh
   const auto cp = ControlProfiles()[3];  // everything on
   const auto ap = ArrivalProfiles()[1];  // bursty
+  const auto sp = SpecProfiles()[1];     // speculation + hedging on
   for (uint64_t seed : {11u, 12u, 13u}) {
-    ChaosRun a = RunConfig(seed, fp, cp, ap);
-    ChaosRun b = RunConfig(seed, fp, cp, ap);
+    ChaosRun a = RunConfig(seed, fp, cp, ap, sp);
+    ChaosRun b = RunConfig(seed, fp, cp, ap, sp);
     EXPECT_EQ(a.metrics.dataflows_arrived, b.metrics.dataflows_arrived);
     EXPECT_EQ(a.metrics.dataflows_finished, b.metrics.dataflows_finished);
     EXPECT_EQ(a.metrics.dataflows_shed, b.metrics.dataflows_shed);
@@ -237,6 +277,10 @@ TEST(ChaosTest, EachSeedReproducesBitIdentically) {
     EXPECT_EQ(a.metrics.total_time_quanta, b.metrics.total_time_quanta);
     EXPECT_EQ(a.metrics.storage_cost, b.metrics.storage_cost);
     EXPECT_EQ(a.metrics.queue_delay_quanta, b.metrics.queue_delay_quanta);
+    EXPECT_EQ(a.metrics.ops_speculated, b.metrics.ops_speculated);
+    EXPECT_EQ(a.metrics.spec_wins, b.metrics.spec_wins);
+    EXPECT_EQ(a.metrics.hedged_reads, b.metrics.hedged_reads);
+    EXPECT_EQ(a.metrics.hedge_wins, b.metrics.hedge_wins);
   }
 }
 

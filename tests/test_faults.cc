@@ -109,6 +109,112 @@ TEST(FaultModelTest, StragglerSlowdownWithinRange) {
   }
 }
 
+// ---- Knob validation (fail fast, not garbage draws) ------------------------
+
+TEST(FaultOptionsValidationTest, RejectsOutOfRangeKnobs) {
+  EXPECT_TRUE(ValidateFaultOptions(FaultOptions{}).ok());
+
+  FaultOptions neg;
+  neg.crash_rate = -0.1;
+  EXPECT_TRUE(ValidateFaultOptions(neg).IsInvalidArgument());
+
+  FaultOptions over;
+  over.straggler_rate = 1.5;
+  EXPECT_TRUE(ValidateFaultOptions(over).IsInvalidArgument());
+
+  FaultOptions storage_over;
+  storage_over.storage_fault_rate = 2.0;
+  EXPECT_TRUE(ValidateFaultOptions(storage_over).IsInvalidArgument());
+
+  FaultOptions speedup;  // a "slowdown" below 1 would speed ops up
+  speedup.straggler_slowdown_min = 0.5;
+  EXPECT_TRUE(ValidateFaultOptions(speedup).IsInvalidArgument());
+
+  FaultOptions inverted;
+  inverted.straggler_slowdown_min = 3.0;
+  inverted.straggler_slowdown_max = 2.0;
+  EXPECT_TRUE(ValidateFaultOptions(inverted).IsInvalidArgument());
+
+  FaultOptions no_latency;
+  no_latency.storage_fault_rate = 0.5;
+  no_latency.storage_fault_latency = 0.0;
+  EXPECT_TRUE(ValidateFaultOptions(no_latency).IsInvalidArgument());
+}
+
+TEST(FaultOptionsValidationTest, SimulatorRejectsBadModelOptions) {
+  Dag g = Chain(2, 10);
+  SkylineScheduler sched{SchedulerOptions{}};
+  auto skyline = sched.ScheduleDag(g, OpTimes(g));
+  ASSERT_TRUE(skyline.ok());
+  Schedule plan = skyline->front();
+  std::vector<SimOpCost> costs(g.num_ops());
+  for (const auto& op : g.ops()) {
+    costs[static_cast<size_t>(op.id)] = SimOpCost{op.time, 0, ""};
+  }
+  FaultOptions bad;
+  bad.crash_rate = -1.0;
+  FaultModel model(bad);
+  FaultInjection fi;
+  fi.trace.containers.resize(static_cast<size_t>(plan.num_containers()));
+  fi.model = &model;
+  SimOptions so;
+  ExecSimulator sim(so);
+  auto r = sim.Run(g, plan, costs, nullptr, &fi);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+
+  FaultInjection spec_fi;
+  spec_fi.trace.containers.resize(static_cast<size_t>(plan.num_containers()));
+  spec_fi.spec.speculate = true;
+  spec_fi.spec.spec_slowdown_threshold = 1.0;  // must be > 1
+  auto s = sim.Run(g, plan, costs, nullptr, &spec_fi);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.status().IsInvalidArgument());
+
+  spec_fi.spec.spec_slowdown_threshold = 1.5;
+  spec_fi.spec.hedge_reads = true;
+  spec_fi.spec.hedge_after = 0.0;  // must be positive
+  auto h = sim.Run(g, plan, costs, nullptr, &spec_fi);
+  EXPECT_FALSE(h.ok());
+  EXPECT_TRUE(h.status().IsInvalidArgument());
+}
+
+TEST(FaultOptionsValidationTest, ServiceRejectsBadKnobsAtEntry) {
+  auto run_with = [](FaultOptions faults, SpeculationOptions spec) {
+    Catalog catalog;
+    FileDatabaseOptions fdo;
+    fdo.montage_files = 2;
+    FileDatabase db(&catalog, fdo);
+    EXPECT_TRUE(db.Populate().ok());
+    DataflowGenerator gen(&db, 5);
+    ServiceOptions so;
+    so.total_time = 10.0 * 60.0;
+    so.faults = faults;
+    so.speculation = spec;
+    QaasService service(&catalog, so);
+    PhaseWorkloadClient client(&gen, 60.0, {{AppType::kMontage, 1e9}}, 5);
+    return service.Run(&client).status();
+  };
+  FaultOptions bad_rate;
+  bad_rate.straggler_rate = -0.2;
+  EXPECT_TRUE(run_with(bad_rate, SpeculationOptions{}).IsInvalidArgument());
+
+  FaultOptions bad_range;
+  bad_range.straggler_slowdown_min = 4.0;
+  bad_range.straggler_slowdown_max = 2.0;
+  EXPECT_TRUE(run_with(bad_range, SpeculationOptions{}).IsInvalidArgument());
+
+  SpeculationOptions bad_threshold;
+  bad_threshold.speculate = true;
+  bad_threshold.spec_slowdown_threshold = 0.9;
+  EXPECT_TRUE(run_with(FaultOptions{}, bad_threshold).IsInvalidArgument());
+
+  SpeculationOptions bad_hedge;
+  bad_hedge.hedge_reads = true;
+  bad_hedge.hedge_after = -1.0;
+  EXPECT_TRUE(run_with(FaultOptions{}, bad_hedge).IsInvalidArgument());
+}
+
 // ---- ExecSimulator under injected faults -----------------------------------
 
 SimOptions NoError() {
@@ -231,6 +337,7 @@ TEST(ExecSimFaultTest, StorageReadFaultAddsLatency) {
   auto r = sim.Run(g, plan, costs, nullptr, &fi);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->storage_faults, 1);
+  EXPECT_EQ(r->storage_reads, 1);  // one cache-miss fetch, no hedging
   EXPECT_NEAR(r->makespan, 10.0 + 1.0 + 30.0, 1e-9);
 }
 
@@ -419,6 +526,10 @@ TEST(ServiceFaultTest, StorageFaultsRetriedAndCounted) {
   // Reads fault (latency spikes) and/or Puts retried; either way the
   // counters saw traffic at a 30% rate.
   EXPECT_GT(m.storage_faults + m.storage_retries, 0);
+  // Read-side accounting identity: every read-path fault draw belongs to a
+  // counted read, and Put faults to a counted retry ladder.
+  EXPECT_GT(m.storage_reads, 0);
+  EXPECT_LE(m.storage_faults, m.storage_reads + m.storage_retries);
   EXPECT_EQ(m.containers_failed, 0);  // no crashes configured
   EXPECT_EQ(m.dataflows_failed, 0);
   FaultServiceFixture::CheckAccounting(m);

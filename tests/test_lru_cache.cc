@@ -76,6 +76,49 @@ TEST(LruCacheTest, EvictsMultipleForBigItem) {
   EXPECT_LE(c.used(), 30);
 }
 
+TEST(LruCacheTest, CopyIsDeepAndIndependent) {
+  // The speculation shadow pass copies container caches; a shallow copy
+  // would leave map_ iterators pointing into the source's list (UB on any
+  // Touch/Erase/Put against the copy). The copy must behave exactly like
+  // the original while staying fully detached from it.
+  LruCache src(30);
+  src.Put("a", 10);
+  src.Put("b", 10);
+  EXPECT_TRUE(src.Touch("a"));
+
+  LruCache copy(src);
+  EXPECT_DOUBLE_EQ(copy.used(), 20);
+  EXPECT_EQ(copy.item_count(), 2u);
+  EXPECT_EQ(copy.hits(), src.hits());
+
+  // Mutations on the copy exercise the rebuilt map (would crash/UB if the
+  // iterators still referenced src's list)...
+  EXPECT_TRUE(copy.Touch("b"));
+  auto evicted = copy.Put("c", 20);  // forces eviction inside the copy
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "a");
+  copy.Erase("b");
+  EXPECT_FALSE(copy.Contains("b"));
+  // ...and never leak back into the source.
+  EXPECT_TRUE(src.Contains("a"));
+  EXPECT_TRUE(src.Contains("b"));
+  EXPECT_DOUBLE_EQ(src.used(), 20);
+
+  // Mutating the source leaves the copy untouched too.
+  src.Clear();
+  EXPECT_TRUE(copy.Contains("c"));
+  EXPECT_DOUBLE_EQ(copy.used(), 20);
+
+  // Copy assignment rebuilds the map the same way.
+  LruCache assigned(5);
+  assigned.Put("x", 1);
+  assigned = src;  // src is now empty
+  EXPECT_EQ(assigned.item_count(), 0u);
+  assigned = copy;
+  EXPECT_TRUE(assigned.Contains("c"));
+  EXPECT_TRUE(assigned.Touch("c"));
+}
+
 TEST(LruCacheTest, EraseAndClear) {
   LruCache c(100);
   c.Put("a", 10);

@@ -196,6 +196,60 @@ TEST(OverloadTest, BrownoutShedsBuildsUnderPressure) {
   f.CheckCatalogStorageConsistent();
 }
 
+TEST(OverloadTest, EwmaQueuePressureShedsBuildsUnderLoad) {
+  // Smoothed queue-length pressure: thresholds are read in queue entries.
+  // Under sustained overload the EWMA crosses hi and brownout sheds builds,
+  // with the accounting identity and catalog consistency intact.
+  ServiceOptions so = BaseOptions();
+  so.brownout.queue_ewma_alpha = 0.5;
+  so.brownout.pressure_lo_quanta = 0.2;  // entries, with alpha > 0
+  so.brownout.pressure_hi_quanta = 1.5;
+  OverloadFixture f(so);
+  ServiceMetrics m = f.Run(Arrivals(15.0));
+  EXPECT_GT(m.builds_shed, 0);
+  OverloadFixture::CheckAccounting(m);
+  f.CheckCatalogStorageConsistent();
+}
+
+TEST(OverloadTest, EwmaQueuePressureIsDeterministic) {
+  auto run = [] {
+    ServiceOptions so = BaseOptions();
+    so.brownout.queue_ewma_alpha = 0.3;
+    so.brownout.pressure_lo_quanta = 0.2;
+    so.brownout.pressure_hi_quanta = 1.5;
+    OverloadFixture f(so);
+    return f.Run(Arrivals(15.0));
+  };
+  ServiceMetrics a = run();
+  ServiceMetrics b = run();
+  EXPECT_EQ(a.builds_shed, b.builds_shed);
+  EXPECT_EQ(a.dataflows_finished, b.dataflows_finished);
+  EXPECT_EQ(a.total_vm_quanta, b.total_vm_quanta);
+  EXPECT_EQ(a.queue_delay_quanta, b.queue_delay_quanta);  // bit-identical
+}
+
+TEST(OverloadTest, EwmaAlphaZeroBitIdenticalToDelayPressure) {
+  // alpha = 0 must leave the delay-based brownout signal untouched: the
+  // sampling hook is a no-op and every metric matches a run that never set
+  // the knob (the pre-EWMA configuration).
+  auto run = [](bool set_alpha) {
+    ServiceOptions so = BaseOptions();
+    so.brownout.pressure_lo_quanta = 0.5;
+    so.brownout.pressure_hi_quanta = 3.0;
+    if (set_alpha) so.brownout.queue_ewma_alpha = 0.0;
+    OverloadFixture f(so);
+    return f.Run(Arrivals(15.0));
+  };
+  ServiceMetrics plain = run(false);
+  ServiceMetrics zeroed = run(true);
+  EXPECT_GT(plain.builds_shed, 0);
+  EXPECT_EQ(plain.builds_shed, zeroed.builds_shed);
+  EXPECT_EQ(plain.dataflows_finished, zeroed.dataflows_finished);
+  EXPECT_EQ(plain.total_vm_quanta, zeroed.total_vm_quanta);
+  EXPECT_EQ(plain.queue_delay_quanta, zeroed.queue_delay_quanta);
+  EXPECT_EQ(plain.storage_cost, zeroed.storage_cost);  // bit-identical
+}
+
 TEST(OverloadTest, BreakerOpensAndCutsRetryTraffic) {
   // storage_fault_rate = 1.0: every Put attempt faults, so without the
   // breaker every build burns the full retry ladder (max_retries + 1 draws);

@@ -109,5 +109,63 @@ TEST(StorageServiceTest, ClockClampsAreCountedNotSilent) {
   EXPECT_EQ(s.clock_clamps(), 3);
 }
 
+TEST(SimulateReadTest, NoFaultNoHedgeIsJustBaseLatency) {
+  ReadOutcome r = StorageService::SimulateRead(
+      /*base_latency=*/2.0, /*primary_fault=*/false, /*fault_latency=*/30.0,
+      /*hedge_enabled=*/false, /*hedge_after=*/5.0, /*hedge_fault=*/false);
+  EXPECT_DOUBLE_EQ(r.latency, 2.0);
+  EXPECT_FALSE(r.primary_fault);
+  EXPECT_FALSE(r.hedged);
+  EXPECT_FALSE(r.hedge_won);
+}
+
+TEST(SimulateReadTest, FaultDelaysInsteadOfFailing) {
+  ReadOutcome r = StorageService::SimulateRead(2.0, true, 30.0, false, 5.0,
+                                               false);
+  EXPECT_DOUBLE_EQ(r.latency, 32.0);
+  EXPECT_TRUE(r.primary_fault);
+  EXPECT_FALSE(r.hedged);
+}
+
+TEST(SimulateReadTest, FastPrimaryNeverTriggersHedge) {
+  // The primary completes within hedge_after: no duplicate is issued even
+  // with hedging enabled — the no-hedge arithmetic is preserved exactly.
+  ReadOutcome r = StorageService::SimulateRead(2.0, false, 30.0, true, 5.0,
+                                               true);
+  EXPECT_DOUBLE_EQ(r.latency, 2.0);
+  EXPECT_FALSE(r.hedged);
+  EXPECT_FALSE(r.hedge_won);
+}
+
+TEST(SimulateReadTest, CleanDuplicateBeatsFaultedPrimary) {
+  // Primary: 2 + 30 = 32 s. Duplicate issued at 5 s, clean: lands at 7 s.
+  ReadOutcome r = StorageService::SimulateRead(2.0, true, 30.0, true, 5.0,
+                                               false);
+  EXPECT_TRUE(r.hedged);
+  EXPECT_TRUE(r.hedge_won);
+  EXPECT_DOUBLE_EQ(r.latency, 7.0);
+}
+
+TEST(SimulateReadTest, FaultedDuplicateLosesAndChangesNothing) {
+  // Both requests fault: duplicate lands at 5 + 2 + 30 = 37 s, after the
+  // primary's 32 s — first response wins, so latency stays the primary's.
+  ReadOutcome r = StorageService::SimulateRead(2.0, true, 30.0, true, 5.0,
+                                               true);
+  EXPECT_TRUE(r.hedged);
+  EXPECT_TRUE(r.hedge_fault);
+  EXPECT_FALSE(r.hedge_won);
+  EXPECT_DOUBLE_EQ(r.latency, 32.0);
+}
+
+TEST(SimulateReadTest, TieGoesToThePrimary) {
+  // Duplicate lands exactly with the primary (base 5, fault 5, hedge at 5:
+  // primary 10, duplicate 5 + 5 = 10): the primary keeps the win.
+  ReadOutcome r = StorageService::SimulateRead(5.0, true, 5.0, true, 5.0,
+                                               false);
+  EXPECT_TRUE(r.hedged);
+  EXPECT_FALSE(r.hedge_won);
+  EXPECT_DOUBLE_EQ(r.latency, 10.0);
+}
+
 }  // namespace
 }  // namespace dfim
