@@ -1,0 +1,350 @@
+// Index-kernel microbench: probes the arena/SoA BPlusTree against the
+// retained pointer-chasing BPlusTreeRef (the pre-rewrite layout) on bulk
+// loaded trees swept from L2-resident to LLC-exceeding sizes, and sweeps the
+// pipelined LookupBatch group size. Writes BENCH_index.json (min/median
+// runtime per arm, generate_stats style) so successive PRs have a recorded
+// perf trajectory for the probe path that CalibrationQueries / the gain
+// calibration sit on (DESIGN.md §11).
+//
+// Every arm folds each visited (key, row) pair into a uint64 checksum;
+// mismatches are fatal regardless of env, so no arm can be dead-code
+// eliminated or wrong: the batched kernels must visit bit-identical
+// sequences to one-at-a-time probes.
+//
+// Usage: bench_index [output.json]
+// Env:   DFIM_FAST=1        fewer repetitions + smaller trees (CI smoke)
+//        DFIM_BENCH_CHECK=1 exit nonzero if batched+prefetch lookup fails
+//                           its throughput gate over one-at-a-time scalar
+//                           probes (>= 1.5x median on LLC-exceeding trees in
+//                           full mode; >= 0.7x sanity floor in fast mode,
+//                           where trees are cache-resident and the gap is
+//                           noise-dominated).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/bplus_tree.h"
+#include "index/bplus_tree_ref.h"
+
+namespace dfim {
+namespace {
+
+struct Stats {
+  double min_ms = 0;
+  double median_ms = 0;
+  std::vector<double> runtimes_ms;
+};
+
+/// generate_stats idiom: min + median over the repetition runtimes.
+Stats MakeStats(std::vector<double> runtimes) {
+  Stats s;
+  s.runtimes_ms = runtimes;
+  std::sort(runtimes.begin(), runtimes.end());
+  s.min_ms = runtimes.front();
+  s.median_ms = runtimes[runtimes.size() / 2];
+  return s;
+}
+
+/// Mixes one visited (key, row) pair into the running checksum. Any
+/// order-sensitive fold works: identical visit sequences give identical
+/// sums, and that is exactly the bit-identity contract under test.
+inline uint64_t Fold(uint64_t sum, int64_t key, RowId row) {
+  sum = sum * 0x100000001b3ULL + static_cast<uint64_t>(key);
+  sum = sum * 0x100000001b3ULL + row;
+  return sum;
+}
+
+/// Times `fn` (which returns its checksum) `reps` times; every repetition
+/// must reproduce `want` exactly.
+template <typename Fn>
+Stats TimeArm(const char* label, uint64_t want, int reps, Fn&& fn) {
+  std::vector<double> runtimes;
+  runtimes.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    uint64_t got = fn();
+    auto t1 = std::chrono::steady_clock::now();
+    if (got != want) {
+      std::fprintf(stderr,
+                   "FATAL: %s checksum mismatch (got %llu want %llu)\n", label,
+                   static_cast<unsigned long long>(got),
+                   static_cast<unsigned long long>(want));
+      std::exit(1);
+    }
+    runtimes.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return MakeStats(std::move(runtimes));
+}
+
+void AppendStats(std::string* out, const char* name, const Stats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "      \"%s\": {\"min_runtime_ms\": %.4f, "
+                "\"median_runtime_ms\": %.4f, \"runtimes_ms\": [",
+                name, s.min_ms, s.median_ms);
+  *out += buf;
+  for (size_t i = 0; i < s.runtimes_ms.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%.4f", i ? ", " : "", s.runtimes_ms[i]);
+    *out += buf;
+  }
+  *out += "]}";
+}
+
+}  // namespace
+}  // namespace dfim
+
+int main(int argc, char** argv) {
+  using namespace dfim;
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_index.json";
+  const char* fast_env = std::getenv("DFIM_FAST");
+  const bool fast = fast_env != nullptr && fast_env[0] == '1';
+  const int reps = fast ? 3 : 7;
+  const int dup = 2;  // rows per key
+
+  struct Config {
+    size_t entries;
+    size_t page_bytes;
+    bool llc_exceeding;  // columns far beyond LLC: the gated configs
+  };
+  // ~16 bytes of column data per entry: 16k entries is L2-resident, 256k
+  // sits around LLC, 4M (64 MB of columns) is DRAM-bound. The 256-byte-page
+  // variant deepens the tree (capacity 16 vs 256) on the same data.
+  const std::vector<Config> configs =
+      fast ? std::vector<Config>{{16384, 4096, false}, {65536, 256, false}}
+           : std::vector<Config>{{16384, 4096, false},
+                                 {262144, 4096, false},
+                                 {4194304, 4096, true},
+                                 {4194304, 256, true}};
+  const size_t lookups = fast ? 20000 : 100000;
+  const size_t ranges = fast ? 2000 : 10000;
+  const size_t range_width = 8;  // keys per range => ~16 rows visited
+  const std::vector<size_t> groups = {4, 8, 16};
+
+  std::string json = "{\n  \"bench\": \"index\",\n";
+  json += "  \"reps\": " + std::to_string(reps) + ",\n";
+  json += "  \"lookups\": " + std::to_string(lookups) + ",\n";
+  json += "  \"ranges\": " + std::to_string(ranges) + ",\n";
+  json += "  \"configs\": [\n";
+
+  std::printf("%-18s %-14s %10s %10s %10s\n", "config", "arm", "min(ms)",
+              "median(ms)", "speedup");
+  bool first = true;
+  double min_gate_speedup = 1e30;  // batch-vs-scalar on gated configs
+  for (const auto& cfg : configs) {
+    // Bulk load both layouts from the same sorted entries: key = i / dup.
+    std::vector<BPlusTree<int64_t>::Entry> entries;
+    std::vector<BPlusTreeRef<int64_t>::Entry> ref_entries;
+    entries.reserve(cfg.entries);
+    ref_entries.reserve(cfg.entries);
+    for (size_t i = 0; i < cfg.entries; ++i) {
+      int64_t k = static_cast<int64_t>(i / dup);
+      entries.push_back({k, static_cast<RowId>(i)});
+      ref_entries.push_back({k, static_cast<RowId>(i)});
+    }
+    BPlusTree<int64_t>::Options opts;
+    opts.page_bytes = cfg.page_bytes;
+    BPlusTreeRef<int64_t>::Options ref_opts;
+    ref_opts.page_bytes = cfg.page_bytes;
+    BPlusTree<int64_t> tree(opts);
+    BPlusTreeRef<int64_t> ref(ref_opts);
+    tree.BulkLoad(entries);
+    ref.BulkLoad(ref_entries);
+
+    // Uniform random probe keys: no locality, so descents miss cache on the
+    // big configs and the pipelined prefetch has latency to hide.
+    const int64_t max_key = static_cast<int64_t>(cfg.entries / dup) - 1;
+    Rng rng(42);
+    std::vector<int64_t> probe_keys;
+    probe_keys.reserve(lookups);
+    for (size_t i = 0; i < lookups; ++i) {
+      probe_keys.push_back(rng.UniformInt(0, max_key));
+    }
+    std::vector<std::pair<int64_t, int64_t>> probe_ranges;
+    probe_ranges.reserve(ranges);
+    for (size_t i = 0; i < ranges; ++i) {
+      int64_t lo = rng.UniformInt(0, max_key);
+      probe_ranges.push_back(
+          {lo, std::min<int64_t>(max_key, lo + range_width - 1)});
+    }
+
+    // Lookup arms. ref_lookup carries the old layout's full probe cost,
+    // std::vector allocation included — that is what the API used to do.
+    auto run_ref = [&] {
+      uint64_t sum = 0;
+      for (int64_t k : probe_keys) {
+        for (RowId r : ref.Lookup(k)) sum = Fold(sum, k, r);
+      }
+      return sum;
+    };
+    auto run_scalar = [&] {
+      uint64_t sum = 0;
+      for (int64_t k : probe_keys) {
+        tree.Lookup(k, [&sum](const int64_t& key, RowId r) {
+          sum = Fold(sum, key, r);
+        });
+      }
+      return sum;
+    };
+    auto run_batch = [&](size_t group) {
+      uint64_t sum = 0;
+      tree.LookupBatch(
+          std::span<const int64_t>(probe_keys),
+          [&sum](size_t, const int64_t& key, RowId r) {
+            sum = Fold(sum, key, r);
+          },
+          group);
+      return sum;
+    };
+
+    const uint64_t want = run_scalar();  // warm + reference checksum
+    Stats ref_stats = TimeArm("ref_lookup", want, reps, run_ref);
+    Stats scalar_stats = TimeArm("arena_scalar", want, reps, run_scalar);
+    std::vector<Stats> batch_stats;
+    for (size_t g : groups) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "batch%zu", g);
+      batch_stats.push_back(
+          TimeArm(label, want, reps, [&] { return run_batch(g); }));
+    }
+    double batch_best = 1e30;
+    for (const auto& s : batch_stats) {
+      batch_best = std::min(batch_best, s.median_ms);
+    }
+    double batch_speedup =
+        batch_best > 0 ? scalar_stats.median_ms / batch_best : 0;
+    double layout_speedup =
+        batch_best > 0 ? ref_stats.median_ms / batch_best : 0;
+    if (fast || cfg.llc_exceeding) {
+      min_gate_speedup = std::min(min_gate_speedup, batch_speedup);
+    }
+
+    // Range arms: template visitor ScanRange vs the reference, plus the
+    // grouped ScanRangeBatch.
+    auto run_ref_scan = [&] {
+      uint64_t sum = 0;
+      for (const auto& [lo, hi] : probe_ranges) {
+        ref.ScanRange(lo, hi, [&sum](const int64_t& key, RowId r) {
+          sum = Fold(sum, key, r);
+        });
+      }
+      return sum;
+    };
+    auto run_scan = [&] {
+      uint64_t sum = 0;
+      for (const auto& [lo, hi] : probe_ranges) {
+        tree.ScanRange(lo, hi, [&sum](const int64_t& key, RowId r) {
+          sum = Fold(sum, key, r);
+        });
+      }
+      return sum;
+    };
+    auto run_scan_batch = [&] {
+      uint64_t sum = 0;
+      tree.ScanRangeBatch(
+          std::span<const std::pair<int64_t, int64_t>>(probe_ranges),
+          [&sum](size_t, const int64_t& key, RowId r) {
+            sum = Fold(sum, key, r);
+          });
+      return sum;
+    };
+    const uint64_t scan_want = run_scan();
+    Stats ref_scan_stats = TimeArm("ref_scan", scan_want, reps, run_ref_scan);
+    Stats scan_stats = TimeArm("arena_scan", scan_want, reps, run_scan);
+    Stats scan_batch_stats =
+        TimeArm("scan_batch", scan_want, reps, run_scan_batch);
+
+    char label[64];
+    std::snprintf(label, sizeof(label), "%zuk pg%zu",
+                  cfg.entries / 1024, cfg.page_bytes);
+    std::printf("%-18s %-14s %10.3f %10.3f\n", label, "ref_lookup",
+                ref_stats.min_ms, ref_stats.median_ms);
+    std::printf("%-18s %-14s %10.3f %10.3f\n", "", "arena_scalar",
+                scalar_stats.min_ms, scalar_stats.median_ms);
+    for (size_t i = 0; i < groups.size(); ++i) {
+      char arm[32];
+      std::snprintf(arm, sizeof(arm), "batch%zu", groups[i]);
+      double sp = batch_stats[i].median_ms > 0
+                      ? scalar_stats.median_ms / batch_stats[i].median_ms
+                      : 0;
+      std::printf("%-18s %-14s %10.3f %10.3f %9.2fx\n", "", arm,
+                  batch_stats[i].min_ms, batch_stats[i].median_ms, sp);
+    }
+    std::printf("%-18s %-14s %10.3f %10.3f\n", "", "ref_scan",
+                ref_scan_stats.min_ms, ref_scan_stats.median_ms);
+    std::printf("%-18s %-14s %10.3f %10.3f\n", "", "arena_scan",
+                scan_stats.min_ms, scan_stats.median_ms);
+    std::printf("%-18s %-14s %10.3f %10.3f %9.2fx\n", "", "scan_batch",
+                scan_batch_stats.min_ms, scan_batch_stats.median_ms,
+                scan_stats.median_ms > 0 && scan_batch_stats.median_ms > 0
+                    ? scan_stats.median_ms / scan_batch_stats.median_ms
+                    : 0);
+
+    if (!first) json += ",\n";
+    first = false;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"entries\": %zu, \"page_bytes\": %zu, "
+                  "\"llc_exceeding\": %s, \"height\": %d,\n",
+                  cfg.entries, cfg.page_bytes,
+                  cfg.llc_exceeding ? "true" : "false", tree.height());
+    json += buf;
+    AppendStats(&json, "ref_lookup", ref_stats);
+    json += ",\n";
+    AppendStats(&json, "arena_scalar", scalar_stats);
+    json += ",\n";
+    for (size_t i = 0; i < groups.size(); ++i) {
+      char arm[32];
+      std::snprintf(arm, sizeof(arm), "batch%zu", groups[i]);
+      AppendStats(&json, arm, batch_stats[i]);
+      json += ",\n";
+    }
+    AppendStats(&json, "ref_scan", ref_scan_stats);
+    json += ",\n";
+    AppendStats(&json, "arena_scan", scan_stats);
+    json += ",\n";
+    AppendStats(&json, "scan_batch", scan_batch_stats);
+    json += ",\n";
+    std::snprintf(buf, sizeof(buf),
+                  "      \"checksum\": %llu, \"batch_speedup_median\": %.3f, "
+                  "\"layout_speedup_median\": %.3f\n    }",
+                  static_cast<unsigned long long>(want), batch_speedup,
+                  layout_speedup);
+    json += buf;
+  }
+  json += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path);
+
+  const char* check = std::getenv("DFIM_BENCH_CHECK");
+  if (check != nullptr && check[0] == '1') {
+    const double gate = fast ? 0.7 : 1.5;
+    if (min_gate_speedup < gate) {
+      std::fprintf(stderr,
+                   "BENCH CHECK FAILED: min batched-lookup speedup %.3fx "
+                   "(must be >= %.1fx%s)\n",
+                   min_gate_speedup, gate,
+                   fast ? ", fast-mode sanity floor"
+                        : " on LLC-exceeding trees");
+      return 1;
+    }
+    std::printf("bench check ok: min batched-lookup speedup %.3fx (gate "
+                "%.1fx)\n",
+                min_gate_speedup, gate);
+  }
+  return 0;
+}

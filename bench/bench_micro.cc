@@ -61,6 +61,36 @@ void BM_BPlusTreeLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_BPlusTreeLookup);
 
+void BM_BPlusTreeLookupBatch(benchmark::State& state) {
+  // Pipelined group probes (forced past the adaptive threshold) vs the
+  // one-at-a-time BM_BPlusTreeLookup above; arg = group size.
+  const size_t group = static_cast<size_t>(state.range(0));
+  BPlusTree<int64_t>::Options opts;
+  opts.batch_pipeline_min_bytes = 0;
+  BPlusTree<int64_t> tree(opts);
+  Rng rng(2);
+  for (int64_t i = 0; i < 100000; ++i) {
+    tree.Insert(static_cast<int64_t>(rng.Next() % 1000000),
+                static_cast<RowId>(i));
+  }
+  std::vector<int64_t> keys;
+  int64_t k = 0;
+  for (int i = 0; i < 1024; ++i) {
+    keys.push_back(k % 1000000);
+    k += 7919;
+  }
+  for (auto _ : state) {
+    int64_t visits = 0;
+    tree.LookupBatch(
+        std::span<const int64_t>(keys),
+        [&visits](size_t, const int64_t&, RowId) { ++visits; }, group);
+    benchmark::DoNotOptimize(visits);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(keys.size()));
+}
+BENCHMARK(BM_BPlusTreeLookupBatch)->Arg(1)->Arg(8)->Arg(16);
+
 void BM_BPlusTreeRangeScan(benchmark::State& state) {
   BPlusTree<int64_t> tree;
   std::vector<BPlusTree<int64_t>::Entry> entries;

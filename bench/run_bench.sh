@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Builds the benches in Release (-O2 -DNDEBUG) and emits BENCH_sched.json,
-# BENCH_faults.json and BENCH_overload.json at the repo root.
+# BENCH_faults.json, BENCH_overload.json and BENCH_index.json at the repo
+# root.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -8,8 +9,12 @@ BUILD="$ROOT/build-release"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
     -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
-cmake --build "$BUILD" -j --target bench_sched_scale bench_faults bench_overload
+cmake --build "$BUILD" -j --target bench_sched_scale bench_faults \
+    bench_overload bench_index
 
 "$BUILD/bench/bench_sched_scale" "$ROOT/BENCH_sched.json"
 "$BUILD/bench/bench_faults" "$ROOT/BENCH_faults.json"
 "$BUILD/bench/bench_overload" "$ROOT/BENCH_overload.json"
+# Checksum-gated: batched probes must beat one-at-a-time scalar lookups by
+# >= 1.5x on the LLC-exceeding trees, with bit-identical visit sequences.
+DFIM_BENCH_CHECK=1 "$BUILD/bench/bench_index" "$ROOT/BENCH_index.json"

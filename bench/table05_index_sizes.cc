@@ -7,6 +7,7 @@
 
 #include "bench_util.h"
 #include "data/index_model.h"
+#include "index/bplus_tree_ref.h"
 #include "tpch/lineitem.h"
 #include "tpch/queries.h"
 
@@ -63,5 +64,30 @@ int main() {
       "(model predicts %.2f%%)\n",
       tree_mb, 100.0 * tree_mb / heap_mb, heap_mb,
       100.0 * model.PartitionIndexSize(table, {"orderkey"}, part) / table_mb);
+
+  // Both layouts bulk load identical shapes: the arena/SoA tree and the
+  // retained pointer-chasing reference must agree on height, node count, and
+  // page footprint — the paper's size model is layout-independent, and any
+  // divergence here would mean the rewrite changed the tree, not just the
+  // memory layout.
+  BPlusTreeRef<int32_t>::Options ref_opts;
+  ref_opts.key_bytes = 4;
+  BPlusTreeRef<int32_t> ref(ref_opts);
+  std::vector<BPlusTreeRef<int32_t>::Entry> ref_entries;
+  ref_entries.reserve(heap.size());
+  heap.Scan([&ref_entries](RowId id, const tpch::LineitemRow& row) {
+    ref_entries.push_back({row.orderkey, id});
+  });
+  std::sort(ref_entries.begin(), ref_entries.end());
+  ref.BulkLoad(ref_entries);
+  bool same = ref.height() == tree.height() &&
+              ref.node_count() == tree.node_count() &&
+              ref.SizeBytes() == tree.SizeBytes();
+  std::printf(
+      "  layouts: arena/SoA height %d / %zu nodes, pointer-ref height %d / "
+      "%zu nodes -> %s\n",
+      tree.height(), tree.node_count(), ref.height(), ref.node_count(),
+      same ? "identical" : "MISMATCH");
+  if (!same) return 1;
   return 0;
 }

@@ -2,11 +2,34 @@
 // calibration queries, measured on a real B+Tree vs full heap scans over
 // generated TPC-H lineitem rows.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
+#include "index/bplus_tree_ref.h"
 #include "tpch/lineitem.h"
 #include "tpch/queries.h"
+
+namespace {
+
+/// Min-of-reps wall time for one index-side plan (they run in microseconds,
+/// so a single shot is noise).
+template <typename Fn>
+double TimePlan(Fn&& fn, int reps = 5) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+volatile int64_t g_sink = 0;
+
+}  // namespace
 
 int main() {
   using namespace dfim;
@@ -49,5 +72,75 @@ int main() {
   std::printf(
       "\nShape check: lookup > small range > large range > order-by "
       "speedups, as in the paper.\n");
+
+  // Index-side re-measurement on both layouts: the same four plans against
+  // the arena/SoA tree (what CalibrationQueries feeds the IndexModel / gain
+  // calibration above) and the retained pointer-chasing layout. This is the
+  // Table 6 index column only — the no-index scans are layout-independent.
+  BPlusTreeRef<int32_t>::Options ref_opts;
+  ref_opts.key_bytes = 4;
+  BPlusTreeRef<int32_t> ref(ref_opts);
+  {
+    std::vector<BPlusTreeRef<int32_t>::Entry> entries;
+    entries.reserve(heap.size());
+    heap.Scan([&entries](RowId id, const tpch::LineitemRow& row) {
+      entries.push_back({row.orderkey, id});
+    });
+    std::sort(entries.begin(), entries.end());
+    ref.BulkLoad(entries);
+  }
+  struct Plan {
+    const char* name;
+    double ref_sec;
+    double arena_sec;
+  };
+  Plan plans[4];
+  plans[0].name = "Order by";
+  plans[0].ref_sec = TimePlan([&ref] {
+    int64_t sum = 0;
+    ref.ScanAll([&sum](const int32_t& key, RowId) { sum += key; });
+    g_sink = g_sink + sum;
+  });
+  plans[0].arena_sec = TimePlan([&tree] {
+    int64_t sum = 0;
+    tree.ScanAll([&sum](const int32_t& key, RowId) { sum += key; });
+    g_sink = g_sink + sum;
+  });
+  const struct {
+    const char* name;
+    int32_t lo, hi;
+  } kRanges[] = {{"Select range (large)", qc.range_large_lo, qc.range_large_hi},
+                 {"Select range (small)", qc.range_small_lo,
+                  qc.range_small_hi}};
+  for (int i = 0; i < 2; ++i) {
+    plans[i + 1].name = kRanges[i].name;
+    int32_t lo = kRanges[i].lo + 1, hi = kRanges[i].hi - 1;
+    plans[i + 1].ref_sec = TimePlan([&ref, lo, hi] {
+      int64_t sum = 0;
+      ref.ScanRange(lo, hi, [&sum](const int32_t& key, RowId) { sum += key; });
+      g_sink = g_sink + sum;
+    });
+    plans[i + 1].arena_sec = TimePlan([&tree, lo, hi] {
+      int64_t sum = 0;
+      tree.ScanRange(lo, hi, [&sum](const int32_t& key, RowId) { sum += key; });
+      g_sink = g_sink + sum;
+    });
+  }
+  plans[3].name = "Lookup";
+  plans[3].ref_sec = TimePlan([&ref, &qc] {
+    g_sink = g_sink + static_cast<int64_t>(ref.Lookup(qc.lookup_key).size());
+  });
+  plans[3].arena_sec = TimePlan([&tree, &qc] {
+    int64_t count = 0;
+    tree.Lookup(qc.lookup_key, [&count](const int32_t&, RowId) { ++count; });
+    g_sink = g_sink + count;
+  });
+  std::printf("\nIndex-side plan time by layout (no-index scans unchanged):\n");
+  std::printf("%-22s %14s %14s %10s\n", "Query", "ptr-ref (s)", "arena (s)",
+              "speedup");
+  for (const auto& p : plans) {
+    std::printf("%-22s %14.6f %14.6f %9.2fx\n", p.name, p.ref_sec, p.arena_sec,
+                p.arena_sec > 0 ? p.ref_sec / p.arena_sec : 0.0);
+  }
   return 0;
 }

@@ -1,0 +1,331 @@
+#ifndef DFIM_INDEX_BPLUS_TREE_REF_H_
+#define DFIM_INDEX_BPLUS_TREE_REF_H_
+
+// The retained pointer-chasing B+Tree: one heap-allocated node per page,
+// unique_ptr child links, interleaved (key, row) entry vectors, std::function
+// scan callbacks. This was the production tree before the arena/SoA rewrite
+// in bplus_tree.h; it is kept verbatim (plus the shared BulkLoad leaf-tail
+// rebalance fix) as the naive reference that tests/test_index_kernels.cc
+// proves the cache-conscious tree bit-identical to, and as the old-layout
+// baseline the index benches measure against.
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "index/btree_kernels.h"
+
+namespace dfim {
+
+/// \brief Reference in-memory paged B+Tree mapping Key -> RowId, with
+/// duplicates ordered by the composite (key, row). See header comment.
+template <typename Key>
+class BPlusTreeRef {
+ public:
+  struct Entry {
+    Key key;
+    RowId row;
+    bool operator<(const Entry& o) const {
+      if (key < o.key) return true;
+      if (o.key < key) return false;
+      return row < o.row;
+    }
+  };
+
+  struct Options {
+    /// Emulated disk page size in bytes.
+    size_t page_bytes = 4096;
+    /// Average encoded key width in bytes (used to derive fanout).
+    size_t key_bytes = 8;
+    /// Bytes per child pointer / row id.
+    size_t pointer_bytes = 8;
+    /// Leaf fill factor applied by BulkLoad.
+    double bulk_fill = 0.9;
+  };
+
+  explicit BPlusTreeRef(Options options = Options{}) : opts_(options) {
+    size_t per_entry = opts_.key_bytes + opts_.pointer_bytes;
+    capacity_ = std::max<size_t>(4, opts_.page_bytes / per_entry);
+    root_ = MakeLeaf();
+  }
+
+  /// \brief Inserts one (key, row) pair. Duplicate keys are allowed;
+  /// duplicate (key, row) pairs are ignored.
+  void Insert(const Key& key, RowId row) {
+    Entry e{key, row};
+    SplitResult split = InsertRec(root_.get(), e);
+    if (split.happened) {
+      auto new_root = MakeInternal();
+      new_root->keys.push_back(split.separator);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(split.right));
+      root_ = std::move(new_root);
+      ++height_;
+    }
+  }
+
+  /// \brief Builds the tree from entries sorted by (key, row).
+  ///
+  /// Replaces any existing content. Precondition: `sorted` is sorted and
+  /// duplicate-free under Entry ordering (asserted in debug builds).
+  void BulkLoad(const std::vector<Entry>& sorted) {
+    Clear();
+    if (sorted.empty()) return;
+    // Drop the placeholder root before building so node_count reflects the
+    // loaded tree exactly (the arena tree counts the same way).
+    root_.reset();
+    num_nodes_ = 0;
+    size_t per_leaf = std::max<size_t>(
+        2, static_cast<size_t>(static_cast<double>(capacity_) * opts_.bulk_fill));
+    // Build the leaf level.
+    std::vector<std::unique_ptr<Node>> level;
+    size_t i = 0;
+    while (i < sorted.size()) {
+      size_t remaining = sorted.size() - i;
+      size_t take = std::min(per_leaf, remaining);
+      if (remaining - take == 1) {
+        // Never strand a single-entry last leaf: absorb the tail when it
+        // fits one page, else rebalance the final two leaves.
+        take = remaining <= capacity_ ? remaining : (remaining + 1) / 2;
+      }
+      auto leaf = MakeLeaf();
+      leaf->entries.assign(sorted.begin() + static_cast<long>(i),
+                           sorted.begin() + static_cast<long>(i + take));
+      i += take;
+      level.push_back(std::move(leaf));
+    }
+    ChainLeaves(level);
+    num_entries_ = sorted.size();
+    // Build internal levels bottom-up.
+    height_ = 1;
+    while (level.size() > 1) {
+      std::vector<std::unique_ptr<Node>> parents;
+      size_t j = 0;
+      while (j < level.size()) {
+        auto parent = MakeInternal();
+        size_t take = std::min(capacity_, level.size() - j);
+        if (level.size() - (j + take) == 1) {
+          // Avoid leaving a singleton orphan: rebalance the tail.
+          take = (level.size() - j + 1) / 2;
+        }
+        for (size_t c = 0; c < take; ++c) {
+          if (c > 0) parent->keys.push_back(FirstEntry(level[j + c].get()));
+          parent->children.push_back(std::move(level[j + c]));
+        }
+        j += take;
+        parents.push_back(std::move(parent));
+      }
+      level = std::move(parents);
+      ++height_;
+    }
+    root_ = std::move(level.front());
+  }
+
+  /// Collects all rows whose key equals `key`.
+  std::vector<RowId> Lookup(const Key& key) const {
+    std::vector<RowId> rows;
+    ScanRange(key, key, [&rows](const Key&, RowId row) { rows.push_back(row); });
+    return rows;
+  }
+
+  /// \brief Visits entries with lo <= key <= hi in key order.
+  void ScanRange(const Key& lo, const Key& hi,
+                 const std::function<void(const Key&, RowId)>& fn) const {
+    const Node* leaf = DescendToLeaf(Entry{lo, 0});
+    while (leaf != nullptr) {
+      auto it = std::lower_bound(leaf->entries.begin(), leaf->entries.end(),
+                                 Entry{lo, 0});
+      for (; it != leaf->entries.end(); ++it) {
+        if (hi < it->key) return;
+        fn(it->key, it->row);
+      }
+      leaf = leaf->next;
+    }
+  }
+
+  /// Visits every entry in key order (the sorted leaf chain).
+  void ScanAll(const std::function<void(const Key&, RowId)>& fn) const {
+    const Node* leaf = LeftmostLeaf();
+    while (leaf != nullptr) {
+      for (const Entry& e : leaf->entries) fn(e.key, e.row);
+      leaf = leaf->next;
+    }
+  }
+
+  size_t size() const { return num_entries_; }
+  bool empty() const { return num_entries_ == 0; }
+  int height() const { return height_; }
+  size_t node_count() const { return num_nodes_; }
+  /// Emulated on-disk footprint: one page per node.
+  size_t SizeBytes() const { return num_nodes_ * opts_.page_bytes; }
+  size_t capacity_per_node() const { return capacity_; }
+
+  void Clear() {
+    root_.reset();
+    num_nodes_ = 0;
+    num_entries_ = 0;
+    height_ = 1;
+    root_ = MakeLeaf();
+  }
+
+  /// \brief Verifies structural invariants (ordering, separator correctness,
+  /// node fill — leaves of a multi-leaf tree hold >= 2 entries — uniform
+  /// leaf depth). Used by property tests.
+  bool CheckInvariants() const {
+    int leaf_depth = -1;
+    return CheckNode(root_.get(), nullptr, nullptr, 0, &leaf_depth, true);
+  }
+
+ private:
+  struct Node {
+    bool leaf = false;
+    // Leaf payload:
+    std::vector<Entry> entries;
+    Node* next = nullptr;  // leaf chain
+    // Internal payload: children.size() == keys.size() + 1.
+    std::vector<Entry> keys;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  struct SplitResult {
+    bool happened = false;
+    Entry separator{};
+    std::unique_ptr<Node> right;
+  };
+
+  std::unique_ptr<Node> MakeLeaf() {
+    auto n = std::make_unique<Node>();
+    n->leaf = true;
+    ++num_nodes_;
+    return n;
+  }
+
+  std::unique_ptr<Node> MakeInternal() {
+    auto n = std::make_unique<Node>();
+    n->leaf = false;
+    ++num_nodes_;
+    return n;
+  }
+
+  static const Entry& FirstEntry(const Node* n) {
+    while (!n->leaf) n = n->children.front().get();
+    return n->entries.front();
+  }
+
+  void ChainLeaves(std::vector<std::unique_ptr<Node>>& leaves) {
+    for (size_t i = 0; i + 1 < leaves.size(); ++i) {
+      leaves[i]->next = leaves[i + 1].get();
+    }
+  }
+
+  /// Child index covering `target` inside internal node `n`.
+  static size_t ChildIndex(const Node* n, const Entry& target) {
+    auto it = std::upper_bound(n->keys.begin(), n->keys.end(), target);
+    return static_cast<size_t>(it - n->keys.begin());
+  }
+
+  const Node* DescendToLeaf(const Entry& target) const {
+    const Node* n = root_.get();
+    while (!n->leaf) n = n->children[ChildIndex(n, target)].get();
+    return n;
+  }
+
+  const Node* LeftmostLeaf() const {
+    const Node* n = root_.get();
+    while (!n->leaf) n = n->children.front().get();
+    return n;
+  }
+
+  SplitResult InsertRec(Node* n, const Entry& e) {
+    if (n->leaf) {
+      auto it = std::lower_bound(n->entries.begin(), n->entries.end(), e);
+      if (it != n->entries.end() && !(e < *it) && !(*it < e)) {
+        return SplitResult{};  // exact duplicate (key, row): ignore
+      }
+      n->entries.insert(it, e);
+      ++num_entries_;
+      if (n->entries.size() <= capacity_) return SplitResult{};
+      // Split the leaf in half; the right node's first entry separates.
+      auto right = MakeLeaf();
+      size_t mid = n->entries.size() / 2;
+      right->entries.assign(n->entries.begin() + static_cast<long>(mid),
+                            n->entries.end());
+      n->entries.resize(mid);
+      right->next = n->next;
+      n->next = right.get();
+      SplitResult r;
+      r.happened = true;
+      r.separator = right->entries.front();
+      r.right = std::move(right);
+      return r;
+    }
+    size_t idx = ChildIndex(n, e);
+    SplitResult child_split = InsertRec(n->children[idx].get(), e);
+    if (!child_split.happened) return SplitResult{};
+    n->keys.insert(n->keys.begin() + static_cast<long>(idx),
+                   child_split.separator);
+    n->children.insert(n->children.begin() + static_cast<long>(idx) + 1,
+                       std::move(child_split.right));
+    if (n->keys.size() <= capacity_) return SplitResult{};
+    // Split the internal node: middle separator moves up.
+    size_t mid = n->keys.size() / 2;
+    auto right = MakeInternal();
+    SplitResult r;
+    r.happened = true;
+    r.separator = n->keys[mid];
+    right->keys.assign(n->keys.begin() + static_cast<long>(mid) + 1,
+                       n->keys.end());
+    for (size_t i = mid + 1; i < n->children.size(); ++i) {
+      right->children.push_back(std::move(n->children[i]));
+    }
+    n->keys.resize(mid);
+    n->children.resize(mid + 1);
+    r.right = std::move(right);
+    return r;
+  }
+
+  bool CheckNode(const Node* n, const Entry* lo, const Entry* hi, int depth,
+                 int* leaf_depth, bool is_root) const {
+    if (n->leaf) {
+      if (*leaf_depth == -1) {
+        *leaf_depth = depth;
+      } else if (*leaf_depth != depth) {
+        return false;  // leaves at different depths
+      }
+      if (!is_root && n->entries.size() < 2) return false;  // leaf min-fill
+      if (!std::is_sorted(n->entries.begin(), n->entries.end())) return false;
+      for (const Entry& e : n->entries) {
+        if (lo != nullptr && e < *lo) return false;
+        if (hi != nullptr && !(e < *hi)) return false;
+      }
+      return true;
+    }
+    if (n->children.size() != n->keys.size() + 1) return false;
+    if (!is_root && n->children.size() < 2) return false;
+    if (!std::is_sorted(n->keys.begin(), n->keys.end())) return false;
+    for (size_t i = 0; i < n->children.size(); ++i) {
+      const Entry* clo = i == 0 ? lo : &n->keys[i - 1];
+      const Entry* chi = i == n->keys.size() ? hi : &n->keys[i];
+      if (!CheckNode(n->children[i].get(), clo, chi, depth + 1, leaf_depth,
+                     false)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Options opts_;
+  size_t capacity_;
+  std::unique_ptr<Node> root_;
+  size_t num_nodes_ = 0;
+  size_t num_entries_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_INDEX_BPLUS_TREE_REF_H_

@@ -115,8 +115,10 @@ QueryTiming CalibrationQueries::Lookup() const {
     g_sink = g_sink + (sum);
   });
   t.index_sec = Time([this, key] {
-    auto rows = index_->Lookup(key);
-    g_sink = g_sink + (static_cast<int64_t>(rows.size()));
+    // Visitor overload: no per-probe std::vector allocation (DESIGN.md §11).
+    int64_t count = 0;
+    index_->Lookup(key, [&count](const int32_t&, RowId) { ++count; });
+    g_sink = g_sink + count;
   });
   t.result_rows = rows_scan;
   return t;

@@ -226,5 +226,37 @@ INSTANTIATE_TEST_SUITE_P(Sizes, BulkLoadSizeTest,
                          ::testing::Values(0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16,
                                            17, 63, 64, 65, 100, 1000, 4096));
 
+/// Regression: sizes of the form k * per_leaf + 1 used to strand a final
+/// leaf holding a single entry. The tail must now be absorbed into one page
+/// when it fits, or rebalanced across the last two leaves; CheckInvariants
+/// enforces the >= 2 leaf min-fill for multi-leaf trees.
+TEST(BPlusTreeTest, BulkLoadNeverStrandsSingleEntryLeaf) {
+  // SmallPages: capacity 4, per_leaf 3 -> 4, 7, 10 all end on a +1 tail.
+  for (int n : {4, 7, 10, 31, 3001}) {
+    std::vector<Tree::Entry> entries;
+    for (int i = 0; i < n; ++i) {
+      entries.push_back({static_cast<int64_t>(i), static_cast<RowId>(i)});
+    }
+    Tree t(SmallPages());
+    t.BulkLoad(entries);
+    EXPECT_TRUE(t.CheckInvariants()) << "n=" << n;
+    EXPECT_EQ(t.size(), static_cast<size_t>(n));
+  }
+  // bulk_fill = 1.0 makes the tail (capacity + 1) too big for one page,
+  // forcing the rebalance arm: the last two leaves split (c+2)/2 each.
+  Tree::Options full = SmallPages();
+  full.bulk_fill = 1.0;
+  for (int n : {5, 9, 13}) {
+    std::vector<Tree::Entry> entries;
+    for (int i = 0; i < n; ++i) {
+      entries.push_back({static_cast<int64_t>(i), static_cast<RowId>(i)});
+    }
+    Tree t(full);
+    t.BulkLoad(entries);
+    EXPECT_TRUE(t.CheckInvariants()) << "n=" << n;
+    EXPECT_EQ(t.size(), static_cast<size_t>(n));
+  }
+}
+
 }  // namespace
 }  // namespace dfim
