@@ -40,6 +40,25 @@ struct ArmResult {
   int accounting_slack = 0;
 };
 
+// Catalog ⊆ storage: a crash-lost or corruption-dropped partition must never
+// keep a catalog entry claiming it is built (recovery semantics, DESIGN.md).
+bool CatalogStorageConsistent(const Catalog& catalog,
+                              const QaasService& service) {
+  for (const auto& idx : catalog.IndexIds()) {
+    auto def = catalog.GetIndexDef(idx);
+    auto state = catalog.GetIndexState(idx);
+    if (!def.ok() || !state.ok()) continue;
+    for (size_t p = 0; p < (*state)->num_partitions(); ++p) {
+      if ((*state)->part(p).built &&
+          !service.storage().Exists(
+              (*def)->PartitionPath(static_cast<int>(p)))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 ArmResult RunArm(const Arm& arm, Seconds horizon, uint64_t seed) {
   bench::PaperSetup setup(seed);
   ServiceOptions so = bench::PaperServiceOptions(IndexPolicy::kGain);
@@ -62,20 +81,66 @@ ArmResult RunArm(const Arm& arm, Seconds horizon, uint64_t seed) {
   r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   r.accounting_slack = m->dataflows_arrived - m->dataflows_finished -
                        m->dataflows_failed - m->dataflows_overran;
-  // Catalog ⊆ storage: a crash-lost partition must never have a catalog
-  // entry (recovery semantics, DESIGN.md).
-  for (const auto& idx : setup.catalog.IndexIds()) {
-    auto def = setup.catalog.GetIndexDef(idx);
-    auto state = setup.catalog.GetIndexState(idx);
-    if (!def.ok() || !state.ok()) continue;
-    for (size_t p = 0; p < (*state)->num_partitions(); ++p) {
-      if ((*state)->part(p).built &&
-          !service.storage().Exists(
-              (*def)->PartitionPath(static_cast<int>(p)))) {
-        r.consistent = false;
-      }
-    }
+  r.consistent = CatalogStorageConsistent(setup.catalog, service);
+  return r;
+}
+
+// ---- Corruption / integrity sweep -------------------------------------------
+
+struct IntegrityArm {
+  std::string name;
+  double torn = 0;
+  double bitrot = 0;
+  bool repair = false;
+};
+
+struct IntegrityResult {
+  ServiceMetrics m;
+  double wall_ms = 0;
+  bool consistent = true;
+  int still_quarantined = 0;
+  /// Zero-slack corruption ledger residue (must be exactly 0):
+  ///   injected - detected_on_read - detected_by_scrub - dead - latent.
+  int64_t ledger_slack = 0;
+  /// Zero-slack quarantine ledger residue (must be exactly 0):
+  ///   quarantined - repairs_completed - evicted - still_quarantined.
+  int64_t quarantine_slack = 0;
+};
+
+IntegrityResult RunIntegrityArm(const IntegrityArm& arm, Seconds horizon,
+                                uint64_t seed) {
+  bench::PaperSetup setup(seed);
+  ServiceOptions so = bench::PaperServiceOptions(IndexPolicy::kGain);
+  so.total_time = horizon;
+  so.faults.torn_write_rate = arm.torn;
+  so.faults.bitrot_rate = arm.bitrot;
+  so.faults.seed = 17;
+  so.integrity.verify_reads = true;
+  so.integrity.verify_latency = 1.0;
+  so.integrity.scrub_objects_per_quantum = 2.0;
+  so.integrity.repair = arm.repair;
+  so.seed = seed;
+  QaasService service(&setup.catalog, so);
+  PhaseWorkloadClient client(setup.generator.get(), 60.0,
+                             {{AppType::kMontage, 1e9}}, seed);
+  auto t0 = std::chrono::steady_clock::now();
+  auto m = service.Run(&client);
+  auto t1 = std::chrono::steady_clock::now();
+  if (!m.ok()) {
+    std::fprintf(stderr, "integrity arm %s failed: %s\n", arm.name.c_str(),
+                 m.status().ToString().c_str());
+    std::exit(1);
   }
+  IntegrityResult r;
+  r.m = *m;
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.still_quarantined = static_cast<int>(setup.catalog.quarantined().size());
+  r.ledger_slack = m->corruptions_injected - m->corruptions_detected_on_read -
+                   m->corruptions_detected_by_scrub - m->corruptions_dead -
+                   m->corruptions_latent;
+  r.quarantine_slack = m->partitions_quarantined - m->repairs_completed -
+                       m->quarantine_evicted - r.still_quarantined;
+  r.consistent = CatalogStorageConsistent(setup.catalog, service);
   return r;
 }
 
@@ -317,6 +382,110 @@ int main(int argc, char** argv) {
         on.m.hedge_wins, ok ? "true" : "false");
     json += buf;
     json += (i + 1 < pairs.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+
+  // ---- Corruption sweep: repair off vs on at each corruption rate. ---------
+  std::vector<std::pair<IntegrityArm, IntegrityArm>> ipairs;
+  for (double torn : {0.0, 0.2, 0.4}) {
+    IntegrityArm off;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "corrupt_%.1f", torn);
+    off.name = buf;
+    off.torn = torn;
+    off.bitrot = torn > 0 ? 0.002 : 0.0;
+    off.repair = false;
+    IntegrityArm on = off;
+    on.repair = true;
+    ipairs.emplace_back(off, on);
+  }
+
+  bench::Header("Integrity: corruption sweep, repair off vs on (Gain)");
+  std::printf("%-14s %8s %8s %8s %8s %8s %9s %9s %6s\n", "pair", "inject",
+              "quarant", "repairs", "fin.off", "fin.on", "vm.off", "vm.on",
+              "ok?");
+
+  json += "  \"integrity\": [\n";
+  for (size_t i = 0; i < ipairs.size(); ++i) {
+    IntegrityResult off = RunIntegrityArm(ipairs[i].first, horizon, seed);
+    IntegrityResult on = RunIntegrityArm(ipairs[i].second, horizon, seed);
+    // Both arms must balance their ledgers exactly and keep the catalog a
+    // subset of storage — corruption degrades, it never lies.
+    bool ok = off.ledger_slack == 0 && on.ledger_slack == 0 &&
+              off.quarantine_slack == 0 && on.quarantine_slack == 0 &&
+              off.consistent && on.consistent;
+    if (ipairs[i].first.torn > 0) {
+      // Corruption actually flows: injections, quarantines, and (repair-on
+      // only) completed repair builds.
+      ok = ok && off.m.corruptions_injected > 0 &&
+           off.m.partitions_quarantined > 0 && on.m.repairs_completed > 0 &&
+           off.m.repairs_scheduled == 0;
+      // Repair must pay for itself: goodput per vm-quantum with repair on is
+      // at least the repair-off rate (repair builds ride already-paid idle
+      // slots, and healed partitions serve index reads again). Full horizon
+      // only — the 120-quantum fast smoke is too short to amortize a
+      // rebuild, exactly like index builds themselves (§5 calibration).
+      if (!fast) {
+        ok = ok && static_cast<double>(on.m.dataflows_finished) *
+                           static_cast<double>(off.m.total_vm_quanta) >=
+                       static_cast<double>(off.m.dataflows_finished) *
+                           static_cast<double>(on.m.total_vm_quanta);
+      }
+    } else {
+      // Nothing to corrupt: the repair knob must be arithmetically
+      // invisible — both arms bit-identical, all corruption counters zero.
+      ok = ok && off.m.corruptions_injected == 0 &&
+           off.m.partitions_quarantined == 0 &&
+           on.m.dataflows_finished == off.m.dataflows_finished &&
+           on.m.total_vm_quanta == off.m.total_vm_quanta &&
+           on.m.total_time_quanta == off.m.total_time_quanta &&
+           on.m.storage_cost == off.m.storage_cost;
+    }
+    all_ok = all_ok && ok;
+    std::printf("%-14s %8lld %8d %8d %8d %8d %9lld %9lld %6s\n",
+                ipairs[i].first.name.c_str(),
+                static_cast<long long>(on.m.corruptions_injected),
+                on.m.partitions_quarantined, on.m.repairs_completed,
+                off.m.dataflows_finished, on.m.dataflows_finished,
+                static_cast<long long>(off.m.total_vm_quanta),
+                static_cast<long long>(on.m.total_vm_quanta),
+                ok ? "yes" : "NO");
+    char buf[768];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"pair\": \"%s\", \"torn_write_rate\": %.2f, "
+        "\"bitrot_rate\": %.4f,\n"
+        "     \"injected_off\": %lld, \"injected_on\": %lld, "
+        "\"detected_on_read_on\": %d, \"detected_by_scrub_on\": %d, "
+        "\"dead_on\": %lld, \"latent_on\": %lld,\n"
+        "     \"quarantined_off\": %d, \"quarantined_on\": %d, "
+        "\"repairs_completed_on\": %d, \"still_quarantined_off\": %d, "
+        "\"still_quarantined_on\": %d,\n"
+        "     \"finished_off\": %d, \"finished_on\": %d, "
+        "\"vm_quanta_off\": %lld, \"vm_quanta_on\": %lld, "
+        "\"scrub_reads_on\": %lld,\n"
+        "     \"ledger_slack\": %lld, \"quarantine_slack\": %lld, "
+        "\"catalog_storage_consistent\": %s, \"ok\": %s, "
+        "\"wall_ms\": %.1f}",
+        ipairs[i].first.name.c_str(), ipairs[i].first.torn,
+        ipairs[i].first.bitrot,
+        static_cast<long long>(off.m.corruptions_injected),
+        static_cast<long long>(on.m.corruptions_injected),
+        on.m.corruptions_detected_on_read, on.m.corruptions_detected_by_scrub,
+        static_cast<long long>(on.m.corruptions_dead),
+        static_cast<long long>(on.m.corruptions_latent),
+        off.m.partitions_quarantined, on.m.partitions_quarantined,
+        on.m.repairs_completed, off.still_quarantined, on.still_quarantined,
+        off.m.dataflows_finished, on.m.dataflows_finished,
+        static_cast<long long>(off.m.total_vm_quanta),
+        static_cast<long long>(on.m.total_vm_quanta),
+        static_cast<long long>(on.m.scrub_reads),
+        static_cast<long long>(off.ledger_slack + on.ledger_slack),
+        static_cast<long long>(off.quarantine_slack + on.quarantine_slack),
+        off.consistent && on.consistent ? "true" : "false",
+        ok ? "true" : "false", off.wall_ms + on.wall_ms);
+    json += buf;
+    json += (i + 1 < ipairs.size()) ? ",\n" : "\n";
   }
   json += "  ]\n}\n";
 

@@ -1,5 +1,6 @@
 #include "cloud/fault_model.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.h"
@@ -24,6 +25,8 @@ uint64_t Mix(uint64_t seed, uint64_t a, uint64_t b, uint64_t stream) {
 constexpr uint64_t kCrashStream = 0x63726173ULL;     // "cras"
 constexpr uint64_t kStragglerStream = 0x73747261ULL; // "stra"
 constexpr uint64_t kStorageStream = 0x73746f72ULL;   // "stor"
+constexpr uint64_t kTornStream = 0x746f726eULL;      // "torn"
+constexpr uint64_t kRotStream = 0x726f7434ULL;       // "rot4"
 
 /// Uniform double in [0, 1) from one hashed value.
 double ToUnit(uint64_t x) {
@@ -53,6 +56,16 @@ Status ValidateFaultOptions(const FaultOptions& opts) {
   if (opts.storage_fault_rate > 0 && !(opts.storage_fault_latency > 0)) {
     return Status::InvalidArgument(
         "storage_fault_latency must be positive when storage_fault_rate > 0");
+  }
+  if (bad_rate(opts.torn_write_rate)) {
+    return Status::InvalidArgument("torn_write_rate must be in [0, 1]");
+  }
+  if (bad_rate(opts.bitrot_rate)) {
+    return Status::InvalidArgument("bitrot_rate must be in [0, 1]");
+  }
+  if (opts.torn_write_rate > 0 && !(opts.torn_crash_multiplier >= 1.0)) {
+    return Status::InvalidArgument(
+        "torn_crash_multiplier must be >= 1 when torn_write_rate > 0");
   }
   return Status::OK();
 }
@@ -95,6 +108,31 @@ bool FaultModel::StorageOpFaults(uint64_t run_key, uint64_t op_key) const {
   if (opts_.storage_fault_rate <= 0) return false;
   return ToUnit(Mix(opts_.seed, run_key, op_key, kStorageStream)) <
          opts_.storage_fault_rate;
+}
+
+bool FaultModel::TornWrite(uint64_t run_key, uint64_t persist_key,
+                           bool crash_interrupted) const {
+  if (opts_.torn_write_rate <= 0) return false;
+  double rate = opts_.torn_write_rate *
+                (crash_interrupted ? opts_.torn_crash_multiplier : 1.0);
+  return ToUnit(Mix(opts_.seed, run_key, persist_key, kTornStream)) <
+         std::min(1.0, rate);
+}
+
+Seconds FaultModel::BitRotOnset(uint64_t object_key, int64_t generation,
+                                Seconds now, Seconds quantum,
+                                int64_t max_quanta) const {
+  if (opts_.bitrot_rate <= 0 || quantum <= 0) return kNeverFails;
+  // Per-quantum hazard walk, same shape as the crash draw: the first losing
+  // draw rots the object at a uniform instant inside that quantum.
+  Rng rng(Mix(opts_.seed, object_key, static_cast<uint64_t>(generation),
+              kRotStream));
+  for (int64_t q = 0; q < max_quanta; ++q) {
+    if (rng.Uniform() < opts_.bitrot_rate) {
+      return now + (static_cast<double>(q) + rng.Uniform()) * quantum;
+    }
+  }
+  return kNeverFails;
 }
 
 }  // namespace dfim

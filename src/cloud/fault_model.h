@@ -35,11 +35,28 @@ struct FaultOptions {
   double storage_fault_rate = 0;
   /// Latency added to a faulted storage read (the read still completes).
   Seconds storage_fault_latency = 30.0;
+  /// \name Data corruption (integrity subsystem, DESIGN.md §12)
+  /// @{
+  /// Probability one persist lands torn: the Put succeeds but the object's
+  /// content checksum can never verify.
+  double torn_write_rate = 0;
+  /// Multiplier (>= 1) on `torn_write_rate` for crash-interrupted persists
+  /// (the build's container died during the run, so its single Put attempt
+  /// raced the failure).
+  double torn_crash_multiplier = 4.0;
+  /// Per-object, per-quantum probability of latent bit-rot onset: once the
+  /// onset quantum passes, the stored object's checksum stops verifying.
+  double bitrot_rate = 0;
+  /// @}
   /// Seed of the fault universe; independent of all other seeds.
   uint64_t seed = 1;
 
   bool enabled() const {
-    return crash_rate > 0 || straggler_rate > 0 || storage_fault_rate > 0;
+    return crash_rate > 0 || straggler_rate > 0 || storage_fault_rate > 0 ||
+           corruption_enabled();
+  }
+  bool corruption_enabled() const {
+    return torn_write_rate > 0 || bitrot_rate > 0;
   }
 };
 
@@ -107,6 +124,25 @@ class FaultModel {
   /// a persist key + attempt number for Put retries), so a retry of the
   /// same operation re-draws independently.
   bool StorageOpFaults(uint64_t run_key, uint64_t op_key) const;
+
+  /// \brief Deterministic torn-write draw for one landing persist attempt.
+  ///
+  /// `persist_key` identifies the attempt (same key space as the Put fault
+  /// draws); `crash_interrupted` biases the rate by `torn_crash_multiplier`
+  /// (the persist raced the container's death). Pure counter-based hash —
+  /// bit-identical per (seed, run_key, persist_key).
+  bool TornWrite(uint64_t run_key, uint64_t persist_key,
+                 bool crash_interrupted) const;
+
+  /// \brief Pre-draws the latent bit-rot onset for one stored object.
+  ///
+  /// The draw is keyed on (object path hash, generation) so an overwrite
+  /// re-draws independently, and walks a per-quantum hazard starting at
+  /// `now` for up to `max_quanta` quanta (bound it by the experiment
+  /// horizon; rot past the horizon is unobservable). Returns the absolute
+  /// onset instant, or kNeverFails.
+  Seconds BitRotOnset(uint64_t object_key, int64_t generation, Seconds now,
+                      Seconds quantum, int64_t max_quanta) const;
 
  private:
   FaultOptions opts_;

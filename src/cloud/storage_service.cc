@@ -13,31 +13,75 @@ void StorageService::Settle(Seconds now) {
   // bug worth logging.)
   if (now <= last_billed_) {
     if (now < last_billed_) ++clock_clamps_;
-    return;
+  } else {
+    double quanta = (now - last_billed_) / pricing_.quantum;
+    accrued_mb_quanta_ += used_ * quanta;
+    accrued_cost_ += pricing_.StorageCost(used_, quanta);
+    last_billed_ = now;
   }
-  double quanta = (now - last_billed_) / pricing_.quantum;
-  accrued_mb_quanta_ += used_ * quanta;
-  accrued_cost_ += pricing_.StorageCost(used_, quanta);
-  last_billed_ = now;
+  if (!rot_queue_.empty()) RealizeRotUpTo(last_billed_);
 }
 
-void StorageService::Put(const std::string& path, MegaBytes size, Seconds now) {
+void StorageService::RealizeRotUpTo(Seconds now) {
+  while (!rot_queue_.empty() && rot_queue_.top().at <= now) {
+    const RotEvent& ev = rot_queue_.top();
+    auto it = objects_.find(ev.path);
+    // Stale events (object deleted or overwritten since the stamp) are
+    // dropped: the generation the rot was drawn for no longer exists.
+    if (it != objects_.end() && it->second.generation == ev.generation &&
+        !it->second.corrupt) {
+      it->second.corrupt = true;
+      ++corruptions_injected_;
+    }
+    rot_queue_.pop();
+  }
+}
+
+int64_t StorageService::Put(const std::string& path, MegaBytes size,
+                            Seconds now, const PutStamp& stamp) {
   Settle(now);
   auto it = objects_.find(path);
   if (it != objects_.end()) {
-    used_ -= it->second;
-    it->second = size;
+    // Idempotent replay: the same logical write already landed (hedged
+    // persist double-landing). Nothing changes — same generation, same
+    // content, same stamps.
+    if (stamp.token != 0 && stamp.token == it->second.token) {
+      return it->second.generation;
+    }
+    // A corrupt object overwritten before any verification saw it is
+    // provably dead: no verified reader was ever served its bytes.
+    if (it->second.corrupt && !it->second.detected) ++corruptions_dead_;
+    used_ -= it->second.size;
+    StoredObject& obj = it->second;
+    obj.size = size;
+    ++obj.generation;
+    obj.token = stamp.token;
+    obj.corrupt = stamp.torn;
+    obj.detected = false;
+    obj.rot_at = stamp.rot_at;
   } else {
-    objects_.emplace(path, size);
+    StoredObject obj;
+    obj.size = size;
+    obj.generation = 1;
+    obj.token = stamp.token;
+    obj.corrupt = stamp.torn;
+    obj.rot_at = stamp.rot_at;
+    it = objects_.emplace(path, obj).first;
   }
   used_ += size;
+  if (stamp.torn) ++corruptions_injected_;
+  if (stamp.rot_at < kNeverFails) {
+    rot_queue_.push(RotEvent{stamp.rot_at, it->second.generation, path});
+  }
+  return it->second.generation;
 }
 
 void StorageService::Delete(const std::string& path, Seconds now) {
   Settle(now);
   auto it = objects_.find(path);
   if (it == objects_.end()) return;
-  used_ -= it->second;
+  if (it->second.corrupt && !it->second.detected) ++corruptions_dead_;
+  used_ -= it->second.size;
   objects_.erase(it);
 }
 
@@ -47,7 +91,34 @@ bool StorageService::Exists(const std::string& path) const {
 
 MegaBytes StorageService::SizeOf(const std::string& path) const {
   auto it = objects_.find(path);
-  return it == objects_.end() ? 0 : it->second;
+  return it == objects_.end() ? 0 : it->second.size;
+}
+
+int64_t StorageService::Generation(const std::string& path) const {
+  auto it = objects_.find(path);
+  return it == objects_.end() ? 0 : it->second.generation;
+}
+
+VerifyResult StorageService::VerifyRead(const std::string& path, Seconds now) {
+  // Realize any rot due by the read instant first — a verification is a
+  // read, and it sees the object as it is *now*.
+  Settle(now);
+  auto it = objects_.find(path);
+  if (it == objects_.end()) return VerifyResult::kMissing;
+  if (!it->second.corrupt) return VerifyResult::kClean;
+  if (it->second.detected) return VerifyResult::kAlreadyDetected;
+  it->second.detected = true;
+  ++corruptions_detected_;
+  return VerifyResult::kCorrupt;
+}
+
+int64_t StorageService::LatentCorrupt(Seconds now) {
+  Settle(now);
+  int64_t n = 0;
+  for (const auto& [path, obj] : objects_) {
+    if (obj.corrupt && !obj.detected) ++n;
+  }
+  return n;
 }
 
 ReadOutcome StorageService::SimulateRead(Seconds base_latency,

@@ -7,9 +7,28 @@
 #include <set>
 #include <vector>
 
+#include "core/interleave.h"
 #include "dataflow/build_index_ops.h"
+#include "dataflow/cost.h"
 
 namespace dfim {
+
+Status ValidateIntegrityOptions(const IntegrityOptions& opts) {
+  if (opts.verify_reads && !(opts.verify_latency > 0)) {
+    return Status::InvalidArgument(
+        "verify_latency must be positive when verify_reads is on");
+  }
+  if (!(opts.verify_latency >= 0)) {
+    return Status::InvalidArgument("verify_latency must be >= 0");
+  }
+  if (!(opts.scrub_objects_per_quantum >= 0)) {
+    return Status::InvalidArgument("scrub_objects_per_quantum must be >= 0");
+  }
+  if (opts.max_repairs_per_dataflow < 0) {
+    return Status::InvalidArgument("max_repairs_per_dataflow must be >= 0");
+  }
+  return Status::OK();
+}
 
 std::string_view IndexPolicyToString(IndexPolicy policy) {
   switch (policy) {
@@ -149,7 +168,206 @@ uint64_t PersistKey(const std::string& index_id, int partition, int retry) {
   return h * 0x100000001b3ULL;
 }
 
+/// Salt for the hedged duplicate of a persist attempt — its fault draw must
+/// be independent of the primary's. Bit 60 keeps it disjoint from the
+/// simulator's read-hedge (bit 62) and clone (bit 61) salts.
+constexpr uint64_t kPersistHedgeBit = 1ULL << 60;
+
+/// FNV-1a over an object path (the object key of the bit-rot draw).
+uint64_t PathHash(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char ch : s) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 }  // namespace
+
+void QaasService::QuarantineAndScheduleRepair(const std::string& index_id,
+                                              int partition, Seconds now,
+                                              ServiceMetrics* metrics) {
+  if (!catalog_->QuarantinePartition(index_id, partition)) return;
+  ++metrics->partitions_quarantined;
+  // Drop the failed object: no later read may bind to it, and the repair
+  // re-persists a fresh generation. (Detected corruptions were already
+  // counted by the VerifyRead, so this Delete does not mark them dead.)
+  auto def = catalog_->GetIndexDef(index_id);
+  if (def.ok()) storage_.Delete((*def)->PartitionPath(partition), now);
+  if (opts_.integrity.repair) {
+    repair_queue_.push_back(RepairEntry{index_id, partition});
+  }
+}
+
+void QaasService::VerifyIndexBindings(TunerDecision* decision, Seconds now,
+                                      ServiceMetrics* metrics) {
+  // Storage may already be settled past this dataflow's bind instant (the
+  // previous dataflow's persists land inside its paid lease tail, beyond the
+  // next arrival). Verify at the billing high-water mark so the settle order
+  // stays monotone; every rot onset due by then was already realized, so
+  // the verdicts are identical.
+  now = std::max(now, storage_.last_billed());
+  // One verdict per distinct index the decision binds: every built partition
+  // must pass both the checksum and the expected-generation check. The op
+  // granularity is the index — a dataflow op cannot read half an index.
+  std::map<std::string, bool> verdict;
+  for (const auto& cost : decision->costs) {
+    if (cost.index_used.empty() || verdict.count(cost.index_used) > 0) {
+      continue;
+    }
+    const std::string id = cost.index_used;
+    bool ok = true;
+    auto def = catalog_->GetIndexDef(id);
+    auto state = catalog_->GetIndexState(id);
+    if (def.ok() && state.ok()) {
+      for (size_t i = 0; i < (*state)->num_partitions(); ++i) {
+        if (!(*state)->part(i).built) continue;
+        const int64_t expect = (*state)->part(i).generation;
+        const std::string path = (*def)->PartitionPath(static_cast<int>(i));
+        VerifyResult vr = storage_.VerifyRead(path, now);
+        bool bad = false;
+        if (vr == VerifyResult::kCorrupt) {
+          ++metrics->corruptions_detected_on_read;
+          bad = true;
+        } else if (vr == VerifyResult::kAlreadyDetected ||
+                   vr == VerifyResult::kMissing) {
+          bad = true;
+        } else if (expect > 0 && storage_.Generation(path) != expect) {
+          // Checksum clean, but the object is not the write the catalog
+          // recorded — a stale overwrite raced the persist.
+          ++metrics->stale_reads;
+          bad = true;
+        }
+        if (bad) {
+          ok = false;
+          QuarantineAndScheduleRepair(id, static_cast<int>(i), now, metrics);
+        }
+      }
+    }
+    verdict.emplace(id, ok);
+  }
+  if (verdict.empty()) return;
+  for (const auto& op : decision->combined.ops()) {
+    auto& cost = decision->costs[static_cast<size_t>(op.id)];
+    if (cost.index_used.empty()) continue;
+    cost.verify_latency = opts_.integrity.verify_latency;
+    if (!verdict[cost.index_used]) {
+      // Fall back to the base scan: the op pays for the refused index fetch
+      // plus the unperturbed model cost of scanning without it — degraded,
+      // never wrong.
+      EffectiveCost base = BaseOpCost(op, *catalog_);
+      cost.corrupt_read = true;
+      cost.fallback_cpu_time = base.cpu_time;
+      cost.fallback_input_mb = base.input_mb;
+    }
+  }
+}
+
+void QaasService::RunScrub(Seconds now, ServiceMetrics* metrics) {
+  const double per_quantum = opts_.integrity.scrub_objects_per_quantum;
+  if (per_quantum <= 0) return;
+  // Same high-water clamp as VerifyIndexBindings: scrub reads must never
+  // regress the storage billing clock.
+  now = std::max(now, storage_.last_billed());
+  const Seconds quantum = opts_.tuner.sched.quantum;
+  if (now > last_scrub_) {
+    scrub_credit_ += (now - last_scrub_) / quantum * per_quantum;
+    last_scrub_ = now;
+  }
+  const auto& objects = storage_.objects();
+  if (objects.empty()) return;
+  // One full pass per call at most: extra credit would only re-verify
+  // objects this call already proved clean at `now`.
+  scrub_credit_ = std::min(scrub_credit_, static_cast<double>(objects.size()));
+  while (scrub_credit_ >= 1.0 && !objects.empty()) {
+    auto it = objects.upper_bound(scrub_cursor_);
+    if (it == objects.end()) it = objects.begin();
+    const std::string path = it->first;
+    scrub_cursor_ = path;
+    scrub_credit_ -= 1.0;
+    ++metrics->scrub_reads;
+    if (storage_.VerifyRead(path, now) != VerifyResult::kCorrupt) continue;
+    ++metrics->corruptions_detected_by_scrub;
+    // Index-partition paths are "<index id>/p.<pid>": quarantine the
+    // catalog partition when the object still backs a built one.
+    auto pos = path.rfind("/p.");
+    if (pos == std::string::npos) continue;
+    const std::string id = path.substr(0, pos);
+    const int pid = std::atoi(path.c_str() + pos + 3);
+    auto state = catalog_->GetIndexState(id);
+    if (state.ok() && pid >= 0 &&
+        static_cast<size_t>(pid) < (*state)->num_partitions() &&
+        (*state)->part(static_cast<size_t>(pid)).built) {
+      QuarantineAndScheduleRepair(id, pid, now, metrics);
+    } else {
+      // Orphan (already invalidated in the catalog): just drop it.
+      storage_.Delete(path, now);
+    }
+  }
+}
+
+void QaasService::ScheduleRepairs(TunerDecision* decision,
+                                  ServiceMetrics* metrics) {
+  if (repair_queue_.empty()) return;
+  const double net = opts_.tuner.sched.net_mb_per_sec;
+  std::vector<int> repair_ids;
+  int budget = opts_.integrity.max_repairs_per_dataflow;
+  size_t scan = repair_queue_.size();
+  while (budget > 0 && scan-- > 0 && !repair_queue_.empty()) {
+    RepairEntry e = std::move(repair_queue_.front());
+    repair_queue_.pop_front();
+    // Evicted meanwhile (index drop / batch update): the repair is moot.
+    if (!catalog_->IsQuarantined(e.index_id, e.partition)) continue;
+    auto def = catalog_->GetIndexDef(e.index_id);
+    if (!def.ok()) continue;
+    auto table = catalog_->GetTable((*def)->table);
+    if (!table.ok()) continue;
+    auto part = (*table)->GetPartition(e.partition);
+    if (!part.ok()) continue;
+    Seconds t = catalog_->cost_model().PartitionBuildTime(
+        **table, (*def)->columns, *part, net);
+    Operator op = Operator::BuildIndex(
+        static_cast<int>(decision->combined.num_ops()), e.index_id,
+        e.partition, t, (*table)->PartitionSize(*part));
+    // The slot knapsack drops zero-gain items; a repair's gain is the build
+    // investment it restores (the partition earned its build once already).
+    op.gain = std::max<double>(t, 1e-9);
+    int id = decision->combined.AddOperator(std::move(op));
+    decision->durations.push_back(t);
+    decision->costs.push_back(SimOpCost{t, 0, ""});
+    repair_ids.push_back(id);
+    --budget;
+  }
+  if (repair_ids.empty()) return;
+  // Repairs ride the same idle-slot machinery as fresh builds
+  // (marginal-cost-zero): packing on an already-packed schedule is safe —
+  // the slot search sees every existing assignment, optional ones included.
+  Interleaver interleaver(opts_.tuner.sched, InterleaveMode::kLp);
+  Schedule packed = interleaver.PackIntoIdleSlots(
+      decision->chosen, decision->combined, decision->durations, repair_ids);
+  std::set<int> packed_ids;
+  for (const auto& a : packed.assignments()) packed_ids.insert(a.op_id);
+  for (int id : repair_ids) {
+    if (packed_ids.count(id) > 0) {
+      ++metrics->repairs_scheduled;
+      ++decision->build_ops_scheduled;
+    } else {
+      // No idle slot this time: back to the queue for a later dataflow.
+      const Operator& op = decision->combined.op(id);
+      repair_queue_.push_back(RepairEntry{op.index_id, op.index_partition});
+    }
+  }
+  decision->chosen = std::move(packed);
+}
+
+void QaasService::HarvestIntegrity(Seconds now, ServiceMetrics* metrics) {
+  metrics->corruptions_injected = storage_.corruptions_injected();
+  metrics->corruptions_dead = storage_.corruptions_dead();
+  metrics->corruptions_latent = storage_.LatentCorrupt(now);
+  metrics->quarantine_evicted =
+      static_cast<int>(catalog_->quarantine_evictions());
+}
 
 Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
                                                     Seconds start,
@@ -157,6 +375,12 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
                                                     double build_fraction) {
   bool tuned = opts_.policy == IndexPolicy::kGain ||
                opts_.policy == IndexPolicy::kGainNoDelete;
+  // Background scrub first (DESIGN.md §12): latent rot caught here is
+  // quarantined before the tuner consults the catalog, so this very
+  // decision already plans around (and can repair) the loss.
+  if (opts_.integrity.scrub_objects_per_quantum > 0) {
+    RunScrub(start, metrics);
+  }
   TunerDecision decision;
   if (tuned && build_fraction <= 0) {
     // Full brownout: skip the tuning step entirely — schedule the bare
@@ -178,6 +402,17 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
     DFIM_ASSIGN_OR_RETURN(decision, BaselineDecision(df));
   }
   metrics->builds_shed += decision.builds_shed;
+
+  // Bind-time verification and repair packing (DESIGN.md §12; both no-ops
+  // with the integrity knobs at their defaults). Verification runs before
+  // repair scheduling so a partition that just failed can be repaired in
+  // this same dataflow's idle slots.
+  if (opts_.integrity.verify_reads) {
+    VerifyIndexBindings(&decision, start, metrics);
+  }
+  if (opts_.integrity.repair && build_fraction > 0) {
+    ScheduleRepairs(&decision, metrics);
+  }
 
   FaultModel fault_model(opts_.faults);
   const bool inject = fault_model.enabled();
@@ -227,6 +462,19 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
       fi.trace = fault_model.DrawTrace(fi.run_key, nc, cur_plan->TotalSpan(),
                                        sim.quantum);
       fi.spec = opts_.speculation;
+      // Adaptive straggler watermark: a family that systematically runs
+      // slower than its critical path (the PR 4 admission EWMA, warmup-
+      // gated) gets a proportionally laxer threshold, so structural
+      // slowness stops masquerading as straggling. Never tightens below
+      // the configured floor.
+      if (fi.spec.speculate && fi.spec.adaptive_spec_threshold &&
+          opts_.admission.estimate_ewma_alpha > 0) {
+        auto ew = ewma_ratio_.find(df.app);
+        if (ew != ewma_ratio_.end() &&
+            ew->second.count >= opts_.admission.estimate_ewma_warmup) {
+          fi.spec.spec_slowdown_threshold *= std::max(1.0, ew->second.ratio);
+        }
+      }
       // Breaker coordination: a hedge is an extra storage request, and
       // piling duplicates onto a store that already tripped the breaker
       // would double-trip it — suppress hedging while the breaker is open.
@@ -276,6 +524,8 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
         exec.spec_cancelled_seconds / sim.quantum;
     metrics->hedged_reads += exec.hedged_reads;
     metrics->hedge_wins += exec.hedge_wins;
+    metrics->verified_reads += exec.verified_reads;
+    metrics->degraded_reads += exec.corrupt_reads;
 
     // Register completed index partitions. Each is persisted to the storage
     // service at completion; under fault injection the Put may fail
@@ -285,11 +535,15 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
     // completion-time attempt.
     Seconds persist_delay = 0;
     for (const auto& b : exec.builds) {
+      bool container_died = false;
+      for (int c : exec.failed_containers) {
+        container_died |= c == b.container;
+      }
+      // Which retry round landed the persist (its draws key the integrity
+      // stamps), and whether a hedged duplicate double-landed.
+      int landed_attempt = 0;
+      bool double_landed = false;
       if (inject) {
-        bool container_died = false;
-        for (int c : exec.failed_containers) {
-          container_died |= c == b.container;
-        }
         const bool breaker_on = opts_.breaker.open_after > 0;
         Seconds persist_at = start + elapsed + b.finish;
         if (breaker_on && breaker_state_ == BreakerState::kOpen) {
@@ -307,13 +561,43 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
         if (breaker_on && breaker_state_ == BreakerState::kHalfOpen) {
           retries = 0;
         }
+        // Hedged persists (DESIGN.md §12): each round issues one duplicate
+        // under a salted key and proceeds if either lands. Only while the
+        // breaker is fully closed — an open breaker skips persists outright
+        // and a half-open probe must stay a single request.
+        const bool hedge_persist =
+            fi.spec.hedge_persists &&
+            (!breaker_on || breaker_state_ == BreakerState::kClosed);
         bool persisted = false;
+        bool primary_ok = false;
         Seconds backoff = opts_.storage_backoff_initial;
         for (int r = 0; r <= retries; ++r) {
-          if (!fault_model.StorageOpFaults(
-                  fi.run_key, PersistKey(b.index_id, b.partition, r))) {
+          const uint64_t pkey = PersistKey(b.index_id, b.partition, r);
+          if (!fault_model.StorageOpFaults(fi.run_key, pkey)) {
             persisted = true;
+            primary_ok = true;
+            landed_attempt = r;
+            if (hedge_persist) {
+              ++metrics->hedged_persists;
+              // The duplicate was issued concurrently; when it also lands,
+              // the double landing must be absorbed by the idempotency
+              // token below.
+              double_landed = !fault_model.StorageOpFaults(
+                  fi.run_key, pkey | kPersistHedgeBit);
+            }
             break;
+          }
+          if (hedge_persist) {
+            ++metrics->hedged_persists;
+            if (!fault_model.StorageOpFaults(fi.run_key,
+                                             pkey | kPersistHedgeBit)) {
+              // The hedge landed while the primary faulted: the persist
+              // succeeds, but the primary's fault still advances the
+              // breaker below.
+              persisted = true;
+              landed_attempt = r;
+              ++metrics->persist_hedge_wins;
+            }
           }
           ++metrics->storage_retries;
           if (breaker_on) {
@@ -328,14 +612,16 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
               break;
             }
           }
+          if (persisted) break;  // the hedge saved the round: no backoff
           if (r < retries) {
             persist_delay += backoff;
             backoff = std::min(backoff * 2.0, opts_.storage_backoff_cap);
           }
         }
-        if (persisted && breaker_on) {
-          // Any success closes the breaker (half-open probe) and resets the
-          // consecutive-fault count.
+        if (persisted && primary_ok && breaker_on) {
+          // A primary success closes the breaker (half-open probe) and
+          // resets the consecutive-fault count. A hedge win does not: it
+          // masked a primary fault, it did not disprove it.
           breaker_faults_ = 0;
           breaker_state_ = BreakerState::kClosed;
         }
@@ -345,6 +631,10 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
         }
       }
       Seconds built_at = start + elapsed + b.finish;
+      // A build landing on a quarantined partition is the repair arriving
+      // (MarkIndexPartitionBuilt lifts the quarantine).
+      const bool was_quarantined =
+          catalog_->IsQuarantined(b.index_id, b.partition);
       Status st =
           catalog_->MarkIndexPartitionBuilt(b.index_id, b.partition, built_at);
       if (st.ok()) {
@@ -352,11 +642,49 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
         auto state = catalog_->GetIndexState(b.index_id);
         if (def.ok() && state.ok()) {
           const auto& part = (*state)->part(static_cast<size_t>(b.partition));
-          storage_.Put((*def)->PartitionPath(b.partition), part.size,
-                       built_at);
-          last_persist = std::max(last_persist, built_at);
+          const std::string path = (*def)->PartitionPath(b.partition);
+          PutStamp stamp;
+          if (inject && opts_.faults.corruption_enabled()) {
+            // Integrity stamps (DESIGN.md §12), keyed by the attempt that
+            // landed: a crash-interrupted persist (dead container) is
+            // likelier torn; latent rot is pre-drawn against the
+            // generation this Put will create.
+            stamp.torn = fault_model.TornWrite(
+                fi.run_key,
+                PersistKey(b.index_id, b.partition, landed_attempt),
+                container_died);
+            int64_t max_q =
+                QuantaCeil(std::max(opts_.total_time - built_at, sim.quantum),
+                           sim.quantum) +
+                8;
+            stamp.rot_at = fault_model.BitRotOnset(
+                PathHash(path), storage_.Generation(path) + 1, built_at,
+                sim.quantum, max_q);
+          }
+          if (fi.spec.hedge_persists) {
+            // Idempotency token: both landings of a hedged persist carry
+            // it, so a double landing is a no-op at the same generation.
+            stamp.token =
+                PersistKey(b.index_id, b.partition, landed_attempt) | 1ULL;
+          }
+          // Persist batches land out of order across dataflows: a previous
+          // dataflow's late persist (deep in its paid lease tail — repair
+          // builds pack there) may have settled storage past this build's
+          // completion. Bill from the high-water mark, which is what
+          // StorageService's settle clamp would do anyway, without tripping
+          // the clock-regression counter.
+          const Seconds persist_at = std::max(built_at, storage_.last_billed());
+          int64_t gen = storage_.Put(path, part.size, persist_at, stamp);
+          if (double_landed) {
+            storage_.Put(path, part.size, persist_at, stamp);
+            ++metrics->idempotent_replays;
+          }
+          (void)catalog_->SetPartitionGeneration(b.index_id, b.partition,
+                                                 gen);
+          last_persist = std::max(last_persist, persist_at);
         }
         ++metrics->index_partitions_built;
+        if (was_quarantined) ++metrics->repairs_completed;
         // A fresh build counts as a reference: the grace clock starts now.
         auto [it, inserted] = last_useful_.try_emplace(b.index_id, built_at);
         if (!inserted) it->second = std::max(it->second, built_at);
@@ -561,6 +889,13 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
   pt.spec_wins = metrics->spec_wins;
   pt.hedged_reads = metrics->hedged_reads;
   pt.hedge_wins = metrics->hedge_wins;
+  pt.corruptions_injected = storage_.corruptions_injected();
+  pt.corruptions_detected_on_read = metrics->corruptions_detected_on_read;
+  pt.corruptions_detected_by_scrub = metrics->corruptions_detected_by_scrub;
+  pt.partitions_quarantined = metrics->partitions_quarantined;
+  pt.repairs_scheduled = metrics->repairs_scheduled;
+  pt.repairs_completed = metrics->repairs_completed;
+  pt.scrub_reads = metrics->scrub_reads;
   for (const auto& idx : catalog_->IndexIds()) {
     auto st = catalog_->GetIndexState(idx);
     if (st.ok() && (*st)->NumBuilt() > 0) {
@@ -610,6 +945,7 @@ Result<ServiceMetrics> QaasService::Run(WorkloadClient* client) {
   // DrawTrace would otherwise walk negative/>1 hazards raw.
   DFIM_RETURN_NOT_OK(ValidateFaultOptions(opts_.faults));
   DFIM_RETURN_NOT_OK(ValidateSpeculationOptions(opts_.speculation));
+  DFIM_RETURN_NOT_OK(ValidateIntegrityOptions(opts_.integrity));
   if (opts_.admission.open_loop) return RunOpenLoop(client);
   ServiceMetrics metrics;
   Seconds clock = 0;
@@ -634,9 +970,16 @@ Result<ServiceMetrics> QaasService::Run(WorkloadClient* client) {
   }
   // The last dataflow may legitimately finish (and persist builds) past the
   // horizon; the bill is already settled through `settled` in that case.
-  storage_.AdvanceTo(std::max({opts_.total_time, clock, settled}));
+  Seconds final_t = std::max({opts_.total_time, clock, settled});
+  // A final scrub pass spends whatever budget the idle horizon tail
+  // accrued, so end-of-run rot is detected rather than silently latent.
+  if (opts_.integrity.scrub_objects_per_quantum > 0) {
+    RunScrub(final_t, &metrics);
+  }
+  storage_.AdvanceTo(final_t);
   metrics.storage_cost = storage_.accrued_cost();
   metrics.storage_clock_clamps = storage_.clock_clamps();
+  HarvestIntegrity(final_t, &metrics);
   return metrics;
 }
 
@@ -804,9 +1147,14 @@ Result<ServiceMetrics> QaasService::RunOpenLoop(WorkloadClient* client) {
     pt.breaker_opens = metrics.breaker_opens;
   }
 
-  storage_.AdvanceTo(std::max({opts_.total_time, clock, settled}));
+  Seconds final_t = std::max({opts_.total_time, clock, settled});
+  if (opts_.integrity.scrub_objects_per_quantum > 0) {
+    RunScrub(final_t, &metrics);
+  }
+  storage_.AdvanceTo(final_t);
   metrics.storage_cost = storage_.accrued_cost();
   metrics.storage_clock_clamps = storage_.clock_clamps();
+  HarvestIntegrity(final_t, &metrics);
   return metrics;
 }
 

@@ -117,6 +117,39 @@ struct BreakerOptions {
   Seconds open_duration = 300.0;
 };
 
+/// \brief End-to-end index integrity: verified reads, background scrub and
+/// self-healing repair builds (DESIGN.md §12).
+///
+/// All defaults off: with `verify_reads` false and `scrub_objects_per_quantum`
+/// zero no verification, quarantine or repair code runs and the execution
+/// path is bit-identical to a service without the integrity layer. The
+/// corruption *sources* live in FaultOptions (torn_write_rate, bitrot_rate);
+/// this struct owns detection and healing.
+struct IntegrityOptions {
+  /// Verify the checksums (and expected generations) of every index
+  /// partition a dataflow binds to, at bind time. A failed partition is
+  /// quarantined — the dataflow's index-backed ops fall back to base scans:
+  /// degraded, never wrong.
+  bool verify_reads = false;
+  /// Simulated seconds charged per verified cache-miss fetch of an
+  /// index-backed input.
+  Seconds verify_latency = 1.0;
+  /// Background scrub budget: objects verified per elapsed quantum, walking
+  /// the store in deterministic path order with a persistent cursor
+  /// (0 = scrub off). Catches latent rot before a dataflow trips on it.
+  double scrub_objects_per_quantum = 0;
+  /// Schedule repair rebuilds for quarantined partitions, riding the
+  /// existing idle-slot knapsack (marginal-cost-zero, like normal builds).
+  bool repair = false;
+  /// Repair build ops packed per dataflow at most (bounds the optional-op
+  /// load a single decision absorbs; the rest stay queued).
+  int max_repairs_per_dataflow = 2;
+};
+
+/// Rejects negative budgets/latencies and a zero verify_latency while
+/// verification is on (a free verify would silently skip the charge path).
+Status ValidateIntegrityOptions(const IntegrityOptions& opts);
+
 /// \brief Service configuration (Table 3 defaults).
 struct ServiceOptions {
   IndexPolicy policy = IndexPolicy::kGain;
@@ -194,6 +227,11 @@ struct ServiceOptions {
   /// @{
   SpeculationOptions speculation;
   /// @}
+  /// \name Integrity (verification, scrub, repair; off by default —
+  /// bit-identical path with the knobs at zero, DESIGN.md §12).
+  /// @{
+  IntegrityOptions integrity;
+  /// @}
   uint64_t seed = 99;
 };
 
@@ -232,6 +270,16 @@ struct TimelinePoint {
   int spec_wins = 0;
   int hedged_reads = 0;
   int hedge_wins = 0;
+  /// @}
+  /// \name Integrity state at this point (cumulative; zero when off).
+  /// @{
+  int64_t corruptions_injected = 0;
+  int corruptions_detected_on_read = 0;
+  int corruptions_detected_by_scrub = 0;
+  int partitions_quarantined = 0;
+  int repairs_scheduled = 0;
+  int repairs_completed = 0;
+  int64_t scrub_reads = 0;
   /// @}
 };
 
@@ -319,6 +367,50 @@ struct ServiceMetrics {
   /// (surfaced from StorageService; nonzero means callers settled storage
   /// out of order).
   int64_t storage_clock_clamps = 0;
+  /// @}
+  /// \name Integrity accounting (DESIGN.md §12; all zero with the knobs
+  /// off). Zero-slack corruption ledger, harvested from the storage service
+  /// at the end of the run:
+  ///   injected == detected_on_read + detected_by_scrub + dead + latent.
+  /// Zero-slack quarantine ledger:
+  ///   quarantined == repairs_completed + quarantine_evicted
+  ///                  + (still quarantined at the end).
+  /// @{
+  /// Corruptions realized in storage (torn persists + bit-rot onsets).
+  int64_t corruptions_injected = 0;
+  /// First detections at dataflow bind time (verified reads).
+  int corruptions_detected_on_read = 0;
+  /// First detections by the background scrub.
+  int corruptions_detected_by_scrub = 0;
+  /// Corrupt objects overwritten/deleted before any verification saw them.
+  int64_t corruptions_dead = 0;
+  /// Corrupt-but-undetected objects still stored at the horizon.
+  int64_t corruptions_latent = 0;
+  /// Generation mismatches caught at bind time (stale overwrite races;
+  /// quarantined like corruptions but not part of the checksum ledger).
+  int stale_reads = 0;
+  /// Cache-miss fetches that ran (and were charged) checksum verification.
+  int verified_reads = 0;
+  /// Ops that fell back to base scans after a failed verify (degraded,
+  /// never wrong).
+  int degraded_reads = 0;
+  /// Built index partitions quarantined after a failed verification.
+  int partitions_quarantined = 0;
+  /// Quarantine entries evicted by drops/invalidations before repair.
+  int quarantine_evicted = 0;
+  /// Repair build ops packed into idle slots.
+  int repairs_scheduled = 0;
+  /// Repair builds that completed and persisted (quarantine lifted).
+  int repairs_completed = 0;
+  /// Objects verified by the background scrub.
+  int64_t scrub_reads = 0;
+  /// Persist attempts that issued a hedged duplicate, and how many times
+  /// the hedge landed while the primary faulted.
+  int hedged_persists = 0;
+  int persist_hedge_wins = 0;
+  /// Double-landed hedged persists absorbed by the idempotency token (the
+  /// second Put was a no-op at the same generation).
+  int idempotent_replays = 0;
   /// @}
   std::vector<TimelinePoint> timeline;
 
@@ -416,6 +508,35 @@ class QaasService {
   /// Policy step for kNoIndex / kRandom.
   Result<TunerDecision> BaselineDecision(const Dataflow& df);
 
+  /// \name Integrity helpers (DESIGN.md §12)
+  /// @{
+
+  /// Verifies every built partition of every index the decision binds to
+  /// (checksum + expected generation) at bind time. Failed indexes are
+  /// quarantined and the decision's ops that used them are rewritten to the
+  /// base-scan fallback; surviving index-backed ops get the verify charge.
+  void VerifyIndexBindings(TunerDecision* decision, Seconds now,
+                           ServiceMetrics* metrics);
+
+  /// Background scrub: spends the credit accrued since the last call
+  /// (scrub_objects_per_quantum per elapsed quantum) verifying stored
+  /// objects in path order from a persistent cursor.
+  void RunScrub(Seconds now, ServiceMetrics* metrics);
+
+  /// Quarantines a built partition (idempotent), drops its storage object,
+  /// and enqueues a repair when repair is enabled.
+  void QuarantineAndScheduleRepair(const std::string& index_id, int partition,
+                                   Seconds now, ServiceMetrics* metrics);
+
+  /// Appends up to max_repairs_per_dataflow queued repair builds to the
+  /// decision and packs them into its idle slots (marginal-cost-zero).
+  /// Unpacked entries return to the queue.
+  void ScheduleRepairs(TunerDecision* decision, ServiceMetrics* metrics);
+
+  /// Harvests the storage-side corruption ledger into the final metrics.
+  void HarvestIntegrity(Seconds now, ServiceMetrics* metrics);
+  /// @}
+
   /// Containers for the schedule, reusing pooled ones alive at `start`.
   std::vector<Container*> AcquireContainers(int n, Seconds start);
 
@@ -461,6 +582,21 @@ class QaasService {
   BreakerState breaker_state_ = BreakerState::kClosed;
   int breaker_faults_ = 0;
   Seconds breaker_open_until_ = 0;
+  /// @}
+  /// \name Integrity state (DESIGN.md §12)
+  /// @{
+  /// Quarantined partitions awaiting a repair build (FIFO; entries whose
+  /// quarantine was evicted meanwhile are skipped when popped).
+  struct RepairEntry {
+    std::string index_id;
+    int partition = -1;
+  };
+  std::deque<RepairEntry> repair_queue_;
+  /// Scrub budget accrued (objects) and the instant it was last topped up.
+  double scrub_credit_ = 0;
+  Seconds last_scrub_ = 0;
+  /// Last object path the scrub verified (walk resumes after it, wrapping).
+  std::string scrub_cursor_;
   /// @}
 };
 

@@ -41,7 +41,13 @@ void BuildDataflowCosts(const Dag& dag, const Dataflow& df,
     }
     EffectiveCost c = EffectiveOpCost(op, df, catalog);
     (*durations)[i] = c.cpu_time + c.input_mb / net_mb_per_sec;
-    (*costs)[i] = SimOpCost{c.cpu_time, c.input_mb, CacheKeyFor(op, c, catalog)};
+    SimOpCost& sc = (*costs)[i];
+    sc.cpu_time = c.cpu_time;
+    sc.input_mb = c.input_mb;
+    sc.cache_key = CacheKeyFor(op, c, catalog);
+    // Which index backs the read — the integrity layer binds verification
+    // verdicts per distinct index (empty = base scan, nothing to verify).
+    sc.index_used = c.index_used;
   }
 }
 

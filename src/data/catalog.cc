@@ -71,7 +71,39 @@ Status Catalog::MarkIndexPartitionBuilt(const std::string& id, int pid,
   auto it = states_.find(id);
   MegaBytes size = cost_model_.PartitionIndexSize(*t, def->columns, p);
   it->second.MarkBuilt(static_cast<size_t>(pid), now, p.version, size);
+  // A completed (re)build supersedes any quarantine: the repair landed, or
+  // a fresh build replaced the corrupt object outright.
+  quarantined_.erase({id, pid});
   return Status::OK();
+}
+
+Status Catalog::SetPartitionGeneration(const std::string& id, int pid,
+                                       int64_t generation) {
+  auto it = states_.find(id);
+  if (it == states_.end()) return Status::NotFound("index state " + id);
+  auto i = static_cast<size_t>(pid);
+  if (i >= it->second.num_partitions() || !it->second.part(i).built) {
+    return Status::InvalidArgument("partition " + std::to_string(pid) +
+                                   " of " + id + " is not built");
+  }
+  it->second.SetGeneration(i, generation);
+  return Status::OK();
+}
+
+bool Catalog::QuarantinePartition(const std::string& id, int pid) {
+  auto it = states_.find(id);
+  if (it == states_.end()) return false;
+  auto i = static_cast<size_t>(pid);
+  if (i >= it->second.num_partitions() || !it->second.part(i).built) {
+    return false;
+  }
+  if (!quarantined_.insert({id, pid}).second) return false;
+  it->second.MarkNotBuilt(i);
+  return true;
+}
+
+bool Catalog::IsQuarantined(const std::string& id, int pid) const {
+  return quarantined_.count({id, pid}) > 0;
 }
 
 Result<std::vector<std::string>> Catalog::DropIndex(const std::string& id) {
@@ -79,10 +111,13 @@ Result<std::vector<std::string>> Catalog::DropIndex(const std::string& id) {
   auto it = states_.find(id);
   std::vector<std::string> dropped;
   for (size_t i = 0; i < it->second.num_partitions(); ++i) {
+    auto pid = static_cast<int>(i);
     if (it->second.part(i).built) {
-      dropped.push_back(def->PartitionPath(static_cast<int>(i)));
+      dropped.push_back(def->PartitionPath(pid));
       it->second.MarkNotBuilt(i);
     }
+    // A pending repair for a dropped index is moot.
+    if (quarantined_.erase({id, pid}) > 0) ++quarantine_evictions_;
   }
   return dropped;
 }
@@ -138,6 +173,9 @@ Result<std::vector<std::string>> Catalog::ApplyBatchUpdate(
         invalidated.push_back(def.PartitionPath(pid));
         st.MarkNotBuilt(i);
       }
+      // The update superseded any pending repair: a rebuild would target
+      // the new partition version through the normal build planner anyway.
+      if (quarantined_.erase({id, pid}) > 0) ++quarantine_evictions_;
     }
   }
   return invalidated;

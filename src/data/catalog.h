@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -45,8 +47,38 @@ class Catalog {
   bool HasIndex(const std::string& id) const;
 
   /// Marks one index partition built at `now`; size comes from the cost
-  /// model and the current table-partition version is recorded.
+  /// model and the current table-partition version is recorded. A completed
+  /// (re)build clears any quarantine on the partition.
   Status MarkIndexPartitionBuilt(const std::string& id, int pid, Seconds now);
+
+  /// Records the storage generation of a built partition's persisted object
+  /// (known only after the Put returns).
+  Status SetPartitionGeneration(const std::string& id, int pid,
+                                int64_t generation);
+
+  /// \name Quarantine (DESIGN.md §12)
+  /// A partition whose persisted object failed integrity verification is
+  /// quarantined: marked not built (so cost/gain models and build planning
+  /// fall back to base scans naturally) and remembered here so the service
+  /// can schedule a repair rebuild. Dropping or invalidating the index
+  /// partition evicts the quarantine entry — the repair became moot.
+  /// @{
+
+  /// Quarantines a built partition: MarkNotBuilt + remembered. Returns
+  /// false when the partition was not built or already quarantined.
+  bool QuarantinePartition(const std::string& id, int pid);
+
+  bool IsQuarantined(const std::string& id, int pid) const;
+
+  /// Deterministically ordered (index id, partition) quarantine entries.
+  const std::set<std::pair<std::string, int>>& quarantined() const {
+    return quarantined_;
+  }
+
+  /// Quarantine entries evicted because the partition was dropped or
+  /// invalidated before its repair completed.
+  int64_t quarantine_evictions() const { return quarantine_evictions_; }
+  /// @}
 
   /// Drops all built partitions of an index (delete decision). Returns the
   /// paths of the dropped index partitions so storage can be released.
@@ -82,6 +114,8 @@ class Catalog {
   std::map<std::string, Table> tables_;
   std::map<std::string, IndexDef> defs_;
   std::map<std::string, IndexState> states_;
+  std::set<std::pair<std::string, int>> quarantined_;
+  int64_t quarantine_evictions_ = 0;
 };
 
 }  // namespace dfim

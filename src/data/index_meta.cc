@@ -11,6 +11,13 @@ void IndexState::MarkBuilt(size_t i, Seconds now, int64_t version,
   parts_[i].built_at = now;
   parts_[i].built_version = version;
   parts_[i].size = size;
+  // Generation is unknown until the persist lands (SetGeneration).
+  parts_[i].generation = 0;
+}
+
+void IndexState::SetGeneration(size_t i, int64_t generation) {
+  assert(i < parts_.size());
+  parts_[i].generation = generation;
 }
 
 void IndexState::MarkNotBuilt(size_t i) {

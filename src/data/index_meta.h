@@ -34,6 +34,11 @@ struct IndexPartitionState {
   int64_t built_version = 0;
   /// Size in MB as charged to the storage service (valid when built).
   MegaBytes size = 0;
+  /// Storage generation the catalog expects for the persisted object
+  /// (DESIGN.md §12); 0 until the persist lands. A stored object whose
+  /// generation differs was overwritten behind the catalog's back — the
+  /// read is stale even when its checksum verifies.
+  int64_t generation = 0;
 };
 
 /// \brief Build state of an index across all partitions of its table.
@@ -50,6 +55,9 @@ class IndexState {
   const IndexPartitionState& part(size_t i) const { return parts_[i]; }
 
   void MarkBuilt(size_t i, Seconds now, int64_t version, MegaBytes size);
+  /// Records the storage generation of partition `i`'s persisted object
+  /// (known only after the Put returns; 0 = unknown).
+  void SetGeneration(size_t i, int64_t generation);
   void MarkNotBuilt(size_t i);
   void MarkAllNotBuilt();
 

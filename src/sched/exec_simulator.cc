@@ -82,6 +82,11 @@ Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
       return Status::InvalidArgument("negative cost for op " +
                                      std::to_string(i));
     }
+    if (costs[i].verify_latency < 0 || costs[i].fallback_cpu_time < 0 ||
+        costs[i].fallback_input_mb < 0) {
+      return Status::InvalidArgument("negative integrity cost for op " +
+                                     std::to_string(i));
+    }
   }
   if (containers != nullptr &&
       containers->size() < static_cast<size_t>(plan.num_containers())) {
@@ -270,12 +275,27 @@ Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
         continue;
       }
       // Input transfer from the storage service, absorbed by a warm cache.
+      // Integrity verification (DESIGN.md §12): a cache-miss fetch of an
+      // index-backed input pays the checksum-verify latency; an op whose
+      // pre-computed verdict is corrupt_read pays for the wasted index
+      // fetch, then re-reads via the base scan and runs at fallback cost —
+      // degraded, never wrong. Both knobs default off (zero / false), which
+      // keeps every line below arithmetically identical to the
+      // pre-integrity path.
+      const bool corrupt = costs[id].corrupt_read;
+      const bool verify =
+          costs[id].verify_latency > 0 && !costs[id].index_used.empty();
       Seconds transfer = 0;   // realized (fault latency / hedge applied)
       Seconds base_read = 0;  // healthy fetch time (no fault latency)
+      Seconds verify_charge = 0;
       bool fetched = false;
       if (actual_input[id] > 0) {
         LruCache* cache = caches[c];
-        bool hit = cache != nullptr && !costs[id].cache_key.empty() &&
+        // A corrupt verdict bypasses the cache outright: the binding to the
+        // index object was refused at verification time, so there is no
+        // clean cached copy to serve under this op's cache key.
+        bool hit = !corrupt && cache != nullptr &&
+                   !costs[id].cache_key.empty() &&
                    cache->Touch(costs[id].cache_key);
         if (!hit) {
           base_read = actual_input[id] / opts_.net_mb_per_sec;
@@ -295,6 +315,20 @@ Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
               base_read, primary_fault, fault_latency, do_hedge,
               spec.hedge_after, dup_fault);
           transfer = read.latency;
+          if (verify) {
+            verify_charge = costs[id].verify_latency;
+            transfer += verify_charge;
+            if (out != nullptr) ++out->verified_reads;
+          }
+          if (corrupt) {
+            // Failed verify: one extra storage read fetches the base-scan
+            // input (it matches no cache key, so it bypasses the cache).
+            transfer += costs[id].fallback_input_mb / opts_.net_mb_per_sec;
+            if (out != nullptr) {
+              ++out->corrupt_reads;
+              ++out->storage_reads;
+            }
+          }
           if (out != nullptr) {
             ++out->storage_reads;
             if (read.primary_fault) ++out->storage_faults;
@@ -310,8 +344,10 @@ Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
       }
       Seconds start = est;
       double s = slow[c];
+      const Seconds cpu_used = corrupt ? costs[id].fallback_cpu_time
+                                       : actual_cpu[id];
       Seconds end =
-          start + flow_transfer * s + transfer * s + actual_cpu[id] * s;
+          start + flow_transfer * s + transfer * s + cpu_used * s;
       if (out != nullptr) ++out->executed_ops;
       if (inject && end > crash_at[c] + 1e-9) {
         // The container dies mid-op: the partial work (and the local disk
@@ -334,7 +370,7 @@ Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
         continue;
       }
       for (int p : to_stage) delivered[c].insert(p);
-      if (fetched) {
+      if (fetched && !corrupt) {
         LruCache* cache = caches[c];
         if (cache != nullptr && !costs[id].cache_key.empty()) {
           cache->Put(costs[id].cache_key, actual_input[id]);
@@ -347,9 +383,12 @@ Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
         // Watermark: the op has provably overrun its healthy estimate
         // (straggler stretch or storage-fault latency), observable at
         // t_detect without knowing how much longer it will run.
-        Seconds healthy = flow_transfer + base_read + actual_cpu[id];
+        // A corrupt op is excluded: its overrun is the verified fallback,
+        // not straggling, and a clone would re-read the same corrupt object.
+        Seconds healthy =
+            flow_transfer + base_read + verify_charge + actual_cpu[id];
         Seconds watermark = spec.spec_slowdown_threshold * healthy;
-        if (healthy > 0 && end - start > watermark + 1e-9) {
+        if (!corrupt && healthy > 0 && end - start > watermark + 1e-9) {
           Seconds t_detect = start + watermark;
           // Clone cost on a prospective host: inputs it must pull over,
           // the op itself at healthy speed, and shipping the output back
@@ -363,7 +402,7 @@ Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
           Seconds clone_read =
               actual_input[id] > 0
                   ? actual_input[id] / opts_.net_mb_per_sec +
-                        (clone_fault ? fault_latency : 0)
+                        (clone_fault ? fault_latency : 0) + verify_charge
                   : 0;
           Seconds shipback = out_flow_mb[id] / opts_.net_mb_per_sec;
           int best_host = -1;

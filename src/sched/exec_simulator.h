@@ -15,6 +15,12 @@ namespace dfim {
 
 /// \brief Per-op execution inputs for the simulator.
 struct SimOpCost {
+  SimOpCost() = default;
+  /// The pre-integrity three-field shape; the integrity fields keep their
+  /// inert defaults.
+  SimOpCost(Seconds cpu, MegaBytes input, std::string key)
+      : cpu_time(cpu), input_mb(input), cache_key(std::move(key)) {}
+
   /// CPU seconds (post index speedup) — perturbed by time_error.
   Seconds cpu_time = 0;
   /// MB pulled from the storage service before the op starts — perturbed by
@@ -23,6 +29,23 @@ struct SimOpCost {
   /// Cache key of the input (table/index path + version); empty when the op
   /// reads no external input or caching should not apply.
   std::string cache_key;
+  /// \name Integrity verification (DESIGN.md §12; all defaults keep the op
+  /// on the pre-integrity arithmetic path exactly).
+  /// @{
+  /// Index whose partitions back this op's read (empty = base scan only).
+  std::string index_used;
+  /// Checksum-verification latency charged on each cache-miss fetch of an
+  /// index-backed input (0 = verification off).
+  Seconds verify_latency = 0;
+  /// Pre-computed verdict: the index partition(s) backing this op's read
+  /// fail verification (corrupt checksum or stale generation), so the op
+  /// pays for the failed fetch and falls back to the base-scan costs below
+  /// — degraded, never wrong.
+  bool corrupt_read = false;
+  /// Base-scan fallback charged when `corrupt_read` fires.
+  Seconds fallback_cpu_time = 0;
+  MegaBytes fallback_input_mb = 0;
+  /// @}
 };
 
 /// \brief Execution-simulator knobs.
@@ -58,8 +81,21 @@ struct SpeculationOptions {
   /// is an *extra* request, and piling duplicates onto a store that is
   /// already tripping the breaker would double-trip it.
   bool suppress_hedges = false;
+  /// Hedge the *persist* (Put) path too: a persist attempt whose primary
+  /// draw faults gets one duplicate attempt under a salted key, and both
+  /// carry the same idempotency token so a double landing is a no-op at the
+  /// same storage generation (DESIGN.md §12). Suppressed while the storage
+  /// circuit breaker is open, like read hedges.
+  bool hedge_persists = false;
+  /// Adaptive straggler watermark: scale `spec_slowdown_threshold` by the
+  /// op's app family's observed/critical-path EWMA ratio (the PR 4
+  /// admission machinery), warmup-gated like `estimate_ewma_alpha`. A
+  /// family that systematically runs slower than its critical path gets a
+  /// laxer watermark, so structural slowness stops masquerading as
+  /// straggling. Off (default) keeps the fixed threshold bit-identical.
+  bool adaptive_spec_threshold = false;
 
-  bool enabled() const { return speculate || hedge_reads; }
+  bool enabled() const { return speculate || hedge_reads || hedge_persists; }
 };
 
 /// Rejects `spec_slowdown_threshold <= 1` (speculation on) and
@@ -138,6 +174,10 @@ struct ExecResult {
   int hedged_reads = 0;
   /// Hedge duplicates that beat the primary read.
   int hedge_wins = 0;
+  /// Cache-miss fetches that ran checksum verification (charged latency).
+  int verified_reads = 0;
+  /// Ops whose verified read failed and fell back to the base scan.
+  int corrupt_reads = 0;
   /// True when every mandatory (dataflow) operator finished. False means a
   /// crash lost part of the dataflow and the caller must recover.
   bool complete = true;

@@ -130,6 +130,29 @@ std::vector<SpecProfile> SpecProfiles() {
   return out;
 }
 
+struct IntegrityProfile {
+  std::string name;
+  /// Corruption sources (folded into the fault profile's FaultOptions).
+  double torn_write_rate = 0;
+  double bitrot_rate = 0;
+  IntegrityOptions integrity;
+};
+
+std::vector<IntegrityProfile> IntegrityProfiles() {
+  std::vector<IntegrityProfile> out;
+  out.push_back({"integrity-off", 0, 0, IntegrityOptions{}});
+  IntegrityProfile on;
+  on.name = "corrupt+verify+scrub+repair";
+  on.torn_write_rate = 0.2;
+  on.bitrot_rate = 0.002;
+  on.integrity.verify_reads = true;
+  on.integrity.verify_latency = 1.0;
+  on.integrity.scrub_objects_per_quantum = 2.0;
+  on.integrity.repair = true;
+  out.push_back(on);
+  return out;
+}
+
 struct ChaosRun {
   ServiceMetrics metrics;
   std::unique_ptr<Catalog> catalog;
@@ -139,7 +162,8 @@ struct ChaosRun {
 
 ChaosRun RunConfig(uint64_t seed, const FaultProfile& fp,
                    const ControlProfile& cp, const ArrivalProfile& ap,
-                   const SpecProfile& sp = SpecProfile{}) {
+                   const SpecProfile& sp = SpecProfile{},
+                   const IntegrityProfile& ip = IntegrityProfile{}) {
   ChaosRun run;
   run.catalog = std::make_unique<Catalog>();
   FileDatabaseOptions fdo;
@@ -159,10 +183,13 @@ ChaosRun RunConfig(uint64_t seed, const FaultProfile& fp,
   so.sim.time_error = 0.1;
   so.sim.data_error = 0.1;
   so.faults = fp.faults;
+  so.faults.torn_write_rate = ip.torn_write_rate;
+  so.faults.bitrot_rate = ip.bitrot_rate;
   so.admission = cp.admission;
   so.brownout = cp.brownout;
   so.breaker = cp.breaker;
   so.speculation = sp.spec;
+  so.integrity = ip.integrity;
   so.seed = seed;
   run.service = std::make_unique<QaasService>(run.catalog.get(), so);
 
@@ -174,7 +201,8 @@ ChaosRun RunConfig(uint64_t seed, const FaultProfile& fp,
 }
 
 void CheckInvariants(const ChaosRun& run, const std::string& label,
-                     const ControlProfile& cp) {
+                     const ControlProfile& cp,
+                     const IntegrityProfile& ip = IntegrityProfile{}) {
   const ServiceMetrics& m = run.metrics;
   // (1) Accounting identity, zero slack.
   EXPECT_EQ(m.dataflows_arrived, m.dataflows_finished + m.dataflows_failed +
@@ -217,6 +245,39 @@ void CheckInvariants(const ChaosRun& run, const std::string& label,
     EXPECT_GE(m.timeline[i].hedge_wins, m.timeline[i - 1].hedge_wins)
         << label;
   }
+  // (3c) Integrity: both zero-slack ledgers balance under any combination
+  // of crashes, overload control, speculation and corruption, and with the
+  // corruption knobs at zero the whole layer is unobservable.
+  EXPECT_EQ(m.corruptions_injected,
+            m.corruptions_detected_on_read + m.corruptions_detected_by_scrub +
+                m.corruptions_dead + m.corruptions_latent)
+      << label << ": corruption ledger leaked";
+  EXPECT_EQ(m.partitions_quarantined,
+            m.repairs_completed + m.quarantine_evicted +
+                static_cast<int>(run.catalog->quarantined().size()))
+      << label << ": quarantine ledger leaked";
+  EXPECT_LE(m.persist_hedge_wins, m.hedged_persists) << label;
+  if (ip.torn_write_rate == 0 && ip.bitrot_rate == 0 &&
+      !ip.integrity.verify_reads &&
+      ip.integrity.scrub_objects_per_quantum == 0) {
+    EXPECT_EQ(m.corruptions_injected, 0) << label;
+    EXPECT_EQ(m.partitions_quarantined, 0) << label;
+    EXPECT_EQ(m.verified_reads, 0) << label;
+    EXPECT_EQ(m.degraded_reads, 0) << label;
+    EXPECT_EQ(m.scrub_reads, 0) << label;
+    EXPECT_EQ(m.stale_reads, 0) << label;
+  }
+  for (size_t i = 1; i < m.timeline.size(); ++i) {
+    EXPECT_GE(m.timeline[i].corruptions_injected,
+              m.timeline[i - 1].corruptions_injected)
+        << label;
+    EXPECT_GE(m.timeline[i].partitions_quarantined,
+              m.timeline[i - 1].partitions_quarantined)
+        << label;
+    EXPECT_GE(m.timeline[i].repairs_completed,
+              m.timeline[i - 1].repairs_completed)
+        << label;
+  }
   // (2) Catalog subset of storage.
   for (const auto& idx : run.catalog->IndexIds()) {
     auto def = run.catalog->GetIndexDef(idx);
@@ -238,36 +299,40 @@ TEST(ChaosTest, InvariantsHoldAcrossTheConfigLattice) {
   const auto controls = ControlProfiles();
   const auto arrivals = ArrivalProfiles();
   const auto specs = SpecProfiles();
+  const auto integs = IntegrityProfiles();
   int configs = 0;
   for (uint64_t seed : seeds) {
     for (const auto& fp : faults) {
       for (const auto& cp : controls) {
         for (const auto& ap : arrivals) {
           for (const auto& sp : specs) {
-            std::string label = "seed=" + std::to_string(seed) + " " +
-                                fp.name + " " + cp.name + " " + ap.name +
-                                " " + sp.name;
-            ChaosRun run = RunConfig(seed, fp, cp, ap, sp);
-            CheckInvariants(run, label, cp);
-            ++configs;
+            for (const auto& ip : integs) {
+              std::string label = "seed=" + std::to_string(seed) + " " +
+                                  fp.name + " " + cp.name + " " + ap.name +
+                                  " " + sp.name + " " + ip.name;
+              ChaosRun run = RunConfig(seed, fp, cp, ap, sp, ip);
+              CheckInvariants(run, label, cp, ip);
+              ++configs;
+            }
           }
         }
       }
     }
   }
   // The sweep is the point: 5 seeds x 3 fault x 4 control x 2 arrival x
-  // 2 speculation.
-  EXPECT_GE(configs, 200);
+  // 2 speculation x 2 integrity.
+  EXPECT_GE(configs, 400);
 }
 
 TEST(ChaosTest, EachSeedReproducesBitIdentically) {
-  const auto fp = FaultProfiles()[2];    // harsh
-  const auto cp = ControlProfiles()[3];  // everything on
-  const auto ap = ArrivalProfiles()[1];  // bursty
-  const auto sp = SpecProfiles()[1];     // speculation + hedging on
+  const auto fp = FaultProfiles()[2];     // harsh
+  const auto cp = ControlProfiles()[3];   // everything on
+  const auto ap = ArrivalProfiles()[1];   // bursty
+  const auto sp = SpecProfiles()[1];      // speculation + hedging on
+  const auto ip = IntegrityProfiles()[1];  // corruption + verify/scrub/repair
   for (uint64_t seed : {11u, 12u, 13u}) {
-    ChaosRun a = RunConfig(seed, fp, cp, ap, sp);
-    ChaosRun b = RunConfig(seed, fp, cp, ap, sp);
+    ChaosRun a = RunConfig(seed, fp, cp, ap, sp, ip);
+    ChaosRun b = RunConfig(seed, fp, cp, ap, sp, ip);
     EXPECT_EQ(a.metrics.dataflows_arrived, b.metrics.dataflows_arrived);
     EXPECT_EQ(a.metrics.dataflows_finished, b.metrics.dataflows_finished);
     EXPECT_EQ(a.metrics.dataflows_shed, b.metrics.dataflows_shed);
@@ -281,6 +346,15 @@ TEST(ChaosTest, EachSeedReproducesBitIdentically) {
     EXPECT_EQ(a.metrics.spec_wins, b.metrics.spec_wins);
     EXPECT_EQ(a.metrics.hedged_reads, b.metrics.hedged_reads);
     EXPECT_EQ(a.metrics.hedge_wins, b.metrics.hedge_wins);
+    EXPECT_EQ(a.metrics.corruptions_injected, b.metrics.corruptions_injected);
+    EXPECT_EQ(a.metrics.corruptions_detected_on_read,
+              b.metrics.corruptions_detected_on_read);
+    EXPECT_EQ(a.metrics.corruptions_detected_by_scrub,
+              b.metrics.corruptions_detected_by_scrub);
+    EXPECT_EQ(a.metrics.partitions_quarantined,
+              b.metrics.partitions_quarantined);
+    EXPECT_EQ(a.metrics.repairs_completed, b.metrics.repairs_completed);
+    EXPECT_EQ(a.metrics.scrub_reads, b.metrics.scrub_reads);
   }
 }
 
