@@ -14,6 +14,8 @@ Container::Container(int id, const ContainerSpec& spec,
   // A freshly allocated container is charged its first quantum immediately:
   // resources are pre-paid (paper §3).
   quanta_charged_ = 1;
+  // Usable from the lease start unless a boot delay is injected later.
+  usable_at_ = lease_start;
 }
 
 Seconds Container::lease_end() const {

@@ -2,6 +2,7 @@
 #define DFIM_CLOUD_CONTAINER_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 
 #include "cloud/lru_cache.h"
@@ -53,6 +54,25 @@ class Container {
   /// End of the quantum containing `t` (for preemption at quantum expiry).
   Seconds QuantumEndAt(Seconds t) const;
 
+  /// \name Provider control-plane state (elastic fleet, DESIGN.md §13).
+  ///
+  /// `usable_at` is the instant the container finishes booting: billing
+  /// starts at `lease_start` (the lease is pre-paid), but the scheduler
+  /// may not place work on it earlier. `preempt_at` is the pre-drawn spot
+  /// reclaim instant (absolute time; +inf when the provider never takes
+  /// the VM back). Both default to the benign values, so code that never
+  /// sets them sees exactly the pre-elastic container.
+  /// @{
+  Seconds usable_at() const { return usable_at_; }
+  void set_usable_at(Seconds t) { usable_at_ = t; }
+  Seconds preempt_at() const { return preempt_at_; }
+  void set_preempt_at(Seconds t) { preempt_at_ = t; }
+  /// True when `t` is inside the lease, past boot, and before the reclaim.
+  bool UsableAt(Seconds t) const {
+    return AliveAt(t) && t >= usable_at_ - 1e-9 && t < preempt_at_ - 1e-9;
+  }
+  /// @}
+
   LruCache& cache() { return cache_; }
   const LruCache& cache() const { return cache_; }
 
@@ -67,6 +87,8 @@ class Container {
   PricingModel pricing_;
   Seconds lease_start_;
   int64_t quanta_charged_ = 0;
+  Seconds usable_at_ = 0;
+  Seconds preempt_at_ = std::numeric_limits<double>::infinity();
   LruCache cache_;
 };
 

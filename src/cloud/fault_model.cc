@@ -27,6 +27,9 @@ constexpr uint64_t kStragglerStream = 0x73747261ULL; // "stra"
 constexpr uint64_t kStorageStream = 0x73746f72ULL;   // "stor"
 constexpr uint64_t kTornStream = 0x746f726eULL;      // "torn"
 constexpr uint64_t kRotStream = 0x726f7434ULL;       // "rot4"
+constexpr uint64_t kAcquireStream = 0x61637166ULL;   // "acqf"
+constexpr uint64_t kBootStream = 0x626f6f74ULL;      // "boot"
+constexpr uint64_t kPreemptStream = 0x7072656dULL;   // "prem"
 
 /// Uniform double in [0, 1) from one hashed value.
 double ToUnit(uint64_t x) {
@@ -66,6 +69,18 @@ Status ValidateFaultOptions(const FaultOptions& opts) {
   if (opts.torn_write_rate > 0 && !(opts.torn_crash_multiplier >= 1.0)) {
     return Status::InvalidArgument(
         "torn_crash_multiplier must be >= 1 when torn_write_rate > 0");
+  }
+  if (bad_rate(opts.acquire_fail_rate)) {
+    return Status::InvalidArgument("acquire_fail_rate must be in [0, 1]");
+  }
+  if (bad_rate(opts.preempt_rate)) {
+    return Status::InvalidArgument("preempt_rate must be in [0, 1]");
+  }
+  if (!(opts.boot_delay_max >= 0)) {
+    return Status::InvalidArgument("boot_delay_max must be >= 0");
+  }
+  if (!(opts.preempt_notice >= 0)) {
+    return Status::InvalidArgument("preempt_notice must be >= 0");
   }
   return Status::OK();
 }
@@ -130,6 +145,33 @@ Seconds FaultModel::BitRotOnset(uint64_t object_key, int64_t generation,
   for (int64_t q = 0; q < max_quanta; ++q) {
     if (rng.Uniform() < opts_.bitrot_rate) {
       return now + (static_cast<double>(q) + rng.Uniform()) * quantum;
+    }
+  }
+  return kNeverFails;
+}
+
+bool FaultModel::AcquireDenied(uint64_t request_index) const {
+  if (opts_.acquire_fail_rate <= 0) return false;
+  return ToUnit(Mix(opts_.seed, request_index, 0, kAcquireStream)) <
+         opts_.acquire_fail_rate;
+}
+
+Seconds FaultModel::BootDelay(uint64_t container_id) const {
+  if (opts_.boot_delay_max <= 0) return 0;
+  return ToUnit(Mix(opts_.seed, container_id, 0, kBootStream)) *
+         opts_.boot_delay_max;
+}
+
+Seconds FaultModel::PreemptOnset(uint64_t container_id, Seconds quantum,
+                                 int64_t max_quanta) const {
+  if (opts_.preempt_rate <= 0 || quantum <= 0) return kNeverFails;
+  // Per-quantum hazard walk from the lease start, same shape as the crash
+  // draw: the first losing draw reclaims the VM at a uniform instant inside
+  // that quantum.
+  Rng rng(Mix(opts_.seed, container_id, 0, kPreemptStream));
+  for (int64_t q = 0; q < max_quanta; ++q) {
+    if (rng.Uniform() < opts_.preempt_rate) {
+      return (static_cast<double>(q) + rng.Uniform()) * quantum;
     }
   }
   return kNeverFails;

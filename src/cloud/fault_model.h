@@ -48,6 +48,31 @@ struct FaultOptions {
   /// onset quantum passes, the stored object's checksum stops verifying.
   double bitrot_rate = 0;
   /// @}
+  /// \name Provider control-plane faults (elastic fleet, DESIGN.md §13).
+  /// These model the IaaS control plane misbehaving, not the leased VM
+  /// itself: acquisition requests throttled, cold starts, and spot reclaims
+  /// announced with a notice window. All draws come from dedicated streams,
+  /// so existing crash/straggler/storage traces are bit-identical whether
+  /// or not the provider knobs are set.
+  /// @{
+  /// Probability one fresh-container acquire request is denied (quota
+  /// throttle). The very first container of an empty fleet is exempt — the
+  /// model throttles scale-out, it never wedges the service at zero VMs.
+  double acquire_fail_rate = 0;
+  /// Cold-start lag: a fresh container's boot delay is uniform in
+  /// [0, boot_delay_max] seconds. Billing starts at acquisition (the lease
+  /// is pre-paid), but the container only becomes schedulable once booted.
+  Seconds boot_delay_max = 0;
+  /// Per-quantum hazard of spot preemption, drawn once per container at
+  /// acquisition: the provider reclaims the VM at the drawn instant and
+  /// charges nothing past it.
+  double preempt_rate = 0;
+  /// Reclaim notice: seconds of warning before the reclaim instant. During
+  /// the notice window the service drains the doomed container — no new
+  /// work is dispatched and running builds are stopped with their progress
+  /// staged off. 0 = unannounced reclaim (progress dies with the disk).
+  Seconds preempt_notice = 0;
+  /// @}
   /// Seed of the fault universe; independent of all other seeds.
   uint64_t seed = 1;
 
@@ -57,6 +82,9 @@ struct FaultOptions {
   }
   bool corruption_enabled() const {
     return torn_write_rate > 0 || bitrot_rate > 0;
+  }
+  bool provider_enabled() const {
+    return acquire_fail_rate > 0 || boot_delay_max > 0 || preempt_rate > 0;
   }
 };
 
@@ -78,9 +106,19 @@ struct ContainerFaults {
   Seconds crash_at = kNeverFails;
   /// Multiplier (>= 1) on CPU time and transfers; 1.0 = healthy.
   double slowdown = 1.0;
+  /// Provider spot-reclaim instant (schedule-relative; kNeverFails = none).
+  /// At this instant the VM is gone exactly like a crash, except the caller
+  /// classifies the loss as a preemption and is charged nothing past it.
+  Seconds reclaim_at = kNeverFails;
+  /// Start of the reclaim-notice window (<= reclaim_at). From this instant
+  /// the container only drains: no new op is dispatched to it, and running
+  /// builds are stopped with their partial progress carried off the doomed
+  /// disk (graceful drain, DESIGN.md §13).
+  Seconds notice_at = kNeverFails;
 
   bool crashes() const { return crash_at < kNeverFails; }
   bool straggles() const { return slowdown > 1.0; }
+  bool reclaimed() const { return reclaim_at < kNeverFails; }
 };
 
 /// \brief A reproducible fault trace for one execution attempt.
@@ -89,7 +127,7 @@ struct FaultTrace {
 
   bool any() const {
     for (const auto& c : containers) {
-      if (c.crashes() || c.straggles()) return true;
+      if (c.crashes() || c.straggles() || c.reclaimed()) return true;
     }
     return false;
   }
@@ -143,6 +181,29 @@ class FaultModel {
   /// onset instant, or kNeverFails.
   Seconds BitRotOnset(uint64_t object_key, int64_t generation, Seconds now,
                       Seconds quantum, int64_t max_quanta) const;
+
+  /// \brief Deterministic quota-throttle draw for one fresh-container
+  /// acquire request.
+  ///
+  /// `request_index` is the fleet's monotone acquire-request counter, so a
+  /// retry after backoff is a *new* request and re-draws independently.
+  bool AcquireDenied(uint64_t request_index) const;
+
+  /// \brief Cold-start lag of one fresh container, uniform in
+  /// [0, boot_delay_max].
+  ///
+  /// Keyed on the container id, so one container's delay is stable no
+  /// matter when in the run it is acquired or what the rest of the fleet
+  /// is doing.
+  Seconds BootDelay(uint64_t container_id) const;
+
+  /// \brief Pre-draws the spot-reclaim instant for one fresh container.
+  ///
+  /// Per-quantum hazard walk starting at the lease start (same shape as
+  /// the crash draw), bounded by `max_quanta`. Returns the reclaim offset
+  /// from the lease start, or kNeverFails.
+  Seconds PreemptOnset(uint64_t container_id, Seconds quantum,
+                       int64_t max_quanta) const;
 
  private:
   FaultOptions opts_;

@@ -30,6 +30,35 @@ Status ValidateIntegrityOptions(const IntegrityOptions& opts) {
   return Status::OK();
 }
 
+Status ValidateAutoscalerOptions(const AutoscalerOptions& opts) {
+  if (!opts.enabled) return Status::OK();
+  if (opts.min_containers < 1) {
+    return Status::InvalidArgument("autoscaler min_containers must be >= 1");
+  }
+  if (opts.max_containers < opts.min_containers) {
+    return Status::InvalidArgument(
+        "autoscaler max_containers must be >= min_containers");
+  }
+  if (opts.initial_containers < 0 ||
+      opts.initial_containers > opts.max_containers) {
+    return Status::InvalidArgument(
+        "autoscaler initial_containers must be in [0, max_containers]");
+  }
+  if (!(opts.grow_pressure > opts.shrink_pressure)) {
+    return Status::InvalidArgument(
+        "autoscaler grow_pressure must exceed shrink_pressure");
+  }
+  if (opts.grow_step < 1) {
+    return Status::InvalidArgument("autoscaler grow_step must be >= 1");
+  }
+  if (!(opts.backoff_initial_quanta > 0) ||
+      !(opts.backoff_cap_quanta >= opts.backoff_initial_quanta)) {
+    return Status::InvalidArgument(
+        "autoscaler backoff ladder must satisfy 0 < initial <= cap");
+  }
+  return Status::OK();
+}
+
 std::string_view IndexPolicyToString(IndexPolicy policy) {
   switch (policy) {
     case IndexPolicy::kNoIndex:
@@ -67,35 +96,140 @@ QaasService::QaasService(Catalog* catalog, ServiceOptions options)
         return t;
       }()),
       storage_(options.tuner.pricing),
-      rng_(options.seed) {
+      rng_(options.seed),
+      provider_faults_(options.faults),
+      fleet_(options.container, options.tuner.pricing,
+             options.autoscaler.enabled ? options.autoscaler.max_containers
+                                        : std::numeric_limits<int>::max()) {
   // Plumb/normalize the scheduler knobs once: every SkylineScheduler the
   // service constructs (directly or via the tuner's interleaver) sees the
   // same options, and a zero/negative thread count means "serial".
   opts_.tuner.sched.num_threads = std::max(1, opts_.tuner.sched.num_threads);
   opts_.tuner.sched.skyline_cap = std::max(1, opts_.tuner.sched.skyline_cap);
   retry_budget_left_ = opts_.admission.retry_budget;
+  if (opts_.faults.provider_enabled()) {
+    // Reclaim hazards walk at most the experiment horizon (plus slack for
+    // lease tails past it).
+    int64_t max_q =
+        QuantaCeil(std::max(opts_.total_time, opts_.tuner.sched.quantum),
+                   opts_.tuner.sched.quantum) +
+        8;
+    fleet_.SetFaultModel(&provider_faults_, max_q);
+  }
+  fleet_target_ = opts_.autoscaler.initial_containers > 0
+                      ? opts_.autoscaler.initial_containers
+                      : opts_.autoscaler.min_containers;
 }
 
 std::vector<Container*> QaasService::AcquireContainers(int n, Seconds start) {
-  // Reap expired containers: their pre-paid quantum is over and their local
-  // disks (caches) are gone (paper §3).
-  std::erase_if(pool_, [start](const std::unique_ptr<Container>& c) {
-    return !c->AliveAt(start);
-  });
-  std::vector<Container*> out;
-  for (int i = 0; i < n; ++i) {
-    if (i < static_cast<int>(pool_.size())) {
-      out.push_back(pool_[static_cast<size_t>(i)].get());
-    } else {
-      pool_.push_back(std::make_unique<Container>(
-          next_container_id_++, opts_.container, opts_.tuner.pricing, start));
-      out.push_back(pool_.back().get());
-    }
-  }
-  return out;
+  // The strict fixed-fleet path: the cluster reaps expired containers
+  // (their pre-paid quantum is over and their local disks/caches are gone,
+  // paper §3), reuses alive ones in stable order, and allocates the rest
+  // fresh. With the elastic machinery off the capacity cap is unbounded, so
+  // this never fails.
+  auto got = fleet_.Acquire(n, start);
+  if (!got.ok()) return {};
+  return *std::move(got);
 }
 
-Result<TunerDecision> QaasService::BaselineDecision(const Dataflow& df) {
+QaasService::FleetPlan QaasService::PrepareFleet(Seconds now,
+                                                 ServiceMetrics* metrics) {
+  FleetPlan plan;
+  plan.bound = opts_.tuner.sched.max_containers;
+  if (!ElasticActive()) return plan;
+
+  const Seconds quantum = opts_.tuner.sched.quantum;
+  int want = plan.bound;
+  if (opts_.autoscaler.enabled) {
+    // Statically provisioned fleet: bill every alive container through the
+    // present before any reap can take an idle lease, so the always-on
+    // baseline pays for its lulls.
+    if (opts_.autoscaler.keep_alive) fleet_.KeepAlive(now);
+    // Policy step: move the target with the queue-pressure signal (the
+    // smoothed EWMA when on — it rises before the first delayed dataflow —
+    // the per-dequeue delay otherwise).
+    const double signal =
+        opts_.brownout.queue_ewma_alpha > 0 ? queue_ewma_ : last_pressure_;
+    const int prev = fleet_target_;
+    if (signal >= opts_.autoscaler.grow_pressure) {
+      fleet_target_ = std::min(opts_.autoscaler.max_containers,
+                               fleet_target_ + opts_.autoscaler.grow_step);
+      if (fleet_target_ > prev) ++metrics->fleet_grow_events;
+    } else if (signal <= opts_.autoscaler.shrink_pressure) {
+      fleet_target_ =
+          std::max(opts_.autoscaler.min_containers, fleet_target_ - 1);
+      if (fleet_target_ < prev) ++metrics->fleet_shrink_events;
+    }
+    // Graceful drain: release idle containers above the target before they
+    // renew another idle quantum. The fleet is quiescent here — the service
+    // executes one dataflow at a time.
+    fleet_.DrainIdleAbove(fleet_target_, now);
+    want = std::min(want, fleet_target_);
+  }
+  want = std::max(1, want);
+
+  // Acquire toward the target, waiting out boot delays and backing off on
+  // provider denials. Bounded rounds: a pathological fleet (every VM doomed
+  // the moment it boots) must not spin forever — the caller then falls back
+  // to the strict path with whatever exists.
+  Seconds t = now;
+  int usable = 0;
+  for (int round = 0; round < 64; ++round) {
+    if (t < acquire_backoff_until_ - 1e-9) {
+      // Backing off from a denial: no fresh requests yet. Run with what is
+      // usable — unless nothing is, in which case the backoff must not
+      // wedge the service and we fall through to request anyway.
+      usable = fleet_.UsableCount(t);
+      if (usable > 0) break;
+    }
+    AcquireOutcome got = fleet_.AcquireUsable(want, t);
+    usable = static_cast<int>(got.usable.size());
+    if (got.denied_quota > 0) {
+      // Capped exponential backoff on provider quota denials.
+      ++metrics->acquire_backoffs;
+      acquire_backoff_quanta_ =
+          acquire_backoff_quanta_ <= 0
+              ? opts_.autoscaler.backoff_initial_quanta
+              : std::min(acquire_backoff_quanta_ * 2.0,
+                         opts_.autoscaler.backoff_cap_quanta);
+      acquire_backoff_until_ = t + acquire_backoff_quanta_ * quantum;
+    } else if (usable > 0 || got.booting > 0) {
+      acquire_backoff_quanta_ = 0;  // a clean grant resets the ladder
+    }
+    if (usable > 0) break;
+    Seconds next = fleet_.NextUsableAt(t);
+    if (next < kNeverFails) {
+      // Paid capacity is booting: wait for the earliest boot to finish.
+      t = std::max(t, next);
+      continue;
+    }
+    // Nothing usable and nothing booting: wait out the backoff (or one
+    // quantum) and re-request — quota draws are keyed by the monotone
+    // request index, so retries genuinely re-draw.
+    t = std::max(t + quantum, acquire_backoff_until_);
+  }
+  if (t > now) {
+    plan.wait = t - now;
+    metrics->boot_wait_quanta += plan.wait / quantum;
+  }
+  plan.bound = std::max(1, std::min(plan.bound, usable));
+  return plan;
+}
+
+void QaasService::HarvestFleet(ServiceMetrics* metrics) const {
+  const FleetLedger& ledger = fleet_.ledger();
+  metrics->containers_reaped = static_cast<int>(ledger.released_idle);
+  metrics->containers_drained = static_cast<int>(ledger.drained);
+  metrics->containers_preempted = static_cast<int>(ledger.preempted);
+  metrics->fleet_acquire_requests = ledger.acquire_requests;
+  metrics->fleet_granted = ledger.granted;
+  metrics->acquires_denied_quota = ledger.denied_quota;
+  metrics->acquires_denied_capacity = ledger.denied_capacity;
+  metrics->fleet_quanta_charged = fleet_.total_quanta_charged();
+}
+
+Result<TunerDecision> QaasService::BaselineDecision(const Dataflow& df,
+                                                    int max_containers) {
   TunerDecision d;
   d.combined = df.dag;
 
@@ -119,7 +253,11 @@ Result<TunerDecision> QaasService::BaselineDecision(const Dataflow& df) {
   BuildDataflowCosts(d.combined, df, *catalog_, opts_.tuner.sched.net_mb_per_sec,
                      &d.durations, &d.costs);
 
-  SkylineScheduler scheduler(opts_.tuner.sched);
+  SchedulerOptions sched = opts_.tuner.sched;
+  if (max_containers > 0 && max_containers < sched.max_containers) {
+    sched.max_containers = max_containers;
+  }
+  SkylineScheduler scheduler(sched);
   DFIM_ASSIGN_OR_RETURN(
       d.skyline,
       scheduler.ScheduleDag(d.combined, d.durations, /*place_optional=*/false));
@@ -381,6 +519,11 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
   if (opts_.integrity.scrub_objects_per_quantum > 0) {
     RunScrub(start, metrics);
   }
+  // Elastic fleet (DESIGN.md §13): settle what the fleet can actually serve
+  // *before* planning, so the tuner's build knapsack and the schedulers see
+  // the real, smaller fleet. Inert (configured cap, zero wait) when the
+  // elastic machinery is off.
+  const FleetPlan fleet_plan = PrepareFleet(start, metrics);
   TunerDecision decision;
   if (tuned && build_fraction <= 0) {
     // Full brownout: skip the tuning step entirely — schedule the bare
@@ -388,7 +531,7 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
     // so gains keep accumulating for when pressure subsides. Every unbuilt
     // candidate the tuner might have picked counts as shed (an upper-bound
     // proxy; the tuner was never consulted).
-    DFIM_ASSIGN_OR_RETURN(decision, BaselineDecision(df));
+    DFIM_ASSIGN_OR_RETURN(decision, BaselineDecision(df, fleet_plan.bound));
     for (const auto& idx : df.candidate_indexes) {
       if (!tuner_.IsBuilt(idx)) ++decision.builds_shed;
     }
@@ -397,9 +540,9 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
         decision,
         tuner_.OnDataflow(df, history_, start,
                           opts_.resumable_builds ? &build_progress_ : nullptr,
-                          build_fraction));
+                          build_fraction, fleet_plan.bound));
   } else {
-    DFIM_ASSIGN_OR_RETURN(decision, BaselineDecision(df));
+    DFIM_ASSIGN_OR_RETURN(decision, BaselineDecision(df, fleet_plan.bound));
   }
   metrics->builds_shed += decision.builds_shed;
 
@@ -437,7 +580,9 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
   // Mandatory ops (combined-id space) that completed on a still-live
   // container across attempts.
   std::vector<char> done(decision.combined.num_ops(), 0);
-  Seconds elapsed = 0;
+  // The elastic fleet may have waited out a boot delay or an acquire
+  // backoff before a single usable container existed.
+  Seconds elapsed = fleet_plan.wait;
   int64_t total_leased = 0;
   bool failed = false;
   // Builds may complete inside the already-paid lease tail past the
@@ -447,7 +592,19 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
 
   for (int attempt = 0;; ++attempt) {
     int nc = std::max(1, cur_plan->num_containers());
-    std::vector<Container*> containers = AcquireContainers(nc, start + elapsed);
+    std::vector<Container*> containers;
+    if (ElasticActive()) {
+      // Best-effort elastic acquisition: only containers usable right now
+      // (booted, outside any reclaim-notice window). The plan was bounded
+      // by PrepareFleet at this same instant, so this normally covers nc.
+      AcquireOutcome got = fleet_.AcquireUsable(nc, start + elapsed);
+      containers = std::move(got.usable);
+    }
+    if (static_cast<int>(containers.size()) < nc) {
+      // Fixed-fleet path — or the elastic fleet shrank between planning and
+      // acquisition; the strict path guarantees the plan its containers.
+      containers = AcquireContainers(nc, start + elapsed);
+    }
     sim.seed = opts_.seed ^ (static_cast<uint64_t>(df.id) * 0x9e3779b9ULL);
     if (attempt > 0) {
       sim.seed ^= static_cast<uint64_t>(attempt) * 0x517cc1b727220a95ULL;
@@ -455,12 +612,29 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
     ExecSimulator simulator(sim);
     FaultInjection fi;
     const FaultInjection* fip = nullptr;
-    if (inject || opts_.speculation.enabled()) {
+    if (inject || opts_.speculation.enabled() ||
+        opts_.faults.preempt_rate > 0) {
       fi.model = inject ? &fault_model : nullptr;
       fi.run_key = static_cast<uint64_t>(df.id) * 0x100000001b3ULL +
                    static_cast<uint64_t>(attempt);
       fi.trace = fault_model.DrawTrace(fi.run_key, nc, cur_plan->TotalSpan(),
                                        sim.quantum);
+      // Translate each acquired container's absolute provider-reclaim
+      // instant into the schedule-relative trace: the simulator drains the
+      // doomed container through its notice window and charges nothing past
+      // the reclaim (DESIGN.md §13).
+      if (opts_.faults.preempt_rate > 0) {
+        const Seconds t0 = start + elapsed;
+        for (int c = 0; c < nc && c < static_cast<int>(containers.size());
+             ++c) {
+          const Seconds at = containers[static_cast<size_t>(c)]->preempt_at();
+          if (at >= kNeverFails) continue;
+          ContainerFaults& cf = fi.trace.containers[static_cast<size_t>(c)];
+          cf.reclaim_at = at - t0;
+          cf.notice_at =
+              std::max<Seconds>(0, cf.reclaim_at - opts_.faults.preempt_notice);
+        }
+      }
       fi.spec = opts_.speculation;
       // Adaptive straggler watermark: a family that systematically runs
       // slower than its critical path (the PR 4 admission EWMA, warmup-
@@ -495,23 +669,23 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
     for (int c = 0; c < nc && c < static_cast<int>(actual_tls.size()); ++c) {
       Seconds last = actual_tls[static_cast<size_t>(c)].last_end();
       if (last > 0) {
-        containers[static_cast<size_t>(c)]->ExtendLeaseTo(start + elapsed +
-                                                          last);
+        fleet_.ChargeThrough(containers[static_cast<size_t>(c)],
+                             start + elapsed + last);
       }
     }
 
-    // Crashed containers are gone: the provider stops charging and their
-    // local disks — caches, staged outputs, partial builds — are lost
-    // (paper §3). Evict them from the pool so the next acquisition leases
-    // fresh, cold containers.
+    // Crashed/reclaimed containers are gone: the provider stops charging
+    // and their local disks — caches, staged outputs, partial builds — are
+    // lost (paper §3). Evict them from the fleet so the next acquisition
+    // leases fresh, cold containers; the ledger distinguishes provider
+    // reclaims from plain crashes.
     if (!exec.failed_containers.empty()) {
-      std::set<const Container*> dead;
-      for (int c : exec.failed_containers) {
-        dead.insert(containers[static_cast<size_t>(c)]);
+      for (size_t i = 0; i < exec.failed_containers.size(); ++i) {
+        const int c = exec.failed_containers[i];
+        const bool preempted = i < exec.failure_preempted.size() &&
+                               exec.failure_preempted[i] != 0;
+        fleet_.RemoveFailed(containers[static_cast<size_t>(c)], preempted);
       }
-      std::erase_if(pool_, [&dead](const std::unique_ptr<Container>& c) {
-        return dead.count(c.get()) > 0;
-      });
       metrics->containers_failed +=
           static_cast<int>(exec.failed_containers.size());
     }
@@ -819,7 +993,16 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
             f.size / opts_.tuner.sched.net_mb_per_sec;
       }
     }
-    SkylineScheduler rescheduler(opts_.tuner.sched);
+    // Recovery replans against the fleet as it stands now: preempted or
+    // crashed VMs are gone, and the elastic fleet may need to wait out a
+    // boot or a denial backoff before a usable container exists again.
+    const FleetPlan recovery_plan = PrepareFleet(start + elapsed, metrics);
+    elapsed += recovery_plan.wait;
+    SchedulerOptions recovery_sched = opts_.tuner.sched;
+    if (recovery_plan.bound < recovery_sched.max_containers) {
+      recovery_sched.max_containers = recovery_plan.bound;
+    }
+    SkylineScheduler rescheduler(recovery_sched);
     DFIM_ASSIGN_OR_RETURN(std::vector<Schedule> sky,
                           rescheduler.ScheduleDag(suffix_dag, suffix_durations,
                                                   /*place_optional=*/false));
@@ -875,27 +1058,21 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
     while (history_.size() > opts_.max_history) history_.pop_front();
   }
 
-  // Metrics and the Fig. 13 timeline.
+  // Metrics and the Fig. 13 timeline. Every mirrored cumulative counter is
+  // stamped mechanically (DFIM_MIRRORED_COUNTERS keeps the mirror total);
+  // the fleet ledger is harvested first so its counters are current.
   Seconds settled = std::max(finish, last_persist);
   storage_.AdvanceTo(settled);
   metrics->total_time_quanta += elapsed / opts_.tuner.sched.quantum;
+  HarvestFleet(metrics);
   TimelinePoint pt;
   pt.t = finish;
   pt.storage_cost = storage_.accrued_cost();
-  pt.containers_failed = metrics->containers_failed;
-  pt.dataflows_failed = metrics->dataflows_failed;
   pt.makespan_quanta = elapsed / opts_.tuner.sched.quantum;
-  pt.ops_speculated = metrics->ops_speculated;
-  pt.spec_wins = metrics->spec_wins;
-  pt.hedged_reads = metrics->hedged_reads;
-  pt.hedge_wins = metrics->hedge_wins;
   pt.corruptions_injected = storage_.corruptions_injected();
-  pt.corruptions_detected_on_read = metrics->corruptions_detected_on_read;
-  pt.corruptions_detected_by_scrub = metrics->corruptions_detected_by_scrub;
-  pt.partitions_quarantined = metrics->partitions_quarantined;
-  pt.repairs_scheduled = metrics->repairs_scheduled;
-  pt.repairs_completed = metrics->repairs_completed;
-  pt.scrub_reads = metrics->scrub_reads;
+#define DFIM_STAMP_COUNTER(type, name) pt.name = metrics->name;
+  DFIM_MIRRORED_COUNTERS(DFIM_STAMP_COUNTER)
+#undef DFIM_STAMP_COUNTER
   for (const auto& idx : catalog_->IndexIds()) {
     auto st = catalog_->GetIndexState(idx);
     if (st.ok() && (*st)->NumBuilt() > 0) {
@@ -946,6 +1123,12 @@ Result<ServiceMetrics> QaasService::Run(WorkloadClient* client) {
   DFIM_RETURN_NOT_OK(ValidateFaultOptions(opts_.faults));
   DFIM_RETURN_NOT_OK(ValidateSpeculationOptions(opts_.speculation));
   DFIM_RETURN_NOT_OK(ValidateIntegrityOptions(opts_.integrity));
+  DFIM_RETURN_NOT_OK(ValidateAutoscalerOptions(opts_.autoscaler));
+  if (opts_.autoscaler.enabled && !opts_.admission.open_loop) {
+    return Status::InvalidArgument(
+        "autoscaler requires admission.open_loop: the closed loop has no "
+        "queue-pressure signal to scale on");
+  }
   if (opts_.admission.open_loop) return RunOpenLoop(client);
   ServiceMetrics metrics;
   Seconds clock = 0;
@@ -980,6 +1163,14 @@ Result<ServiceMetrics> QaasService::Run(WorkloadClient* client) {
   metrics.storage_cost = storage_.accrued_cost();
   metrics.storage_clock_clamps = storage_.clock_clamps();
   HarvestIntegrity(final_t, &metrics);
+  // Settle the fleet: leases past the horizon expire idle, so the final
+  // ledger accounts every granted container. An always-on fleet is billed
+  // through the horizon first — its idle tail is part of the bill.
+  if (opts_.autoscaler.enabled && opts_.autoscaler.keep_alive) {
+    fleet_.KeepAlive(std::max(final_t, opts_.total_time));
+  }
+  fleet_.ReapExpired(std::max(final_t, opts_.total_time));
+  HarvestFleet(&metrics);
   return metrics;
 }
 
@@ -1112,6 +1303,7 @@ Result<ServiceMetrics> QaasService::RunOpenLoop(WorkloadClient* client) {
     }
 
     double pressure = (start - p.arrival) / quantum;
+    last_pressure_ = pressure;  // the autoscaler signal when the EWMA is off
     SampleQueuePressure(static_cast<int>(queue.size()));
     // Brownout signal: the smoothed queue length when enabled (it rises as
     // soon as the queue grows, before any dataflow is actually delayed),
@@ -1136,15 +1328,15 @@ Result<ServiceMetrics> QaasService::RunOpenLoop(WorkloadClient* client) {
         ++metrics.deadlines_missed;
       }
     }
-    // RunOne appended this dataflow's timeline point; stamp the overload
-    // state onto it.
+    // RunOne appended this dataflow's timeline point; stamp the open-loop
+    // state onto it and refresh every mirrored counter (deadline/finish
+    // accounting above ran after RunOne's stamp).
     TimelinePoint& pt = metrics.timeline.back();
     pt.queue_len = static_cast<int>(queue.size());
     pt.queue_delay_quanta = pressure;
-    pt.dataflows_shed = metrics.dataflows_shed;
-    pt.deadlines_missed = metrics.deadlines_missed;
-    pt.builds_shed = metrics.builds_shed;
-    pt.breaker_opens = metrics.breaker_opens;
+#define DFIM_STAMP_COUNTER(type, name) pt.name = metrics.name;
+    DFIM_MIRRORED_COUNTERS(DFIM_STAMP_COUNTER)
+#undef DFIM_STAMP_COUNTER
   }
 
   Seconds final_t = std::max({opts_.total_time, clock, settled});
@@ -1155,6 +1347,14 @@ Result<ServiceMetrics> QaasService::RunOpenLoop(WorkloadClient* client) {
   metrics.storage_cost = storage_.accrued_cost();
   metrics.storage_clock_clamps = storage_.clock_clamps();
   HarvestIntegrity(final_t, &metrics);
+  // Settle the fleet: leases past the horizon expire idle, so the final
+  // ledger accounts every granted container. An always-on fleet is billed
+  // through the horizon first — its idle tail is part of the bill.
+  if (opts_.autoscaler.enabled && opts_.autoscaler.keep_alive) {
+    fleet_.KeepAlive(std::max(final_t, opts_.total_time));
+  }
+  fleet_.ReapExpired(std::max(final_t, opts_.total_time));
+  HarvestFleet(&metrics);
   return metrics;
 }
 

@@ -150,6 +150,53 @@ struct IntegrityOptions {
 /// verification is on (a free verify would silently skip the charge path).
 Status ValidateIntegrityOptions(const IntegrityOptions& opts);
 
+/// \brief Elastic fleet sizing for the open-loop service (DESIGN.md §13).
+///
+/// Off by default: the fleet is effectively unbounded and the service's
+/// acquisition path is bit-identical to the fixed-fleet service. When on,
+/// the fleet target follows the queue-pressure signal (the smoothed queue
+/// EWMA when brownout.queue_ewma_alpha > 0, the per-dequeue delay
+/// otherwise): nearing brownout grows the fleet, slack shrinks it, and
+/// containers above the target are drained — released before their lease
+/// renews idle. Requires admission.open_loop (the closed loop has no
+/// pressure signal to scale on).
+struct AutoscalerOptions {
+  bool enabled = false;
+  /// Fleet floor: the autoscaler never drains below this many containers.
+  int min_containers = 1;
+  /// Fleet ceiling, enforced by the Cluster capacity cap.
+  int max_containers = 8;
+  /// Starting fleet target (0 = min_containers).
+  int initial_containers = 0;
+  /// Pressure at or above which the target grows by `grow_step` (read in
+  /// the same unit as the brownout thresholds: queue entries when the EWMA
+  /// signal is on, delay quanta otherwise).
+  double grow_pressure = 2.0;
+  int grow_step = 2;
+  /// Pressure at or below which the target shrinks by one.
+  double shrink_pressure = 0.5;
+  /// Capped exponential backoff after a provider-denied acquire: the first
+  /// denial pauses fresh requests for `backoff_initial_quanta`, doubling
+  /// per consecutive denial up to `backoff_cap_quanta`. A clean grant
+  /// resets the ladder; the backoff is bypassed whenever zero containers
+  /// are usable (it must never wedge the service at an empty fleet). Also
+  /// used when provider faults run without the autoscaler.
+  double backoff_initial_quanta = 1.0;
+  double backoff_cap_quanta = 16.0;
+  /// Statically provisioned always-on fleet: every alive container's lease
+  /// is extended through the present at each fleet-preparation step and
+  /// through the horizon at the end of the run, so idle gaps are billed
+  /// instead of letting leases lapse. Models the fixed-fleet baseline the
+  /// elastic sweep compares against; containers past their reclaim instant
+  /// are never revived.
+  bool keep_alive = false;
+};
+
+/// Rejects a non-positive floor, a ceiling below the floor, an initial
+/// target outside [0, max], grow <= shrink pressure, a non-positive grow
+/// step, and a broken backoff ladder. All checks gated on `enabled`.
+Status ValidateAutoscalerOptions(const AutoscalerOptions& opts);
+
 /// \brief Service configuration (Table 3 defaults).
 struct ServiceOptions {
   IndexPolicy policy = IndexPolicy::kGain;
@@ -232,10 +279,93 @@ struct ServiceOptions {
   /// @{
   IntegrityOptions integrity;
   /// @}
+  /// \name Elastic fleet (off by default — with the autoscaler disabled and
+  /// no provider fault rates the acquisition path is bit-identical to the
+  /// fixed-fleet service, DESIGN.md §13).
+  /// @{
+  AutoscalerOptions autoscaler;
+  /// @}
   uint64_t seed = 99;
 };
 
+/// \brief Every cumulative ServiceMetrics counter mirrored 1:1 into
+/// TimelinePoint, as an X-macro of (type, name) pairs.
+///
+/// The service stamps each timeline point with the aggregate value of every
+/// entry, so any counter listed here is readable as a time series and the
+/// metrics-audit test can verify the mirror mechanically. Adding a counter
+/// to ServiceMetrics? Add it here too unless it belongs to the deliberate
+/// exclusions: `storage_cost` (TimelinePoint has its own point-in-time
+/// copy), `queue_delay_quanta` (the timeline field is this dataflow's
+/// delay, not the cumulative sum), `corruptions_injected` (live-stamped
+/// from the storage service mid-run; the metrics copy is only harvested at
+/// the end), and the end-of-run-harvest-only ledger terms
+/// (`corruptions_dead`, `corruptions_latent`, `quarantine_evicted`,
+/// `storage_clock_clamps`).
+#define DFIM_MIRRORED_COUNTERS(X)       \
+  X(int, dataflows_arrived)             \
+  X(int, dataflows_finished)            \
+  X(int, dataflows_overran)             \
+  X(double, total_time_quanta)          \
+  X(int64_t, total_vm_quanta)           \
+  X(int, total_ops)                     \
+  X(int, killed_ops)                    \
+  X(int, index_partitions_built)        \
+  X(int, indexes_deleted)               \
+  X(int, update_batches)                \
+  X(int, index_partitions_invalidated)  \
+  X(int, containers_failed)             \
+  X(int, ops_reexecuted)                \
+  X(int64_t, recovery_quanta)           \
+  X(int, dataflows_failed)              \
+  X(int, storage_retries)               \
+  X(int, storage_faults)                \
+  X(int, storage_reads)                 \
+  X(int, builds_discarded)              \
+  X(int, ops_speculated)                \
+  X(int, spec_wins)                     \
+  X(int, spec_cancelled)                \
+  X(double, spec_cancelled_quanta)      \
+  X(int, hedged_reads)                  \
+  X(int, hedge_wins)                    \
+  X(int, dataflows_shed)                \
+  X(int, shed_queue_full)               \
+  X(int, shed_infeasible)               \
+  X(int, deadlines_missed)              \
+  X(int, builds_shed)                   \
+  X(int, breaker_opens)                 \
+  X(int, retries_denied)                \
+  X(int, peak_queue_len)                \
+  X(int, corruptions_detected_on_read)  \
+  X(int, corruptions_detected_by_scrub) \
+  X(int, stale_reads)                   \
+  X(int, verified_reads)                \
+  X(int, degraded_reads)                \
+  X(int, partitions_quarantined)        \
+  X(int, repairs_scheduled)             \
+  X(int, repairs_completed)             \
+  X(int64_t, scrub_reads)               \
+  X(int, hedged_persists)               \
+  X(int, persist_hedge_wins)            \
+  X(int, idempotent_replays)            \
+  X(int, containers_reaped)             \
+  X(int, containers_drained)            \
+  X(int, containers_preempted)          \
+  X(int64_t, fleet_acquire_requests)    \
+  X(int64_t, fleet_granted)             \
+  X(int64_t, acquires_denied_quota)     \
+  X(int64_t, acquires_denied_capacity)  \
+  X(int64_t, fleet_quanta_charged)      \
+  X(int, fleet_grow_events)             \
+  X(int, fleet_shrink_events)           \
+  X(int, acquire_backoffs)              \
+  X(double, boot_wait_quanta)
+
 /// \brief One sample of the service state over time (Fig. 13 series).
+///
+/// Point-in-time fields are declared explicitly below; every cumulative
+/// counter is generated from DFIM_MIRRORED_COUNTERS and stamped with the
+/// aggregate ServiceMetrics value at this point.
 struct TimelinePoint {
   Seconds t = 0;
   /// Indexes with at least one built partition.
@@ -244,43 +374,22 @@ struct TimelinePoint {
   MegaBytes index_mb = 0;
   /// Storage dollars accrued so far.
   Dollars storage_cost = 0;
-  /// Cumulative failure/recovery counters at this point.
-  int containers_failed = 0;
-  int dataflows_failed = 0;
-  /// \name Overload state at this point (open-loop runs; zero otherwise).
-  /// @{
-  /// Pending dataflows right after this one was dequeued and executed.
+  /// Pending dataflows right after this one was dequeued and executed
+  /// (open-loop runs; zero otherwise).
   int queue_len = 0;
   /// Queue delay (quanta) this dataflow suffered before starting.
   double queue_delay_quanta = 0;
-  /// Cumulative overload counters at this point.
-  int dataflows_shed = 0;
-  int deadlines_missed = 0;
-  int builds_shed = 0;
-  int breaker_opens = 0;
-  /// @}
-  /// \name Tail-tolerance state at this point (zero when off).
-  /// @{
   /// This dataflow's realized makespan (execution + recovery + persist
   /// backoff), in quanta — the tail-latency series the speculation bench
   /// reads p50/p99 from.
   double makespan_quanta = 0;
-  /// Cumulative speculation/hedging counters at this point.
-  int ops_speculated = 0;
-  int spec_wins = 0;
-  int hedged_reads = 0;
-  int hedge_wins = 0;
-  /// @}
-  /// \name Integrity state at this point (cumulative; zero when off).
-  /// @{
+  /// Corruptions realized in storage so far (live from the storage ledger;
+  /// deliberately not in the mirror macro — see its comment).
   int64_t corruptions_injected = 0;
-  int corruptions_detected_on_read = 0;
-  int corruptions_detected_by_scrub = 0;
-  int partitions_quarantined = 0;
-  int repairs_scheduled = 0;
-  int repairs_completed = 0;
-  int64_t scrub_reads = 0;
-  /// @}
+  /// Cumulative ServiceMetrics mirrors (see DFIM_MIRRORED_COUNTERS).
+#define DFIM_DECLARE_COUNTER(type, name) type name = 0;
+  DFIM_MIRRORED_COUNTERS(DFIM_DECLARE_COUNTER)
+#undef DFIM_DECLARE_COUNTER
 };
 
 /// \brief Aggregated service metrics (Fig. 12/14, Table 7).
@@ -412,6 +521,43 @@ struct ServiceMetrics {
   /// second Put was a no-op at the same generation).
   int idempotent_replays = 0;
   /// @}
+  /// \name Elastic fleet & provider faults (DESIGN.md §13; all zero with
+  /// the knobs off). The ledger-derived counters are harvested absolute
+  /// from the fleet authority (Cluster::ledger()) and obey its zero-slack
+  /// identities:
+  ///   fleet_acquire_requests == fleet_granted + acquires_denied_capacity
+  ///                             + acquires_denied_quota
+  ///   fleet_granted == containers_reaped + containers_preempted
+  ///                    + crashed + (alive at the end)
+  /// (`containers_drained` is the autoscaler-initiated subset of
+  /// containers_reaped; crashes are visible as ledger().crashed.)
+  /// @{
+  /// Containers released at lease expiry without a failure (idle reap),
+  /// including autoscaler drains.
+  int containers_reaped = 0;
+  /// Idle containers the autoscaler released ahead of a lease renewal.
+  int containers_drained = 0;
+  /// Containers lost to provider spot reclaims (subset of the losses also
+  /// counted in containers_failed, which keeps its historical meaning of
+  /// "containers that died mid-execution for any reason").
+  int containers_preempted = 0;
+  /// Fresh-VM acquisition requests issued to the provider, and their fates.
+  int64_t fleet_acquire_requests = 0;
+  int64_t fleet_granted = 0;
+  int64_t acquires_denied_quota = 0;
+  int64_t acquires_denied_capacity = 0;
+  /// Whole quanta pre-paid at the fleet level (allocation + lease
+  /// extensions + drain/reap truncation never refunds).
+  int64_t fleet_quanta_charged = 0;
+  /// Autoscaler target moves (grow / shrink events actually applied).
+  int fleet_grow_events = 0;
+  int fleet_shrink_events = 0;
+  /// Times a provider denial armed (or escalated) the acquire backoff.
+  int acquire_backoffs = 0;
+  /// Quanta the service spent waiting for a usable container (boot delays,
+  /// denial backoffs with an empty fleet).
+  double boot_wait_quanta = 0;
+  /// @}
   std::vector<TimelinePoint> timeline;
 
   double AvgTimeQuantaPerDataflow() const {
@@ -444,6 +590,9 @@ class QaasService {
   const std::deque<DataflowRecord>& history() const { return history_; }
 
   const StorageService& storage() const { return storage_; }
+
+  /// The fleet authority (inspection/testing: ledger identities, bill).
+  const Cluster& fleet() const { return fleet_; }
 
   /// Partial build progress carried across preemptions (resumable_builds).
   const BuildProgress& build_progress() const { return build_progress_; }
@@ -505,8 +654,10 @@ class QaasService {
   /// EWMA ratio (no-op when estimate_ewma_alpha == 0).
   void ObserveMakespan(AppType app, Seconds raw_estimate, Seconds observed);
 
-  /// Policy step for kNoIndex / kRandom.
-  Result<TunerDecision> BaselineDecision(const Dataflow& df);
+  /// Policy step for kNoIndex / kRandom. `max_containers` > 0 overrides the
+  /// configured fleet cap (elastic fleet); 0 keeps it bit-identically.
+  Result<TunerDecision> BaselineDecision(const Dataflow& df,
+                                         int max_containers = 0);
 
   /// \name Integrity helpers (DESIGN.md §12)
   /// @{
@@ -537,8 +688,43 @@ class QaasService {
   void HarvestIntegrity(Seconds now, ServiceMetrics* metrics);
   /// @}
 
-  /// Containers for the schedule, reusing pooled ones alive at `start`.
+  /// Containers for the schedule, reusing fleet ones alive at `start`
+  /// (the strict, never-denied fixed-fleet path — bit-identical to the
+  /// pre-elastic pool).
   std::vector<Container*> AcquireContainers(int n, Seconds start);
+
+  /// \name Elastic fleet (DESIGN.md §13)
+  /// @{
+
+  /// True when any elastic-fleet machinery may change the execution path.
+  bool ElasticActive() const {
+    return opts_.autoscaler.enabled || opts_.faults.provider_enabled();
+  }
+
+  /// What PrepareFleet settled on for one dataflow execution.
+  struct FleetPlan {
+    /// Container cap the scheduler/tuner must plan within (>= 1).
+    int bound = 0;
+    /// Simulated seconds spent waiting for a usable container (boot
+    /// delays, acquire backoff with an empty fleet); the caller adds this
+    /// to the dataflow's elapsed time.
+    Seconds wait = 0;
+  };
+
+  /// Runs the autoscaler policy step at `now`: moves the fleet target with
+  /// the queue-pressure signal, drains idle containers above it, acquires
+  /// usable capacity (with capped exponential backoff on provider denials,
+  /// bypassed whenever nothing is usable), and waits out boot delays when
+  /// the fleet is empty. Returns the plan bound = the containers actually
+  /// usable, so admission estimates and the build knapsack see the real,
+  /// smaller fleet. When ElasticActive() is false, returns the configured
+  /// scheduler cap with zero wait and touches nothing.
+  FleetPlan PrepareFleet(Seconds now, ServiceMetrics* metrics);
+
+  /// Copies the fleet ledger into the metrics counters (absolute values;
+  /// called after every execution and at the end of the run).
+  void HarvestFleet(ServiceMetrics* metrics) const;
+  /// @}
 
   /// Applies any update batches due by `now` (version bumps + index
   /// invalidation + storage release).
@@ -550,7 +736,12 @@ class QaasService {
   StorageService storage_;
   Rng rng_;
   std::deque<DataflowRecord> history_;
-  std::vector<std::unique_ptr<Container>> pool_;
+  /// Provider fault draws for the fleet (attached to fleet_ when any
+  /// provider rate is nonzero; kept as a member for pointer stability).
+  FaultModel provider_faults_;
+  /// The fleet authority: owns every container, the zero-slack acquisition
+  /// ledger, and all charge/reap/release bookkeeping (DESIGN.md §13).
+  Cluster fleet_;
   /// Last time each index earned a positive per-dataflow gain (or was
   /// built); drives the deletion grace period.
   std::map<std::string, Seconds> last_useful_;
@@ -558,7 +749,18 @@ class QaasService {
   BuildProgress build_progress_;
   /// Next scheduled update batch (update_interval_quanta > 0 only).
   Seconds next_update_ = 0;
-  int next_container_id_ = 0;
+  /// \name Elastic-fleet state (DESIGN.md §13)
+  /// @{
+  /// Autoscaler fleet-size target (containers).
+  int fleet_target_ = 1;
+  /// Acquire backoff: no fresh provider requests until this instant, and
+  /// the current ladder rung in quanta (0 = ladder reset).
+  Seconds acquire_backoff_until_ = 0;
+  double acquire_backoff_quanta_ = 0;
+  /// Queue pressure of the most recent dequeue (the autoscaler signal when
+  /// the smoothed EWMA is off).
+  double last_pressure_ = 0;
+  /// @}
   /// \name Overload state
   /// @{
   /// Remaining fleet-wide recovery attempts (admission.retry_budget >= 0).

@@ -185,7 +185,8 @@ IndexGains OnlineIndexTuner::EvaluateIndex(
 
 Result<TunerDecision> OnlineIndexTuner::OnDataflow(
     const Dataflow& df, const std::deque<DataflowRecord>& history, Seconds now,
-    const BuildProgress* progress, double build_fraction) const {
+    const BuildProgress* progress, double build_fraction,
+    int max_containers) const {
   TunerDecision d;
 
   // The potential set Pi: the dataflow's candidates plus indexes seen in
@@ -244,10 +245,21 @@ Result<TunerDecision> OnlineIndexTuner::OnDataflow(
   BuildDataflowCosts(d.combined, df, *catalog_, opts_.sched.net_mb_per_sec,
                      &d.durations, &d.costs);
 
-  // Lines 10-11: interleave and select the fastest schedule.
-  DFIM_ASSIGN_OR_RETURN(
-      d.skyline,
-      interleaver_.Interleave(d.combined, d.durations, build_fraction));
+  // Lines 10-11: interleave and select the fastest schedule. An elastic
+  // fleet bound below the configured cap swaps in a one-shot interleaver so
+  // the skyline never plans onto containers the service does not have; the
+  // default (0 = configured cap) keeps the member interleaver bit-identical.
+  if (max_containers > 0 && max_containers != opts_.sched.max_containers) {
+    SchedulerOptions bounded = opts_.sched;
+    bounded.max_containers = max_containers;
+    Interleaver scoped(bounded, opts_.mode);
+    DFIM_ASSIGN_OR_RETURN(
+        d.skyline, scoped.Interleave(d.combined, d.durations, build_fraction));
+  } else {
+    DFIM_ASSIGN_OR_RETURN(
+        d.skyline,
+        interleaver_.Interleave(d.combined, d.durations, build_fraction));
+  }
   if (d.skyline.empty()) return Status::Internal("empty schedule skyline");
   d.chosen = d.skyline.front();
   for (const auto& a : d.chosen.assignments()) {

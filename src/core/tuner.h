@@ -68,12 +68,16 @@ class OnlineIndexTuner {
   /// is the overload-brownout knob: it caps the beneficial-index list at
   /// ceil(fraction x size) highest-gain entries and shrinks the idle-slot
   /// knapsack by the same factor; 1.0 (the default) is bit-identical to
-  /// the unthrottled path.
+  /// the unthrottled path. `max_containers`, when positive, overrides the
+  /// configured fleet cap for this one decision (the elastic fleet hands the
+  /// tuner the containers it actually has, DESIGN.md §13); 0 (the default)
+  /// keeps the configured cap bit-identically.
   Result<TunerDecision> OnDataflow(const Dataflow& df,
                                    const std::deque<DataflowRecord>& history,
                                    Seconds now,
                                    const BuildProgress* progress = nullptr,
-                                   double build_fraction = 1.0) const;
+                                   double build_fraction = 1.0,
+                                   int max_containers = 0) const;
 
   /// \brief Deletion-only sweep (Algorithm 1 is also "triggered
   /// periodically... to delete indexes that become non beneficial when

@@ -70,6 +70,21 @@ struct ArrivalOptions {
   Seconds mean_burst_duration = 300.0;
 
   bool bursty() const { return burst_mean_interarrival > 0; }
+
+  /// Long-run mean arrival rate (arrivals/second): the phase rates weighted
+  /// by their mean holding times for an MMPP, 1/mean_interarrival for plain
+  /// Poisson. The elastic-fleet bench sizes its equal-dollar fixed fleet
+  /// off this.
+  double MeanArrivalRate() const {
+    if (!bursty()) {
+      return mean_interarrival > 0 ? 1.0 / mean_interarrival : 0;
+    }
+    double total = mean_baseline_duration + mean_burst_duration;
+    if (total <= 0 || mean_interarrival <= 0) return 0;
+    return (mean_baseline_duration / mean_interarrival +
+            mean_burst_duration / burst_mean_interarrival) /
+           total;
+  }
 };
 
 /// \brief Deterministic open-loop arrival clock (Poisson or 2-state MMPP).

@@ -153,12 +153,23 @@ Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
   const bool inject = faults != nullptr;
   std::vector<Seconds> crash_at(static_cast<size_t>(nc), kNeverFails);
   std::vector<double> slow(static_cast<size_t>(nc), 1.0);
+  std::vector<Seconds> notice_at(static_cast<size_t>(nc), kNeverFails);
+  std::vector<uint8_t> provider_pre(static_cast<size_t>(nc), 0);
   if (inject) {
     for (int c = 0; c < nc; ++c) {
       auto i = static_cast<size_t>(c);
       if (i < faults->trace.containers.size()) {
-        crash_at[i] = faults->trace.containers[i].crash_at;
-        slow[i] = faults->trace.containers[i].slowdown;
+        const ContainerFaults& cf = faults->trace.containers[i];
+        crash_at[i] = cf.crash_at;
+        slow[i] = cf.slowdown;
+        notice_at[i] = cf.notice_at;
+        // A provider reclaim ends the lease exactly like a crash (nothing is
+        // charged past it), so fold it into the crash instant and remember
+        // the classification; the notice window is handled separately.
+        if (cf.reclaim_at <= crash_at[i]) {
+          crash_at[i] = cf.reclaim_at;
+          provider_pre[i] = cf.reclaimed() ? 1 : 0;
+        }
       }
     }
   }
@@ -261,8 +272,10 @@ Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
           to_stage.push_back(f.from);
         }
       }
-      if (!doomed && est >= crash_at[c] - 1e-9) {
-        // The container is already dead when this op could start.
+      if (!doomed && est >= std::min(crash_at[c], notice_at[c]) - 1e-9) {
+        // The container is already dead when this op could start — or its
+        // reclaim notice has arrived, and a draining container accepts no
+        // new work (the op is rescheduled by the recovery path instead).
         doomed = true;
         st->saw_crash[c] = 1;
       }
@@ -432,7 +445,8 @@ Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
             // Cost guard: the clone (run to completion) must fit inside
             // quanta the shadow pass already charged, on a host that
             // survives it — marginal-cost-zero, like index builds.
-            Seconds bound = std::min(clone_bound[hi], crash_at[hi]);
+            Seconds bound = std::min(std::min(clone_bound[hi], crash_at[hi]),
+                                     notice_at[hi]);
             auto slot = tl[hi].FindSlotBounded(t_detect, dur, bound);
             if (!slot.has_value()) continue;
             Seconds t0 = *slot;
@@ -568,12 +582,16 @@ Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
         1, QuantaCeil(lease_span, opts_.quantum));
     if (overlay) leased_q = std::max(leased_q, floor_quanta[ci]);
     Seconds lease_end = static_cast<double>(leased_q) * opts_.quantum;
-    // Builds stop at the crash instant, not the end of its (paid) quantum.
+    // Builds stop at the crash instant, not the end of its (paid) quantum —
+    // and a reclaim notice stops them even earlier, leaving the notice
+    // window to stage their partial progress off the doomed disk.
     Seconds build_bound = crashed ? crash_at[ci] : lease_end;
+    if (inject) build_bound = std::min(build_bound, notice_at[ci]);
     leased_total += leased_q;
     if (crashed) {
       result.failed_containers.push_back(c);
       result.failure_times.push_back(crash_at[ci]);
+      result.failure_preempted.push_back(provider_pre[ci]);
     }
     // Next dataflow op's actual start, per position in the planned sequence
     // (lost dataflow ops never arrive, so they preempt nothing).
@@ -611,8 +629,10 @@ Result<ExecResult> ExecSimulator::Run(const Dag& dag, const Schedule& plan,
                                ? occ[occ_ptr].start
                                : std::numeric_limits<double>::infinity();
       Seconds start = cursor;
-      if (crashed && start >= crash_at[ci] - 1e-9) {
-        // The container is gone before this build could start.
+      if ((crashed && start >= crash_at[ci] - 1e-9) ||
+          (inject && start >= notice_at[ci] - 1e-9)) {
+        // The container is gone before this build could start, or its
+        // reclaim notice has arrived — a draining container starts no builds.
         result.lost_ops.push_back(LostOp{a->op_id, c, true});
         continue;
       }

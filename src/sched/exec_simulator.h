@@ -188,9 +188,13 @@ struct ExecResult {
   /// Operators (dataflow and build) lost to container crashes.
   std::vector<LostOp> lost_ops;
   /// Containers that died mid-schedule, with their failure instants
-  /// (parallel vectors, ordered by container index).
+  /// (parallel vectors, ordered by container index). `failure_preempted`
+  /// distinguishes provider spot reclaims (the lease is truncated at the
+  /// reclaim instant exactly like a crash, but the fleet ledger counts the
+  /// loss as `preempted`, not `crashed`).
   std::vector<int> failed_containers;
   std::vector<Seconds> failure_times;
+  std::vector<uint8_t> failure_preempted;
   /// The realized timeline (completed and crash-truncated work).
   Schedule actual;
 };
@@ -211,6 +215,15 @@ struct ExecResult {
 /// gone), and its cache contents; stragglers stretch CPU time and transfers
 /// on affected containers; transient storage-read faults add latency to
 /// cache-miss fetches.
+///
+/// A provider spot reclaim (`ContainerFaults::reclaim_at`) ends the lease
+/// exactly like a crash — nothing is charged past the reclaim instant — but
+/// its notice window (`notice_at`..`reclaim_at`) drains the container first:
+/// no new dataflow op, clone, or build is dispatched after the notice,
+/// running dataflow ops may still finish before the reclaim, and builds are
+/// stopped at the notice with their partial progress carried (a zero-notice
+/// reclaim kills them like a crash — the disk dies before anything can be
+/// staged off). See DESIGN.md §13.
 ///
 /// With `FaultInjection::spec` enabled, a shadow dataflow pass (the exact
 /// no-speculation algorithm, run against copies of the container caches)

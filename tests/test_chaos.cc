@@ -153,6 +153,36 @@ std::vector<IntegrityProfile> IntegrityProfiles() {
   return out;
 }
 
+struct FleetProfile {
+  std::string name;
+  AutoscalerOptions autoscaler;
+  /// Provider control-plane fault knobs (folded into FaultOptions).
+  double acquire_fail_rate = 0;
+  Seconds boot_delay_max = 0;
+  double preempt_rate = 0;
+  Seconds preempt_notice = 0;
+};
+
+std::vector<FleetProfile> FleetProfiles() {
+  std::vector<FleetProfile> out;
+  out.push_back({"fleet-fixed", AutoscalerOptions{}, 0, 0, 0, 0});
+  FleetProfile elastic;
+  elastic.name = "elastic+provider";
+  elastic.autoscaler.enabled = true;
+  elastic.autoscaler.min_containers = 1;
+  elastic.autoscaler.max_containers = 8;
+  elastic.autoscaler.initial_containers = 4;
+  elastic.autoscaler.grow_pressure = 1.0;
+  elastic.autoscaler.shrink_pressure = 0.25;
+  elastic.autoscaler.grow_step = 2;
+  elastic.acquire_fail_rate = 0.2;
+  elastic.boot_delay_max = 20.0;
+  elastic.preempt_rate = 0.05;
+  elastic.preempt_notice = 20.0;
+  out.push_back(elastic);
+  return out;
+}
+
 struct ChaosRun {
   ServiceMetrics metrics;
   std::unique_ptr<Catalog> catalog;
@@ -163,7 +193,8 @@ struct ChaosRun {
 ChaosRun RunConfig(uint64_t seed, const FaultProfile& fp,
                    const ControlProfile& cp, const ArrivalProfile& ap,
                    const SpecProfile& sp = SpecProfile{},
-                   const IntegrityProfile& ip = IntegrityProfile{}) {
+                   const IntegrityProfile& ip = IntegrityProfile{},
+                   const FleetProfile& ep = FleetProfile{}) {
   ChaosRun run;
   run.catalog = std::make_unique<Catalog>();
   FileDatabaseOptions fdo;
@@ -190,6 +221,11 @@ ChaosRun RunConfig(uint64_t seed, const FaultProfile& fp,
   so.breaker = cp.breaker;
   so.speculation = sp.spec;
   so.integrity = ip.integrity;
+  so.autoscaler = ep.autoscaler;
+  so.faults.acquire_fail_rate = ep.acquire_fail_rate;
+  so.faults.boot_delay_max = ep.boot_delay_max;
+  so.faults.preempt_rate = ep.preempt_rate;
+  so.faults.preempt_notice = ep.preempt_notice;
   so.seed = seed;
   run.service = std::make_unique<QaasService>(run.catalog.get(), so);
 
@@ -245,6 +281,17 @@ void CheckInvariants(const ChaosRun& run, const std::string& label,
     EXPECT_GE(m.timeline[i].hedge_wins, m.timeline[i - 1].hedge_wins)
         << label;
   }
+  // (3d) Fleet ledger, request identity: every provider acquire request
+  // resolves exactly one way (granted, capacity-denied, or quota-denied),
+  // drains are a subset of idle releases, and no container exits the fleet
+  // more than once.
+  EXPECT_EQ(m.fleet_acquire_requests,
+            m.fleet_granted + m.acquires_denied_quota +
+                m.acquires_denied_capacity)
+      << label << ": fleet request ledger leaked";
+  EXPECT_LE(m.containers_drained, m.containers_reaped) << label;
+  EXPECT_LE(m.containers_reaped + m.containers_preempted, m.fleet_granted)
+      << label;
   // (3c) Integrity: both zero-slack ledgers balance under any combination
   // of crashes, overload control, speculation and corruption, and with the
   // corruption knobs at zero the whole layer is unobservable.
@@ -322,6 +369,66 @@ TEST(ChaosTest, InvariantsHoldAcrossTheConfigLattice) {
   // The sweep is the point: 5 seeds x 3 fault x 4 control x 2 arrival x
   // 2 speculation x 2 integrity.
   EXPECT_GE(configs, 400);
+}
+
+TEST(ChaosTest, ElasticFleetInvariantsHoldAcrossSweep) {
+  // The elastic + provider-fault axis, crossed with every fault and control
+  // profile under bursty arrivals: autoscaling, quota throttles, cold
+  // starts, and spot reclaims must not break any structural invariant.
+  const auto faults = FaultProfiles();
+  const auto controls = ControlProfiles();
+  const auto ap = ArrivalProfiles()[1];  // bursty
+  const auto ep = FleetProfiles()[1];    // elastic + provider faults
+  int configs = 0;
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    for (const auto& fp : faults) {
+      for (const auto& cp : controls) {
+        std::string label = "seed=" + std::to_string(seed) + " " + fp.name +
+                            " " + cp.name + " " + ap.name + " " + ep.name;
+        ChaosRun run = RunConfig(seed, fp, cp, ap, SpecProfile{},
+                                 IntegrityProfile{}, ep);
+        CheckInvariants(run, label, cp);
+        ++configs;
+      }
+    }
+  }
+  EXPECT_EQ(configs, 60);
+}
+
+TEST(ChaosTest, ZeroRateFleetArmIsBitIdentical) {
+  // A FleetProfile whose knobs are all zero must be arithmetically absent:
+  // the run is bit-identical to one that never mentioned the fleet axis,
+  // even with every other subsystem (faults, control, speculation,
+  // integrity) stressed.
+  const auto fp = FaultProfiles()[2];      // harsh
+  const auto cp = ControlProfiles()[3];    // everything on
+  const auto ap = ArrivalProfiles()[1];    // bursty
+  const auto sp = SpecProfiles()[1];       // speculation + hedging on
+  const auto ip = IntegrityProfiles()[1];  // corruption + verify/scrub/repair
+  const auto off = FleetProfiles()[0];     // fleet-fixed, zero rates
+  for (uint64_t seed : {21u, 22u}) {
+    ChaosRun a = RunConfig(seed, fp, cp, ap, sp, ip);
+    ChaosRun b = RunConfig(seed, fp, cp, ap, sp, ip, off);
+    EXPECT_EQ(a.metrics.dataflows_arrived, b.metrics.dataflows_arrived);
+    EXPECT_EQ(a.metrics.dataflows_finished, b.metrics.dataflows_finished);
+    EXPECT_EQ(a.metrics.dataflows_shed, b.metrics.dataflows_shed);
+    EXPECT_EQ(a.metrics.total_vm_quanta, b.metrics.total_vm_quanta);
+    EXPECT_EQ(a.metrics.total_time_quanta, b.metrics.total_time_quanta);
+    EXPECT_EQ(a.metrics.storage_cost, b.metrics.storage_cost);
+    EXPECT_EQ(a.metrics.queue_delay_quanta, b.metrics.queue_delay_quanta);
+    EXPECT_EQ(a.metrics.ops_speculated, b.metrics.ops_speculated);
+    EXPECT_EQ(a.metrics.corruptions_injected, b.metrics.corruptions_injected);
+    EXPECT_EQ(a.metrics.fleet_acquire_requests,
+              b.metrics.fleet_acquire_requests);
+    EXPECT_EQ(a.metrics.fleet_granted, b.metrics.fleet_granted);
+    EXPECT_EQ(a.metrics.fleet_quanta_charged, b.metrics.fleet_quanta_charged);
+    // The provider never bites when its rates are zero.
+    EXPECT_EQ(b.metrics.acquires_denied_quota, 0);
+    EXPECT_EQ(b.metrics.containers_preempted, 0);
+    EXPECT_EQ(b.metrics.containers_drained, 0);
+    EXPECT_EQ(b.metrics.acquire_backoffs, 0);
+    EXPECT_DOUBLE_EQ(b.metrics.boot_wait_quanta, 0.0);
+  }
 }
 
 TEST(ChaosTest, EachSeedReproducesBitIdentically) {
