@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/sharded_service.h"
 
 namespace dfim {
 namespace {
@@ -189,6 +190,108 @@ FleetArmResult RunFleetArm(const FleetArm& arm, int fleet_n, Seconds horizon,
     }
   }
   return r;
+}
+
+// ---- Sharded tenant-scaling sweep --------------------------------------
+
+struct ShardArm {
+  std::string name;
+  int num_shards = 1;
+  bool batched = false;
+};
+
+struct ShardArmResult {
+  ServiceMetrics agg;
+  std::vector<ServiceMetrics> per_tenant;
+  double wall_ms = 0;
+  int accounting_slack = 0;  // aggregate open-loop identity
+  int tenant_slack = 0;      // worst per-tenant open-loop identity residue
+  bool sum_identity = true;  // aggregate == sum of per-tenant, every counter
+  int goodput = 0;
+};
+
+ShardArmResult RunShardArm(const ShardArm& arm, int num_tenants,
+                           Seconds horizon, uint64_t seed) {
+  // One full paper world per tenant: tenants are the isolation unit, so
+  // each gets its own catalog/database/storage underneath its service.
+  std::vector<std::unique_ptr<bench::PaperSetup>> setups;
+  std::vector<Catalog*> catalogs;
+  for (int t = 0; t < num_tenants; ++t) {
+    setups.push_back(std::make_unique<bench::PaperSetup>(seed));
+    catalogs.push_back(&setups.back()->catalog);
+  }
+  ServiceOptions so = OverloadOptions(IndexPolicy::kGain, horizon, seed);
+  // Tenants lease from slim per-tenant fleet slices (the global budget is
+  // split eight ways), so a single dataflow takes several quanta and
+  // co-arrivals genuinely wait together — the regime batching is for.
+  so.tuner.sched.max_containers = 12;
+  so.tuner.sched.skyline_cap = 3;
+  if (arm.batched) {
+    so.batch.max_batch = 4;
+    so.batch.window_quanta = 10.0;
+  }
+  ShardOptions sh;
+  sh.num_shards = arm.num_shards;
+  ShardedQaasService service(catalogs, so, sh);
+  ArrivalOptions arrivals;
+  // Per-tenant interarrival is num_tenants x this (round-robin stamping),
+  // sized so each tenant runs overloaded and queues actually form — batched
+  // admission only matters when co-arrived dataflows are waiting together.
+  arrivals.mean_interarrival = 10.0;
+  OpenLoopWorkloadClient client(setups.front()->generator.get(), arrivals,
+                                {{AppType::kMontage, 1e9}}, seed);
+  client.set_num_tenants(num_tenants);
+  auto t0 = std::chrono::steady_clock::now();
+  auto m = service.Run(&client);
+  auto t1 = std::chrono::steady_clock::now();
+  if (!m.ok()) {
+    std::fprintf(stderr, "sharded arm %s failed: %s\n", arm.name.c_str(),
+                 m.status().ToString().c_str());
+    std::exit(1);
+  }
+  ShardArmResult r;
+  r.agg = *m;
+  r.per_tenant = service.per_tenant();
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.accounting_slack = m->dataflows_arrived - m->dataflows_finished -
+                       m->dataflows_failed - m->dataflows_overran -
+                       m->dataflows_shed;
+  for (const auto& pt : r.per_tenant) {
+    const int s = pt.dataflows_arrived - pt.dataflows_finished -
+                  pt.dataflows_failed - pt.dataflows_overran -
+                  pt.dataflows_shed;
+    if (std::abs(s) > std::abs(r.tenant_slack)) r.tenant_slack = s;
+  }
+  // Zero-slack aggregation identity over every mirrored counter (float
+  // counters get a last-ULP allowance; sums are associative-only on paper).
+#define DFIM_BENCH_SUM(type, name)                                        \
+  {                                                                       \
+    double sum = 0;                                                       \
+    for (const auto& pt : r.per_tenant) sum += static_cast<double>(pt.name); \
+    const double agg = static_cast<double>(r.agg.name);                   \
+    if (std::abs(sum - agg) > 1e-6 * std::max(1.0, std::abs(agg))) {      \
+      r.sum_identity = false;                                             \
+    }                                                                     \
+  }
+  DFIM_MIRRORED_COUNTERS(DFIM_BENCH_SUM)
+#undef DFIM_BENCH_SUM
+  r.goodput = m->dataflows_finished - m->deadlines_missed;
+  return r;
+}
+
+/// Every mirrored counter of every tenant must match the shards=1 reference
+/// bit for bit: tenants are isolated, so shard grouping is pure threading.
+bool TenantsBitIdentical(const ShardArmResult& ref, const ShardArmResult& r) {
+  if (ref.per_tenant.size() != r.per_tenant.size()) return false;
+  for (size_t t = 0; t < ref.per_tenant.size(); ++t) {
+    bool same = true;
+#define DFIM_BENCH_CMP(type, name) \
+  same = same && ref.per_tenant[t].name == r.per_tenant[t].name;
+    DFIM_MIRRORED_COUNTERS(DFIM_BENCH_CMP)
+#undef DFIM_BENCH_CMP
+    if (!same) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -414,7 +517,7 @@ int main(int argc, char** argv) {
     json += buf;
     json += (i + 1 < fleet_arms.size()) ? ",\n" : "\n";
   }
-  json += "  ]\n}\n";
+  json += "  ],\n";
 
   // Equal-dollar win: the autoscaled fleet must beat the pinned fleet on
   // p99 queue delay or goodput without outspending it.
@@ -446,6 +549,105 @@ int main(int argc, char** argv) {
       std::printf("ELASTIC VIOLATION: dataflows failed (%d) with no builds "
                   "shed first\n",
                   preempt.m.dataflows_failed);
+      all_ok = false;
+    }
+  }
+
+  // ---- Sharded tenant-scaling sweep: 8 tenants across 1/2/4/8 shards,
+  // batched admission off and on, every arm at the same per-tenant fleet
+  // budget (identical service options modulo the batch knobs). Self-checks:
+  // the open-loop accounting identity is exact per tenant AND in aggregate,
+  // the aggregate equals the per-tenant sum on every mirrored counter, the
+  // per-tenant metrics are bit-identical across shard counts (shards are
+  // pure threading), and batched goodput keeps up with one-at-a-time.
+  const int num_tenants = 8;
+  const Seconds shard_horizon = (fast ? 60.0 : 240.0) * 60.0;
+  std::vector<ShardArm> shard_arms;
+  for (bool batched : {false, true}) {
+    for (int s : {1, 2, 4, 8}) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "sharded_s%d_%s", s,
+                    batched ? "batched" : "plain");
+      shard_arms.push_back({buf, s, batched});
+    }
+  }
+
+  bench::Header("Sharded tenant scaling (8 tenants, " +
+                std::to_string(static_cast<int>(shard_horizon / 60.0)) +
+                " quanta)");
+  std::printf("%-18s %8s %8s %8s %8s %8s %8s %9s %8s %7s\n", "arm", "arrived",
+              "finished", "shed", "goodput", "batches", "b.flows", "vm.q",
+              "wall.ms", "ok?");
+
+  json += "  \"sharded\": [\n";
+  std::vector<ShardArmResult> shard_results;
+  for (size_t i = 0; i < shard_arms.size(); ++i) {
+    ShardArmResult r =
+        RunShardArm(shard_arms[i], num_tenants, shard_horizon, seed);
+    shard_results.push_back(r);
+    const ShardArmResult& cur = shard_results.back();
+    const ServiceMetrics& m = cur.agg;
+    // Reference for bit-identity: the shards=1 arm of the same batch mode.
+    const ShardArmResult& ref = shard_results[(i / 4) * 4];
+    const bool invariant = TenantsBitIdentical(ref, cur);
+    bool ok = cur.accounting_slack == 0 && cur.tenant_slack == 0 &&
+              cur.sum_identity && invariant;
+    if (!invariant) {
+      std::printf("SHARDING VIOLATION: %s per-tenant metrics differ from "
+                  "%s\n",
+                  shard_arms[i].name.c_str(),
+                  shard_arms[(i / 4) * 4].name.c_str());
+    }
+    all_ok = all_ok && ok;
+    std::printf("%-18s %8d %8d %8d %8d %8lld %8lld %9lld %8.1f %7s\n",
+                shard_arms[i].name.c_str(), m.dataflows_arrived,
+                m.dataflows_finished, m.dataflows_shed, cur.goodput,
+                static_cast<long long>(m.dataflow_batches),
+                static_cast<long long>(m.batched_dataflows),
+                static_cast<long long>(m.total_vm_quanta), cur.wall_ms,
+                ok ? "yes" : "NO");
+
+    char buf[800];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"arm\": \"%s\", \"num_shards\": %d, \"batched\": %s, "
+        "\"num_tenants\": %d, \"horizon_quanta\": %d,\n"
+        "     \"dataflows_arrived\": %d, \"dataflows_finished\": %d, "
+        "\"dataflows_failed\": %d, \"dataflows_overran\": %d, "
+        "\"dataflows_shed\": %d,\n"
+        "     \"goodput\": %d, \"builds_shed\": %d, "
+        "\"dataflow_batches\": %lld, \"batched_dataflows\": %lld, "
+        "\"gate_puts\": %lld,\n"
+        "     \"total_vm_quanta\": %lld, \"queue_delay_quanta\": %.2f, "
+        "\"accounting_slack\": %d, \"tenant_slack\": %d,\n"
+        "     \"sum_identity\": %s, \"tenants_bit_identical\": %s, "
+        "\"wall_ms\": %.1f}",
+        shard_arms[i].name.c_str(), shard_arms[i].num_shards,
+        shard_arms[i].batched ? "true" : "false", num_tenants,
+        static_cast<int>(shard_horizon / 60.0), m.dataflows_arrived,
+        m.dataflows_finished, m.dataflows_failed, m.dataflows_overran,
+        m.dataflows_shed, cur.goodput, m.builds_shed,
+        static_cast<long long>(m.dataflow_batches),
+        static_cast<long long>(m.batched_dataflows),
+        static_cast<long long>(m.gate_puts),
+        static_cast<long long>(m.total_vm_quanta), m.queue_delay_quanta,
+        cur.accounting_slack, cur.tenant_slack,
+        cur.sum_identity ? "true" : "false", invariant ? "true" : "false",
+        cur.wall_ms);
+    json += buf;
+    json += (i + 1 < shard_arms.size()) ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  // Batched admission must keep up: merging co-arrived dataflows through a
+  // single skyline pass may not cost aggregate goodput at shards=1.
+  {
+    const ShardArmResult& plain = shard_results[0];
+    const ShardArmResult& batched = shard_results[4];
+    if (batched.goodput < plain.goodput) {
+      std::printf("SHARDING VIOLATION: batched goodput %d < one-at-a-time "
+                  "%d at shards=1\n",
+                  batched.goodput, plain.goodput);
       all_ok = false;
     }
   }

@@ -1,0 +1,193 @@
+#ifndef DFIM_CORE_ADMISSION_H_
+#define DFIM_CORE_ADMISSION_H_
+
+#include <deque>
+#include <map>
+#include <string>
+
+#include "core/service_metrics.h"
+#include "dataflow/dataflow.h"
+
+namespace dfim {
+
+/// \brief What the bounded admission queue sheds when it is full.
+enum class ShedPolicy {
+  /// Drop the arriving dataflow (classic tail drop).
+  kRejectNewest,
+  /// Drop the pending dataflow with the largest estimated makespan
+  /// (including the arrival itself) — protects cheap work under overload.
+  kRejectByCost,
+  /// Tail-drop on a full queue, plus an early drop at dequeue time of any
+  /// dataflow that can no longer meet its deadline even if started
+  /// immediately (requires `slo_factor` > 0).
+  kDeadlineInfeasible,
+};
+
+std::string_view ShedPolicyToString(ShedPolicy policy);
+
+/// \brief Open-loop admission control (all off by default: `open_loop`
+/// false keeps the paper's closed-loop issue-on-return path bit-identical).
+struct AdmissionOptions {
+  /// Arrival-driven service loop: dataflows queue at their arrival times
+  /// instead of being issued when the previous one returns.
+  bool open_loop = false;
+  /// Pending-queue capacity (0 = unbounded, nothing is ever shed).
+  int max_queue = 0;
+  ShedPolicy shed = ShedPolicy::kRejectNewest;
+  /// Deadline = arrival + slo_factor x estimated makespan (DAG critical
+  /// path). 0 disables deadlines and SLO accounting.
+  double slo_factor = 0;
+  /// Fleet-wide cap on recovery attempts across all dataflows; once spent,
+  /// crash-lost dataflows fail immediately instead of rescheduling their
+  /// suffix. -1 = unlimited (the per-dataflow max_recovery_attempts still
+  /// applies either way).
+  int retry_budget = -1;
+  /// Feed observed makespans back into the admission estimate: a per-app-
+  /// family EWMA of observed/critical-path ratios scales the bare
+  /// `CriticalPath()` bound used by kRejectByCost ordering and the
+  /// kDeadlineInfeasible dequeue check. Deadlines themselves stay pinned to
+  /// the raw critical path (the SLO contract does not drift with the
+  /// correction). 0 disables feedback (estimates bit-identical to before).
+  double estimate_ewma_alpha = 0;
+  /// Observations required per app family before the EWMA correction is
+  /// applied. The ratio starts at a prior of 1.0 and blends every
+  /// observation in, but the estimate stays the raw critical path until the
+  /// family has this many samples — a cold first run (no indexes built yet)
+  /// would otherwise seed an inflated ratio that sheds every later arrival
+  /// and starves the feedback loop of further observations.
+  int estimate_ewma_warmup = 3;
+};
+
+/// \brief Pressure-based brownout of optional index builds.
+///
+/// Pressure is the queue delay (in quanta) of the dataflow being dequeued.
+/// Between `lo` and `hi` the fraction of beneficial builds kept falls
+/// linearly from 1 to 0; at `hi` tuning disables entirely and only
+/// re-enables (hysteresis) once pressure drops below lo x resume_fraction.
+struct BrownoutOptions {
+  /// Pressure at which shedding starts (0 with hi == 0 disables brownout).
+  double pressure_lo_quanta = 0;
+  /// Pressure at which tuning shuts off entirely; <= 0 disables brownout.
+  double pressure_hi_quanta = 0;
+  /// Re-enable threshold as a fraction of pressure_lo_quanta.
+  double resume_fraction = 0.5;
+  /// Smoothed pressure signal: when > 0, pressure is an EWMA of the pending
+  /// queue *length* sampled at every arrival and dequeue event instead of
+  /// the per-dequeue queue delay — the smoothed signal rises as soon as the
+  /// queue starts growing, so brownout reacts before the first delayed
+  /// dataflow. The lo/hi thresholds are then read in queue entries rather
+  /// than delay quanta. 0 (default) keeps the delay signal bit-identical to
+  /// before.
+  double queue_ewma_alpha = 0;
+};
+
+/// \brief Circuit breaker on the storage persist (Put) path.
+///
+/// Counts consecutive transient-fault draws across persist attempts; at
+/// `open_after` the breaker opens and build persists are skipped outright
+/// (discarded without burning backoff delay) until `open_duration` of
+/// simulated time passes, after which a single half-open probe either
+/// closes the breaker or re-opens it.
+struct BreakerOptions {
+  /// Consecutive transient storage faults that open the breaker (0 = off).
+  int open_after = 0;
+  /// Simulated seconds the breaker stays open before the half-open probe.
+  Seconds open_duration = 300.0;
+};
+
+/// \brief Batched admission (DESIGN.md §14): dataflows already pending at
+/// dequeue time whose arrivals fall within one virtual-time window are
+/// tuned and scheduled through a single shared skyline pass, so one
+/// dataflow's build ops can pack into another's idle slots.
+///
+/// Off by default: with `max_batch` 1 the batch path is never entered and
+/// the open loop is bit-identical to the one-at-a-time service. Batching is
+/// work-conserving — the window never delays a dequeue to wait for future
+/// arrivals; it only merges entries that are already queued.
+struct BatchOptions {
+  /// Dataflows tuned + scheduled per admission batch (1 = off). Size-1
+  /// batches take the classic one-at-a-time path verbatim.
+  int max_batch = 1;
+  /// Arrival window, in quanta: a pending entry joins the batch only when
+  /// its arrival is within this many quanta of the batch head's arrival.
+  /// 0 merges only simultaneous arrivals.
+  double window_quanta = 0;
+};
+
+/// Rejects a non-positive batch size and a negative window.
+Status ValidateBatchOptions(const BatchOptions& opts);
+
+/// \brief One entry of the open-loop pending queue.
+struct PendingDataflow {
+  Dataflow df;
+  Seconds arrival = 0;
+  /// Makespan estimate used for admission decisions: the DAG critical
+  /// path, scaled by the app family's observed EWMA ratio when
+  /// estimate_ewma_alpha > 0.
+  Seconds estimate = 0;
+  /// Raw critical-path bound (feeds the EWMA ratio after execution).
+  Seconds raw_estimate = 0;
+  /// Absolute deadline (0 = none); always off the raw estimate.
+  Seconds deadline = 0;
+};
+
+/// \brief The admission loop's policy state, carved out of the service:
+/// the bounded pending queue with shed policies, the per-family makespan-
+/// estimate EWMA, the smoothed queue-pressure signal, and the brownout
+/// hysteresis. One controller per tenant — its state is part of the
+/// tenant's isolation unit in the sharded service.
+class AdmissionController {
+ public:
+  AdmissionController(const AdmissionOptions& admission,
+                      const BrownoutOptions& brownout)
+      : admission_(admission), brownout_(brownout) {}
+
+  /// Admits one arrival into the pending queue, shedding per policy.
+  void Admit(Dataflow df, std::deque<PendingDataflow>* queue,
+             ServiceMetrics* metrics);
+
+  /// Folds one queue-length observation into the smoothed pressure signal
+  /// (no-op when brownout.queue_ewma_alpha == 0). Sampled at every arrival
+  /// (Admit) and dequeue event.
+  void SampleQueuePressure(int queue_len);
+
+  /// Admission estimate for `app`: `raw` scaled by the family's observed
+  /// EWMA makespan/critical-path ratio (identity until the family has
+  /// estimate_ewma_warmup observations).
+  Seconds CorrectedEstimate(AppType app, Seconds raw) const;
+
+  /// Folds one observed (makespan, critical path) pair into the family's
+  /// EWMA ratio (no-op when estimate_ewma_alpha == 0).
+  void ObserveMakespan(AppType app, Seconds raw_estimate, Seconds observed);
+
+  /// Brownout knob from queue pressure (quanta), with hysteresis.
+  double BuildFraction(double pressure_quanta);
+
+  /// The family's warmed EWMA ratio (estimate_ewma_warmup observations or
+  /// more); false while cold. Drives the adaptive speculation watermark.
+  bool WarmRatio(AppType app, double* ratio) const;
+
+  /// Smoothed queue-length pressure (brownout.queue_ewma_alpha > 0 only).
+  double queue_ewma() const { return queue_ewma_; }
+
+ private:
+  AdmissionOptions admission_;
+  BrownoutOptions brownout_;
+  /// Per-app-family EWMA of observed makespan / critical-path ratios
+  /// (estimate_ewma_alpha > 0 only). The ratio blends from a prior of 1.0;
+  /// `count` gates application behind estimate_ewma_warmup.
+  struct EwmaState {
+    double ratio = 1.0;
+    int count = 0;
+  };
+  std::map<AppType, EwmaState> ewma_ratio_;
+  /// Brownout hysteresis: true once pressure crossed pressure_hi_quanta,
+  /// until it falls below pressure_lo_quanta x resume_fraction.
+  bool brownout_off_ = false;
+  /// Smoothed queue-length pressure, updated at every arrival and dequeue.
+  double queue_ewma_ = 0;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_CORE_ADMISSION_H_

@@ -73,18 +73,6 @@ std::string_view IndexPolicyToString(IndexPolicy policy) {
   return "?";
 }
 
-std::string_view ShedPolicyToString(ShedPolicy policy) {
-  switch (policy) {
-    case ShedPolicy::kRejectNewest:
-      return "reject-newest";
-    case ShedPolicy::kRejectByCost:
-      return "reject-by-cost";
-    case ShedPolicy::kDeadlineInfeasible:
-      return "deadline-infeasible";
-  }
-  return "?";
-}
-
 QaasService::QaasService(Catalog* catalog, ServiceOptions options)
     : catalog_(catalog),
       opts_(options),
@@ -100,7 +88,8 @@ QaasService::QaasService(Catalog* catalog, ServiceOptions options)
       provider_faults_(options.faults),
       fleet_(options.container, options.tuner.pricing,
              options.autoscaler.enabled ? options.autoscaler.max_containers
-                                        : std::numeric_limits<int>::max()) {
+                                        : std::numeric_limits<int>::max()),
+      admission_(options.admission, options.brownout) {
   // Plumb/normalize the scheduler knobs once: every SkylineScheduler the
   // service constructs (directly or via the tuner's interleaver) sees the
   // same options, and a zero/negative thread count means "serial".
@@ -148,8 +137,9 @@ QaasService::FleetPlan QaasService::PrepareFleet(Seconds now,
     // Policy step: move the target with the queue-pressure signal (the
     // smoothed EWMA when on — it rises before the first delayed dataflow —
     // the per-dequeue delay otherwise).
-    const double signal =
-        opts_.brownout.queue_ewma_alpha > 0 ? queue_ewma_ : last_pressure_;
+    const double signal = opts_.brownout.queue_ewma_alpha > 0
+                              ? admission_.queue_ewma()
+                              : last_pressure_;
     const int prev = fleet_target_;
     if (signal >= opts_.autoscaler.grow_pressure) {
       fleet_target_ = std::min(opts_.autoscaler.max_containers,
@@ -507,12 +497,40 @@ void QaasService::HarvestIntegrity(Seconds now, ServiceMetrics* metrics) {
       static_cast<int>(catalog_->quarantine_evictions());
 }
 
+Result<TunerDecision> QaasService::Decide(const Dataflow& df, Seconds start,
+                                          ServiceMetrics* metrics,
+                                          double build_fraction,
+                                          int fleet_bound) {
+  const bool tuned = opts_.policy == IndexPolicy::kGain ||
+                     opts_.policy == IndexPolicy::kGainNoDelete;
+  TunerDecision decision;
+  if (tuned && build_fraction <= 0) {
+    // Full brownout: skip the tuning step entirely — schedule the bare
+    // dataflow, no build ops, no deletions. History is still recorded by
+    // the caller so gains keep accumulating for when pressure subsides.
+    // Every unbuilt candidate the tuner might have picked counts as shed
+    // (an upper-bound proxy; the tuner was never consulted).
+    DFIM_ASSIGN_OR_RETURN(decision, BaselineDecision(df, fleet_bound));
+    for (const auto& idx : df.candidate_indexes) {
+      if (!tuner_.IsBuilt(idx)) ++decision.builds_shed;
+    }
+  } else if (tuned) {
+    DFIM_ASSIGN_OR_RETURN(
+        decision,
+        tuner_.OnDataflow(df, history_, start,
+                          opts_.resumable_builds ? &build_progress_ : nullptr,
+                          build_fraction, fleet_bound));
+  } else {
+    DFIM_ASSIGN_OR_RETURN(decision, BaselineDecision(df, fleet_bound));
+  }
+  metrics->builds_shed += decision.builds_shed;
+  return decision;
+}
+
 Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
                                                     Seconds start,
                                                     ServiceMetrics* metrics,
                                                     double build_fraction) {
-  bool tuned = opts_.policy == IndexPolicy::kGain ||
-               opts_.policy == IndexPolicy::kGainNoDelete;
   // Background scrub first (DESIGN.md §12): latent rot caught here is
   // quarantined before the tuner consults the catalog, so this very
   // decision already plans around (and can repair) the loss.
@@ -524,27 +542,9 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
   // the real, smaller fleet. Inert (configured cap, zero wait) when the
   // elastic machinery is off.
   const FleetPlan fleet_plan = PrepareFleet(start, metrics);
-  TunerDecision decision;
-  if (tuned && build_fraction <= 0) {
-    // Full brownout: skip the tuning step entirely — schedule the bare
-    // dataflow, no build ops, no deletions. History is still recorded below
-    // so gains keep accumulating for when pressure subsides. Every unbuilt
-    // candidate the tuner might have picked counts as shed (an upper-bound
-    // proxy; the tuner was never consulted).
-    DFIM_ASSIGN_OR_RETURN(decision, BaselineDecision(df, fleet_plan.bound));
-    for (const auto& idx : df.candidate_indexes) {
-      if (!tuner_.IsBuilt(idx)) ++decision.builds_shed;
-    }
-  } else if (tuned) {
-    DFIM_ASSIGN_OR_RETURN(
-        decision,
-        tuner_.OnDataflow(df, history_, start,
-                          opts_.resumable_builds ? &build_progress_ : nullptr,
-                          build_fraction, fleet_plan.bound));
-  } else {
-    DFIM_ASSIGN_OR_RETURN(decision, BaselineDecision(df, fleet_plan.bound));
-  }
-  metrics->builds_shed += decision.builds_shed;
+  DFIM_ASSIGN_OR_RETURN(
+      TunerDecision decision,
+      Decide(df, start, metrics, build_fraction, fleet_plan.bound));
 
   // Bind-time verification and repair packing (DESIGN.md §12; both no-ops
   // with the integrity knobs at their defaults). Verification runs before
@@ -557,6 +557,27 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
     ScheduleRepairs(&decision, metrics);
   }
 
+  DFIM_ASSIGN_OR_RETURN(
+      ExecOutcome exec,
+      ExecuteDecision(&decision, df, start, fleet_plan.wait, metrics));
+  const Seconds quantum = opts_.tuner.sched.quantum;
+  const Seconds finish = start + exec.elapsed;
+  if (!exec.failed) {
+    RecordHistory(df, finish, exec.elapsed / quantum,
+                  static_cast<double>(exec.total_leased));
+    ApplyDeletions(decision.to_delete, finish, metrics);
+  }
+  const Seconds settled = std::max(finish, exec.last_persist);
+  storage_.AdvanceTo(settled);
+  metrics->total_time_quanta += exec.elapsed / quantum;
+  HarvestFleet(metrics);
+  StampTimeline(finish, exec.elapsed / quantum, metrics);
+  return RunOutcome{finish, exec.failed, settled};
+}
+
+Result<QaasService::ExecOutcome> QaasService::ExecuteDecision(
+    TunerDecision* decision, const Dataflow& df, Seconds start,
+    Seconds initial_wait, ServiceMetrics* metrics) {
   FaultModel fault_model(opts_.faults);
   const bool inject = fault_model.enabled();
 
@@ -569,9 +590,9 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
   // reschedule only the unfinished suffix — re-paying the quanta — onto
   // fresh/surviving containers; lost build ops are simply dropped (a lost
   // piggybacked build must never stall the dataflow).
-  const Dag* cur_dag = &decision.combined;
-  const Schedule* cur_plan = &decision.chosen;
-  const std::vector<SimOpCost>* cur_costs = &decision.costs;
+  const Dag* cur_dag = &decision->combined;
+  const Schedule* cur_plan = &decision->chosen;
+  const std::vector<SimOpCost>* cur_costs = &decision->costs;
   Dag suffix_dag;
   Schedule suffix_plan;
   std::vector<SimOpCost> suffix_costs;
@@ -579,10 +600,10 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
 
   // Mandatory ops (combined-id space) that completed on a still-live
   // container across attempts.
-  std::vector<char> done(decision.combined.num_ops(), 0);
+  std::vector<char> done(decision->combined.num_ops(), 0);
   // The elastic fleet may have waited out a boot delay or an acquire
   // backoff before a single usable container existed.
-  Seconds elapsed = fleet_plan.wait;
+  Seconds elapsed = initial_wait;
   int64_t total_leased = 0;
   bool failed = false;
   // Builds may complete inside the already-paid lease tail past the
@@ -641,12 +662,10 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
       // gated) gets a proportionally laxer threshold, so structural
       // slowness stops masquerading as straggling. Never tightens below
       // the configured floor.
-      if (fi.spec.speculate && fi.spec.adaptive_spec_threshold &&
-          opts_.admission.estimate_ewma_alpha > 0) {
-        auto ew = ewma_ratio_.find(df.app);
-        if (ew != ewma_ratio_.end() &&
-            ew->second.count >= opts_.admission.estimate_ewma_warmup) {
-          fi.spec.spec_slowdown_threshold *= std::max(1.0, ew->second.ratio);
+      if (fi.spec.speculate && fi.spec.adaptive_spec_threshold) {
+        double ratio = 1.0;
+        if (admission_.WarmRatio(df.app, &ratio)) {
+          fi.spec.spec_slowdown_threshold *= std::max(1.0, ratio);
         }
       }
       // Breaker coordination: a hedge is an extra storage request, and
@@ -847,7 +866,20 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
           // completion. Bill from the high-water mark, which is what
           // StorageService's settle clamp would do anyway, without tripping
           // the clock-regression counter.
-          const Seconds persist_at = std::max(built_at, storage_.last_billed());
+          Seconds persist_at = std::max(built_at, storage_.last_billed());
+          // Cross-shard fairness gate (sharded service only): a hot shard's
+          // persists past its fair share are delayed to the next window,
+          // extending the dataflow's wall time like persist backoff does.
+          if (persist_gate_ != nullptr) {
+            ++metrics->gate_puts;
+            Seconds gd = persist_gate_->OnPersist(gate_shard_, persist_at);
+            if (gd > 0) {
+              ++metrics->gate_throttled;
+              metrics->gate_throttle_quanta += gd / sim.quantum;
+              persist_delay += gd;
+              persist_at += gd;
+            }
+          }
           int64_t gen = storage_.Put(path, part.size, persist_at, stamp);
           if (double_landed) {
             storage_.Put(path, part.size, persist_at, stamp);
@@ -932,7 +964,7 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
     for (const auto& a : cur_plan->assignments()) {
       cur_placed[static_cast<size_t>(a.op_id)] = a.container;
     }
-    std::vector<char> ran_here(decision.combined.num_ops(), 0);
+    std::vector<char> ran_here(decision->combined.num_ops(), 0);
     std::vector<int> on_crashed;  // combined ids finished on dead containers
     for (const auto& op : cur_dag->ops()) {
       if (op.optional) continue;
@@ -945,7 +977,7 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
     std::sort(on_crashed.begin(), on_crashed.end());
     for (bool grew = true; grew;) {
       grew = false;
-      for (const auto& f : decision.combined.flows()) {
+      for (const auto& f : decision->combined.flows()) {
         if (needed.count(f.to) == 0 || needed.count(f.from) > 0) continue;
         if (std::binary_search(on_crashed.begin(), on_crashed.end(), f.from)) {
           needed.insert(f.from);
@@ -964,18 +996,18 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
     suffix_costs.clear();
     orig_ids.clear();
     for (int orig : needed) {
-      Operator op = decision.combined.op(orig);
+      Operator op = decision->combined.op(orig);
       int nid = suffix_dag.AddOperator(std::move(op));
       remap[orig] = nid;
       orig_ids.push_back(orig);
-      suffix_costs.push_back(decision.costs[static_cast<size_t>(orig)]);
+      suffix_costs.push_back(decision->costs[static_cast<size_t>(orig)]);
     }
     std::vector<Seconds> suffix_durations;
     for (int orig : needed) {
       suffix_durations.push_back(
-          decision.durations[static_cast<size_t>(orig)]);
+          decision->durations[static_cast<size_t>(orig)]);
     }
-    for (const auto& f : decision.combined.flows()) {
+    for (const auto& f : decision->combined.flows()) {
       auto it_to = remap.find(f.to);
       if (it_to == remap.end()) continue;
       auto it_from = remap.find(f.from);
@@ -1013,62 +1045,66 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
     cur_costs = &suffix_costs;
   }
 
-  Seconds finish = start + elapsed;
+  return ExecOutcome{elapsed, total_leased, failed, last_persist};
+}
 
-  if (!failed) {
-    // Record history: what-if gains of every candidate index (the paper's
-    // Hd stores each dataflow with its specified indexes and their gains).
-    // Failed dataflows record nothing — they produced no result.
-    DataflowRecord rec;
-    rec.dataflow_id = df.id;
-    rec.app = df.app;
-    rec.finished_at = finish;
-    rec.time_quanta = elapsed / opts_.tuner.sched.quantum;
-    rec.money_quanta = static_cast<double>(total_leased);
-    for (const auto& idx : df.candidate_indexes) {
-      double g = tuner_.EstimateDataflowGain(df, idx);
-      if (g > 0) {
-        rec.time_gain[idx] = g;
-        rec.money_gain[idx] = g;
-        last_useful_[idx] = finish;
-      }
+void QaasService::RecordHistory(const Dataflow& df, Seconds finish,
+                                double time_quanta, double money_quanta) {
+  // Record history: what-if gains of every candidate index (the paper's
+  // Hd stores each dataflow with its specified indexes and their gains).
+  // Failed dataflows record nothing — they produced no result. The gains
+  // loop refreshes last_useful_, so this must run before ApplyDeletions.
+  DataflowRecord rec;
+  rec.dataflow_id = df.id;
+  rec.app = df.app;
+  rec.finished_at = finish;
+  rec.time_quanta = time_quanta;
+  rec.money_quanta = money_quanta;
+  for (const auto& idx : df.candidate_indexes) {
+    double g = tuner_.EstimateDataflowGain(df, idx);
+    if (g > 0) {
+      rec.time_gain[idx] = g;
+      rec.money_gain[idx] = g;
+      last_useful_[idx] = finish;
     }
-
-    // Deletions (Gain policy only; Random/NoDelete never delete). An index
-    // is only dropped once it has gone unreferenced for the grace period,
-    // so a single low-speedup draw does not evict an otherwise hot index.
-    Seconds grace = opts_.deletion_grace_quanta * opts_.tuner.sched.quantum;
-    for (const auto& idx : decision.to_delete) {
-      auto it = last_useful_.find(idx);
-      // Unknown reference times count as fresh (conservative: never delete
-      // an index whose usage we have not observed yet).
-      if (it == last_useful_.end() || finish - it->second < grace) continue;
-      if (std::getenv("DFIM_DEBUG_DELETE") != nullptr) {
-        std::fprintf(stderr, "[delete] t=%.1fq idx=%s age=%.1fq\n",
-                     finish / opts_.tuner.sched.quantum, idx.c_str(),
-                     (finish - it->second) / opts_.tuner.sched.quantum);
-      }
-      auto dropped = catalog_->DropIndex(idx);
-      if (dropped.ok() && !dropped->empty()) {
-        for (const auto& path : *dropped) storage_.Delete(path, finish);
-        ++metrics->indexes_deleted;
-      }
-    }
-    history_.push_back(std::move(rec));
-    while (history_.size() > opts_.max_history) history_.pop_front();
   }
+  history_.push_back(std::move(rec));
+  while (history_.size() > opts_.max_history) history_.pop_front();
+}
 
-  // Metrics and the Fig. 13 timeline. Every mirrored cumulative counter is
-  // stamped mechanically (DFIM_MIRRORED_COUNTERS keeps the mirror total);
-  // the fleet ledger is harvested first so its counters are current.
-  Seconds settled = std::max(finish, last_persist);
-  storage_.AdvanceTo(settled);
-  metrics->total_time_quanta += elapsed / opts_.tuner.sched.quantum;
-  HarvestFleet(metrics);
+void QaasService::ApplyDeletions(const std::vector<std::string>& to_delete,
+                                 Seconds finish, ServiceMetrics* metrics) {
+  // Deletions (Gain policy only; Random/NoDelete never delete). An index
+  // is only dropped once it has gone unreferenced for the grace period,
+  // so a single low-speedup draw does not evict an otherwise hot index.
+  Seconds grace = opts_.deletion_grace_quanta * opts_.tuner.sched.quantum;
+  for (const auto& idx : to_delete) {
+    auto it = last_useful_.find(idx);
+    // Unknown reference times count as fresh (conservative: never delete
+    // an index whose usage we have not observed yet).
+    if (it == last_useful_.end() || finish - it->second < grace) continue;
+    if (std::getenv("DFIM_DEBUG_DELETE") != nullptr) {
+      std::fprintf(stderr, "[delete] t=%.1fq idx=%s age=%.1fq\n",
+                   finish / opts_.tuner.sched.quantum, idx.c_str(),
+                   (finish - it->second) / opts_.tuner.sched.quantum);
+    }
+    auto dropped = catalog_->DropIndex(idx);
+    if (dropped.ok() && !dropped->empty()) {
+      for (const auto& path : *dropped) storage_.Delete(path, finish);
+      ++metrics->indexes_deleted;
+    }
+  }
+}
+
+void QaasService::StampTimeline(Seconds finish, double makespan_quanta,
+                                ServiceMetrics* metrics) {
+  // The Fig. 13 timeline. Every mirrored cumulative counter is stamped
+  // mechanically (DFIM_MIRRORED_COUNTERS keeps the mirror total); the
+  // caller harvests the fleet ledger first so its counters are current.
   TimelinePoint pt;
   pt.t = finish;
   pt.storage_cost = storage_.accrued_cost();
-  pt.makespan_quanta = elapsed / opts_.tuner.sched.quantum;
+  pt.makespan_quanta = makespan_quanta;
   pt.corruptions_injected = storage_.corruptions_injected();
 #define DFIM_STAMP_COUNTER(type, name) pt.name = metrics->name;
   DFIM_MIRRORED_COUNTERS(DFIM_STAMP_COUNTER)
@@ -1081,7 +1117,134 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
     }
   }
   metrics->timeline.push_back(pt);
-  return RunOutcome{finish, failed, settled};
+}
+
+Result<QaasService::RunOutcome> QaasService::RunBatch(
+    const std::vector<PendingDataflow>& batch, Seconds start,
+    ServiceMetrics* metrics, double build_fraction) {
+  // Batched admission (DESIGN.md §14): every member is tuned against the
+  // same catalog/history snapshot, the combined DAGs are merged (build ops
+  // for the same partition deduped), and a single skyline pass schedules
+  // the union — one member's builds pack into another's idle slots.
+  if (opts_.integrity.scrub_objects_per_quantum > 0) {
+    RunScrub(start, metrics);
+  }
+  const FleetPlan fleet_plan = PrepareFleet(start, metrics);
+
+  std::vector<TunerDecision> decisions;
+  decisions.reserve(batch.size());
+  for (const auto& p : batch) {
+    DFIM_ASSIGN_OR_RETURN(
+        TunerDecision d,
+        Decide(p.df, start, metrics, build_fraction, fleet_plan.bound));
+    decisions.push_back(std::move(d));
+  }
+
+  // Merge into one decision. Duplicate build ops (two members wanting the
+  // same index partition) keep only the first copy; flows touching a
+  // dropped duplicate are dropped with it (build ops are sources/sinks of
+  // their private staging flows, never of dataflow edges).
+  TunerDecision merged;
+  std::set<std::pair<std::string, int>> build_seen;
+  std::vector<int> build_ids;
+  for (const auto& d : decisions) {
+    std::vector<int> remap(d.combined.num_ops(), -1);
+    for (const auto& op : d.combined.ops()) {
+      if (op.optional && op.kind == OpKind::kBuildIndex) {
+        if (!build_seen.emplace(op.index_id, op.index_partition).second) {
+          continue;  // another member already builds this partition
+        }
+      }
+      Operator copy = op;
+      int nid = merged.combined.AddOperator(std::move(copy));
+      remap[static_cast<size_t>(op.id)] = nid;
+      merged.durations.push_back(d.durations[static_cast<size_t>(op.id)]);
+      merged.costs.push_back(d.costs[static_cast<size_t>(op.id)]);
+      const Operator& placed = merged.combined.op(nid);
+      if (placed.optional && placed.kind == OpKind::kBuildIndex) {
+        build_ids.push_back(nid);
+      }
+    }
+    for (const auto& f : d.combined.flows()) {
+      int from = remap[static_cast<size_t>(f.from)];
+      int to = remap[static_cast<size_t>(f.to)];
+      if (from < 0 || to < 0) continue;
+      DFIM_RETURN_NOT_OK(merged.combined.AddFlow(from, to, f.size));
+    }
+    for (const auto& idx : d.to_delete) {
+      if (std::find(merged.to_delete.begin(), merged.to_delete.end(), idx) ==
+          merged.to_delete.end()) {
+        merged.to_delete.push_back(idx);
+      }
+    }
+  }
+
+  // One shared skyline pass over the merged mandatory DAG, then the union
+  // of build ops re-packed into the merged schedule's idle slots (LP mode
+  // regardless of the tuner's interleave mode — the members' own packings
+  // were discarded with their schedules; a deliberate simplification).
+  SchedulerOptions sched = opts_.tuner.sched;
+  if (fleet_plan.bound > 0 && fleet_plan.bound < sched.max_containers) {
+    sched.max_containers = fleet_plan.bound;
+  }
+  SkylineScheduler scheduler(sched);
+  DFIM_ASSIGN_OR_RETURN(merged.skyline,
+                        scheduler.ScheduleDag(merged.combined,
+                                              merged.durations,
+                                              /*place_optional=*/false));
+  if (merged.skyline.empty()) return Status::Internal("empty batch skyline");
+  merged.chosen = merged.skyline.front();
+  if (!build_ids.empty() && build_fraction > 0) {
+    Interleaver interleaver(sched, InterleaveMode::kLp);
+    merged.chosen = interleaver.PackIntoIdleSlots(
+        merged.chosen, merged.combined, merged.durations, build_ids);
+    for (const auto& a : merged.chosen.assignments()) {
+      if (a.optional) ++merged.build_ops_scheduled;
+    }
+  }
+
+  if (opts_.integrity.verify_reads) {
+    VerifyIndexBindings(&merged, start, metrics);
+  }
+  if (opts_.integrity.repair && build_fraction > 0) {
+    ScheduleRepairs(&merged, metrics);
+  }
+
+  // One execution for the whole batch; the head member keys the fault
+  // draws and the adaptive speculation watermark.
+  DFIM_ASSIGN_OR_RETURN(
+      ExecOutcome exec,
+      ExecuteDecision(&merged, batch.front().df, start, fleet_plan.wait,
+                      metrics));
+  // ExecuteDecision counted one failure; a failed batch loses every member.
+  if (exec.failed) {
+    metrics->dataflows_failed += static_cast<int>(batch.size()) - 1;
+  }
+  const Seconds quantum = opts_.tuner.sched.quantum;
+  const Seconds finish = start + exec.elapsed;
+  if (!exec.failed) {
+    // Per-member history: members share the realized makespan (they ran as
+    // one merged schedule) and split the VM bill into equal shares, so the
+    // batch's total money matches the one-at-a-time accounting identity.
+    const double share =
+        static_cast<double>(exec.total_leased) / batch.size();
+    for (const auto& p : batch) {
+      RecordHistory(p.df, finish, exec.elapsed / quantum, share);
+    }
+    ApplyDeletions(merged.to_delete, finish, metrics);
+  }
+  const Seconds settled = std::max(finish, exec.last_persist);
+  storage_.AdvanceTo(settled);
+  // Server occupancy: the batch held the service for one merged makespan.
+  metrics->total_time_quanta += exec.elapsed / quantum;
+  ++metrics->dataflow_batches;
+  metrics->batched_dataflows += static_cast<int>(batch.size());
+  HarvestFleet(metrics);
+  // One timeline point per member (the open loop re-stamps queue state).
+  for (size_t i = 0; i < batch.size(); ++i) {
+    StampTimeline(finish, exec.elapsed / quantum, metrics);
+  }
+  return RunOutcome{finish, exec.failed, settled};
 }
 
 void QaasService::ApplyDueUpdates(Seconds now, ServiceMetrics* metrics) {
@@ -1124,10 +1287,16 @@ Result<ServiceMetrics> QaasService::Run(WorkloadClient* client) {
   DFIM_RETURN_NOT_OK(ValidateSpeculationOptions(opts_.speculation));
   DFIM_RETURN_NOT_OK(ValidateIntegrityOptions(opts_.integrity));
   DFIM_RETURN_NOT_OK(ValidateAutoscalerOptions(opts_.autoscaler));
+  DFIM_RETURN_NOT_OK(ValidateBatchOptions(opts_.batch));
   if (opts_.autoscaler.enabled && !opts_.admission.open_loop) {
     return Status::InvalidArgument(
         "autoscaler requires admission.open_loop: the closed loop has no "
         "queue-pressure signal to scale on");
+  }
+  if (opts_.batch.max_batch > 1 && !opts_.admission.open_loop) {
+    return Status::InvalidArgument(
+        "batched admission requires admission.open_loop: the closed loop "
+        "issues one dataflow at a time, so there is never a queue to merge");
   }
   if (opts_.admission.open_loop) return RunOpenLoop(client);
   ServiceMetrics metrics;
@@ -1174,101 +1343,12 @@ Result<ServiceMetrics> QaasService::Run(WorkloadClient* client) {
   return metrics;
 }
 
-Seconds QaasService::CorrectedEstimate(AppType app, Seconds raw) const {
-  if (opts_.admission.estimate_ewma_alpha <= 0) return raw;
-  auto it = ewma_ratio_.find(app);
-  if (it == ewma_ratio_.end()) return raw;
-  if (it->second.count < opts_.admission.estimate_ewma_warmup) return raw;
-  return raw * it->second.ratio;
-}
-
-void QaasService::ObserveMakespan(AppType app, Seconds raw_estimate,
-                                  Seconds observed) {
-  double alpha = opts_.admission.estimate_ewma_alpha;
-  if (alpha <= 0 || raw_estimate <= 0 || observed <= 0) return;
-  double ratio = observed / raw_estimate;
-  EwmaState& state = ewma_ratio_[app];  // starts at the 1.0 prior
-  state.ratio = alpha * ratio + (1.0 - alpha) * state.ratio;
-  ++state.count;
-}
-
-void QaasService::Admit(Dataflow df, std::deque<Pending>* queue,
-                        ServiceMetrics* metrics) {
-  ++metrics->dataflows_arrived;
-  Pending p;
-  p.arrival = df.issued_at;
-  auto cp = df.dag.CriticalPath();
-  p.raw_estimate = cp.ok() ? *cp : 0;
-  p.estimate = CorrectedEstimate(df.app, p.raw_estimate);
-  if (opts_.admission.slo_factor > 0) {
-    // The SLO contract stays pinned to the raw critical path so the
-    // deadline itself does not drift as the correction learns.
-    p.deadline = p.arrival + opts_.admission.slo_factor * p.raw_estimate;
-  }
-  p.df = std::move(df);
-
-  int cap = opts_.admission.max_queue;
-  if (cap > 0 && static_cast<int>(queue->size()) >= cap) {
-    if (opts_.admission.shed == ShedPolicy::kRejectByCost) {
-      // Drop the most expensive pending entry — the arrival included — so
-      // cheap work keeps flowing under overload.
-      auto worst = queue->end();
-      Seconds worst_est = p.estimate;
-      for (auto it = queue->begin(); it != queue->end(); ++it) {
-        if (it->estimate > worst_est) {
-          worst_est = it->estimate;
-          worst = it;
-        }
-      }
-      ++metrics->dataflows_shed;
-      ++metrics->shed_queue_full;
-      if (worst == queue->end()) return;  // the arrival itself is worst
-      queue->erase(worst);
-    } else {
-      // kRejectNewest and kDeadlineInfeasible both tail-drop when full.
-      ++metrics->dataflows_shed;
-      ++metrics->shed_queue_full;
-      return;
-    }
-  }
-  queue->push_back(std::move(p));
-  metrics->peak_queue_len =
-      std::max(metrics->peak_queue_len, static_cast<int>(queue->size()));
-  SampleQueuePressure(static_cast<int>(queue->size()));
-}
-
-void QaasService::SampleQueuePressure(int queue_len) {
-  double alpha = opts_.brownout.queue_ewma_alpha;
-  if (alpha <= 0) return;
-  queue_ewma_ =
-      alpha * static_cast<double>(queue_len) + (1.0 - alpha) * queue_ewma_;
-}
-
-double QaasService::BuildFraction(double pressure_quanta) {
-  const BrownoutOptions& b = opts_.brownout;
-  if (b.pressure_hi_quanta <= 0) return 1.0;
-  if (brownout_off_) {
-    if (pressure_quanta < b.pressure_lo_quanta * b.resume_fraction) {
-      brownout_off_ = false;  // hysteretic re-enable
-    } else {
-      return 0;
-    }
-  }
-  if (pressure_quanta >= b.pressure_hi_quanta) {
-    brownout_off_ = true;
-    return 0;
-  }
-  if (pressure_quanta <= b.pressure_lo_quanta) return 1.0;
-  return 1.0 - (pressure_quanta - b.pressure_lo_quanta) /
-                   (b.pressure_hi_quanta - b.pressure_lo_quanta);
-}
-
 Result<ServiceMetrics> QaasService::RunOpenLoop(WorkloadClient* client) {
   ServiceMetrics metrics;
   const Seconds quantum = opts_.tuner.sched.quantum;
   Seconds clock = 0;    // when the service front door is next free
   Seconds settled = 0;
-  std::deque<Pending> queue;
+  std::deque<PendingDataflow> queue;
   std::optional<Dataflow> next_df = client->Next(0, opts_.total_time);
 
   // Event loop in virtual-time order: an arrival is admitted the moment it
@@ -1280,12 +1360,12 @@ Result<ServiceMetrics> QaasService::RunOpenLoop(WorkloadClient* client) {
                              ? std::numeric_limits<Seconds>::infinity()
                              : std::max(clock, queue.front().arrival);
     if (next_df.has_value() && next_df->issued_at <= dequeue_at) {
-      Admit(std::move(*next_df), &queue, &metrics);
+      admission_.Admit(std::move(*next_df), &queue, &metrics);
       next_df = client->Next(0, opts_.total_time);
       continue;
     }
 
-    Pending p = std::move(queue.front());
+    PendingDataflow p = std::move(queue.front());
     queue.pop_front();
     Seconds start = std::max(clock, p.arrival);
     if (start >= opts_.total_time) {
@@ -1302,41 +1382,78 @@ Result<ServiceMetrics> QaasService::RunOpenLoop(WorkloadClient* client) {
       continue;
     }
 
-    double pressure = (start - p.arrival) / quantum;
+    // Batched admission (DESIGN.md §14; max_batch 1 never enters this
+    // loop). Work-conserving: only entries already pending whose arrivals
+    // fall within the head's window join — the dequeue never waits for
+    // future arrivals. Infeasible entries are shed here exactly as the head
+    // check above would have shed them one dequeue later.
+    std::vector<PendingDataflow> batch;
+    batch.push_back(std::move(p));
+    if (opts_.batch.max_batch > 1) {
+      const Seconds window = opts_.batch.window_quanta * quantum;
+      while (static_cast<int>(batch.size()) < opts_.batch.max_batch &&
+             !queue.empty() &&
+             queue.front().arrival <= batch.front().arrival + window) {
+        PendingDataflow q = std::move(queue.front());
+        queue.pop_front();
+        if (opts_.admission.shed == ShedPolicy::kDeadlineInfeasible &&
+            q.deadline > 0 && start + q.estimate > q.deadline) {
+          ++metrics.dataflows_shed;
+          ++metrics.shed_infeasible;
+          continue;
+        }
+        batch.push_back(std::move(q));
+      }
+    }
+
+    double pressure = (start - batch.front().arrival) / quantum;
     last_pressure_ = pressure;  // the autoscaler signal when the EWMA is off
-    SampleQueuePressure(static_cast<int>(queue.size()));
+    admission_.SampleQueuePressure(static_cast<int>(queue.size()));
     // Brownout signal: the smoothed queue length when enabled (it rises as
     // soon as the queue grows, before any dataflow is actually delayed),
     // the per-dequeue delay otherwise.
-    double fraction = BuildFraction(
-        opts_.brownout.queue_ewma_alpha > 0 ? queue_ewma_ : pressure);
+    double fraction = admission_.BuildFraction(
+        opts_.brownout.queue_ewma_alpha > 0 ? admission_.queue_ewma()
+                                            : pressure);
     ApplyDueUpdates(start, &metrics);
-    DFIM_ASSIGN_OR_RETURN(RunOutcome out,
-                          RunOne(p.df, start, &metrics, fraction));
+    RunOutcome out;
+    if (batch.size() == 1) {
+      DFIM_ASSIGN_OR_RETURN(out,
+                            RunOne(batch.front().df, start, &metrics,
+                                   fraction));
+    } else {
+      DFIM_ASSIGN_OR_RETURN(out, RunBatch(batch, start, &metrics, fraction));
+    }
     clock = out.finish;
     settled = std::max(settled, out.settled);
-    metrics.queue_delay_quanta += pressure;
-    if (!out.failed) {
-      // Feed the realized makespan back into the family's estimate ratio.
-      ObserveMakespan(p.df.app, p.raw_estimate, out.finish - start);
-      if (out.finish <= opts_.total_time) {
-        ++metrics.dataflows_finished;
-      } else {
-        ++metrics.dataflows_overran;
-      }
-      if (p.deadline > 0 && out.finish > p.deadline) {
-        ++metrics.deadlines_missed;
+    for (const auto& m : batch) {
+      metrics.queue_delay_quanta += (start - m.arrival) / quantum;
+      if (!out.failed) {
+        // Feed the realized makespan back into the family's estimate ratio.
+        admission_.ObserveMakespan(m.df.app, m.raw_estimate,
+                                   out.finish - start);
+        if (out.finish <= opts_.total_time) {
+          ++metrics.dataflows_finished;
+        } else {
+          ++metrics.dataflows_overran;
+        }
+        if (m.deadline > 0 && out.finish > m.deadline) {
+          ++metrics.deadlines_missed;
+        }
       }
     }
-    // RunOne appended this dataflow's timeline point; stamp the open-loop
-    // state onto it and refresh every mirrored counter (deadline/finish
-    // accounting above ran after RunOne's stamp).
-    TimelinePoint& pt = metrics.timeline.back();
-    pt.queue_len = static_cast<int>(queue.size());
-    pt.queue_delay_quanta = pressure;
+    // RunOne/RunBatch appended one timeline point per member; stamp the
+    // open-loop state onto each and refresh every mirrored counter
+    // (deadline/finish accounting above ran after the execution stamp).
+    for (size_t i = 0; i < batch.size(); ++i) {
+      TimelinePoint& pt =
+          metrics.timeline[metrics.timeline.size() - batch.size() + i];
+      pt.queue_len = static_cast<int>(queue.size());
+      pt.queue_delay_quanta = (start - batch[i].arrival) / quantum;
 #define DFIM_STAMP_COUNTER(type, name) pt.name = metrics.name;
-    DFIM_MIRRORED_COUNTERS(DFIM_STAMP_COUNTER)
+      DFIM_MIRRORED_COUNTERS(DFIM_STAMP_COUNTER)
 #undef DFIM_STAMP_COUNTER
+    }
   }
 
   Seconds final_t = std::max({opts_.total_time, clock, settled});

@@ -10,6 +10,8 @@
 #include "cloud/cluster.h"
 #include "cloud/fault_model.h"
 #include "cloud/storage_service.h"
+#include "core/admission.h"
+#include "core/service_metrics.h"
 #include "core/tuner.h"
 #include "dataflow/workload.h"
 #include "sched/exec_simulator.h"
@@ -31,91 +33,6 @@ enum class IndexPolicy {
 };
 
 std::string_view IndexPolicyToString(IndexPolicy policy);
-
-/// \brief What the bounded admission queue sheds when it is full.
-enum class ShedPolicy {
-  /// Drop the arriving dataflow (classic tail drop).
-  kRejectNewest,
-  /// Drop the pending dataflow with the largest estimated makespan
-  /// (including the arrival itself) — protects cheap work under overload.
-  kRejectByCost,
-  /// Tail-drop on a full queue, plus an early drop at dequeue time of any
-  /// dataflow that can no longer meet its deadline even if started
-  /// immediately (requires `slo_factor` > 0).
-  kDeadlineInfeasible,
-};
-
-std::string_view ShedPolicyToString(ShedPolicy policy);
-
-/// \brief Open-loop admission control (all off by default: `open_loop`
-/// false keeps the paper's closed-loop issue-on-return path bit-identical).
-struct AdmissionOptions {
-  /// Arrival-driven service loop: dataflows queue at their arrival times
-  /// instead of being issued when the previous one returns.
-  bool open_loop = false;
-  /// Pending-queue capacity (0 = unbounded, nothing is ever shed).
-  int max_queue = 0;
-  ShedPolicy shed = ShedPolicy::kRejectNewest;
-  /// Deadline = arrival + slo_factor x estimated makespan (DAG critical
-  /// path). 0 disables deadlines and SLO accounting.
-  double slo_factor = 0;
-  /// Fleet-wide cap on recovery attempts across all dataflows; once spent,
-  /// crash-lost dataflows fail immediately instead of rescheduling their
-  /// suffix. -1 = unlimited (the per-dataflow max_recovery_attempts still
-  /// applies either way).
-  int retry_budget = -1;
-  /// Feed observed makespans back into the admission estimate: a per-app-
-  /// family EWMA of observed/critical-path ratios scales the bare
-  /// `CriticalPath()` bound used by kRejectByCost ordering and the
-  /// kDeadlineInfeasible dequeue check. Deadlines themselves stay pinned to
-  /// the raw critical path (the SLO contract does not drift with the
-  /// correction). 0 disables feedback (estimates bit-identical to before).
-  double estimate_ewma_alpha = 0;
-  /// Observations required per app family before the EWMA correction is
-  /// applied. The ratio starts at a prior of 1.0 and blends every
-  /// observation in, but the estimate stays the raw critical path until the
-  /// family has this many samples — a cold first run (no indexes built yet)
-  /// would otherwise seed an inflated ratio that sheds every later arrival
-  /// and starves the feedback loop of further observations.
-  int estimate_ewma_warmup = 3;
-};
-
-/// \brief Pressure-based brownout of optional index builds.
-///
-/// Pressure is the queue delay (in quanta) of the dataflow being dequeued.
-/// Between `lo` and `hi` the fraction of beneficial builds kept falls
-/// linearly from 1 to 0; at `hi` tuning disables entirely and only
-/// re-enables (hysteresis) once pressure drops below lo x resume_fraction.
-struct BrownoutOptions {
-  /// Pressure at which shedding starts (0 with hi == 0 disables brownout).
-  double pressure_lo_quanta = 0;
-  /// Pressure at which tuning shuts off entirely; <= 0 disables brownout.
-  double pressure_hi_quanta = 0;
-  /// Re-enable threshold as a fraction of pressure_lo_quanta.
-  double resume_fraction = 0.5;
-  /// Smoothed pressure signal: when > 0, pressure is an EWMA of the pending
-  /// queue *length* sampled at every arrival and dequeue event instead of
-  /// the per-dequeue queue delay — the smoothed signal rises as soon as the
-  /// queue starts growing, so brownout reacts before the first delayed
-  /// dataflow. The lo/hi thresholds are then read in queue entries rather
-  /// than delay quanta. 0 (default) keeps the delay signal bit-identical to
-  /// before.
-  double queue_ewma_alpha = 0;
-};
-
-/// \brief Circuit breaker on the storage persist (Put) path.
-///
-/// Counts consecutive transient-fault draws across persist attempts; at
-/// `open_after` the breaker opens and build persists are skipped outright
-/// (discarded without burning backoff delay) until `open_duration` of
-/// simulated time passes, after which a single half-open probe either
-/// closes the breaker or re-opens it.
-struct BreakerOptions {
-  /// Consecutive transient storage faults that open the breaker (0 = off).
-  int open_after = 0;
-  /// Simulated seconds the breaker stays open before the half-open probe.
-  Seconds open_duration = 300.0;
-};
 
 /// \brief End-to-end index integrity: verified reads, background scrub and
 /// self-healing repair builds (DESIGN.md §12).
@@ -197,6 +114,17 @@ struct AutoscalerOptions {
 /// step, and a broken backoff ladder. All checks gated on `enabled`.
 Status ValidateAutoscalerOptions(const AutoscalerOptions& opts);
 
+/// \brief Arbitration hook on the storage persist path: the sharded
+/// service's cross-shard fairness gate implements this to throttle a hot
+/// shard's puts against the shared backend. Returns the delay imposed on a
+/// persist landing at virtual time `at`. Implementations must be
+/// thread-safe across shards; calls from one shard are serialized.
+class PersistGate {
+ public:
+  virtual ~PersistGate() = default;
+  virtual Seconds OnPersist(int shard, Seconds at) = 0;
+};
+
 /// \brief Service configuration (Table 3 defaults).
 struct ServiceOptions {
   IndexPolicy policy = IndexPolicy::kGain;
@@ -266,6 +194,9 @@ struct ServiceOptions {
   AdmissionOptions admission;
   BrownoutOptions brownout;
   BreakerOptions breaker;
+  /// Batched admission (DESIGN.md §14; max_batch 1 = off, bit-identical to
+  /// the one-at-a-time open loop). Requires admission.open_loop when on.
+  BatchOptions batch;
   /// @}
   /// \name Tail tolerance (off by default: with speculation and hedging
   /// disabled the execution path is bit-identical per seed to a service
@@ -288,290 +219,6 @@ struct ServiceOptions {
   uint64_t seed = 99;
 };
 
-/// \brief Every cumulative ServiceMetrics counter mirrored 1:1 into
-/// TimelinePoint, as an X-macro of (type, name) pairs.
-///
-/// The service stamps each timeline point with the aggregate value of every
-/// entry, so any counter listed here is readable as a time series and the
-/// metrics-audit test can verify the mirror mechanically. Adding a counter
-/// to ServiceMetrics? Add it here too unless it belongs to the deliberate
-/// exclusions: `storage_cost` (TimelinePoint has its own point-in-time
-/// copy), `queue_delay_quanta` (the timeline field is this dataflow's
-/// delay, not the cumulative sum), `corruptions_injected` (live-stamped
-/// from the storage service mid-run; the metrics copy is only harvested at
-/// the end), and the end-of-run-harvest-only ledger terms
-/// (`corruptions_dead`, `corruptions_latent`, `quarantine_evicted`,
-/// `storage_clock_clamps`).
-#define DFIM_MIRRORED_COUNTERS(X)       \
-  X(int, dataflows_arrived)             \
-  X(int, dataflows_finished)            \
-  X(int, dataflows_overran)             \
-  X(double, total_time_quanta)          \
-  X(int64_t, total_vm_quanta)           \
-  X(int, total_ops)                     \
-  X(int, killed_ops)                    \
-  X(int, index_partitions_built)        \
-  X(int, indexes_deleted)               \
-  X(int, update_batches)                \
-  X(int, index_partitions_invalidated)  \
-  X(int, containers_failed)             \
-  X(int, ops_reexecuted)                \
-  X(int64_t, recovery_quanta)           \
-  X(int, dataflows_failed)              \
-  X(int, storage_retries)               \
-  X(int, storage_faults)                \
-  X(int, storage_reads)                 \
-  X(int, builds_discarded)              \
-  X(int, ops_speculated)                \
-  X(int, spec_wins)                     \
-  X(int, spec_cancelled)                \
-  X(double, spec_cancelled_quanta)      \
-  X(int, hedged_reads)                  \
-  X(int, hedge_wins)                    \
-  X(int, dataflows_shed)                \
-  X(int, shed_queue_full)               \
-  X(int, shed_infeasible)               \
-  X(int, deadlines_missed)              \
-  X(int, builds_shed)                   \
-  X(int, breaker_opens)                 \
-  X(int, retries_denied)                \
-  X(int, peak_queue_len)                \
-  X(int, corruptions_detected_on_read)  \
-  X(int, corruptions_detected_by_scrub) \
-  X(int, stale_reads)                   \
-  X(int, verified_reads)                \
-  X(int, degraded_reads)                \
-  X(int, partitions_quarantined)        \
-  X(int, repairs_scheduled)             \
-  X(int, repairs_completed)             \
-  X(int64_t, scrub_reads)               \
-  X(int, hedged_persists)               \
-  X(int, persist_hedge_wins)            \
-  X(int, idempotent_replays)            \
-  X(int, containers_reaped)             \
-  X(int, containers_drained)            \
-  X(int, containers_preempted)          \
-  X(int64_t, fleet_acquire_requests)    \
-  X(int64_t, fleet_granted)             \
-  X(int64_t, acquires_denied_quota)     \
-  X(int64_t, acquires_denied_capacity)  \
-  X(int64_t, fleet_quanta_charged)      \
-  X(int, fleet_grow_events)             \
-  X(int, fleet_shrink_events)           \
-  X(int, acquire_backoffs)              \
-  X(double, boot_wait_quanta)
-
-/// \brief One sample of the service state over time (Fig. 13 series).
-///
-/// Point-in-time fields are declared explicitly below; every cumulative
-/// counter is generated from DFIM_MIRRORED_COUNTERS and stamped with the
-/// aggregate ServiceMetrics value at this point.
-struct TimelinePoint {
-  Seconds t = 0;
-  /// Indexes with at least one built partition.
-  int indexes_built = 0;
-  /// Total MB of built index partitions.
-  MegaBytes index_mb = 0;
-  /// Storage dollars accrued so far.
-  Dollars storage_cost = 0;
-  /// Pending dataflows right after this one was dequeued and executed
-  /// (open-loop runs; zero otherwise).
-  int queue_len = 0;
-  /// Queue delay (quanta) this dataflow suffered before starting.
-  double queue_delay_quanta = 0;
-  /// This dataflow's realized makespan (execution + recovery + persist
-  /// backoff), in quanta — the tail-latency series the speculation bench
-  /// reads p50/p99 from.
-  double makespan_quanta = 0;
-  /// Corruptions realized in storage so far (live from the storage ledger;
-  /// deliberately not in the mirror macro — see its comment).
-  int64_t corruptions_injected = 0;
-  /// Cumulative ServiceMetrics mirrors (see DFIM_MIRRORED_COUNTERS).
-#define DFIM_DECLARE_COUNTER(type, name) type name = 0;
-  DFIM_MIRRORED_COUNTERS(DFIM_DECLARE_COUNTER)
-#undef DFIM_DECLARE_COUNTER
-};
-
-/// \brief Aggregated service metrics (Fig. 12/14, Table 7).
-struct ServiceMetrics {
-  int dataflows_arrived = 0;
-  int dataflows_finished = 0;
-  /// Dataflows that completed but past the horizon (counted in neither
-  /// finished nor failed; started == finished + failed + overran up to the
-  /// one arrival the horizon may cut off mid-issue).
-  int dataflows_overran = 0;
-  double total_time_quanta = 0;
-  int64_t total_vm_quanta = 0;
-  Dollars storage_cost = 0;
-  int total_ops = 0;
-  int killed_ops = 0;
-  int index_partitions_built = 0;
-  int indexes_deleted = 0;
-  /// Batch updates applied and index partitions they invalidated.
-  int update_batches = 0;
-  int index_partitions_invalidated = 0;
-  /// \name Failure & recovery accounting (fault injection)
-  /// @{
-  /// Containers lost to crashes/spot preemption.
-  int containers_failed = 0;
-  /// Operators executed during recovery attempts (re-paid work).
-  int ops_reexecuted = 0;
-  /// VM quanta charged for recovery attempts (subset of total_vm_quanta).
-  int64_t recovery_quanta = 0;
-  /// Dataflows abandoned after max_recovery_attempts.
-  int dataflows_failed = 0;
-  /// Transient storage-Put failures that triggered a backoff retry.
-  int storage_retries = 0;
-  /// Transient storage-read faults absorbed as latency spikes.
-  int storage_faults = 0;
-  /// Read requests issued to the storage service (cache-miss fetches plus
-  /// hedge duplicates and clone fetches). The read-side companion of
-  /// `storage_retries` (which only counts Put retries): read-path fault
-  /// draws are a subset of these, so storage_faults <= storage_reads +
-  /// storage_retries always holds.
-  int storage_reads = 0;
-  /// Completed builds discarded: their partition was never persisted
-  /// (dead container, or Put failed after all retries).
-  int builds_discarded = 0;
-  /// @}
-  /// \name Tail tolerance (speculation & hedging; zero when off).
-  /// @{
-  /// Speculative clones spawned into already-paid idle slots.
-  int ops_speculated = 0;
-  /// Clones that beat their original (first finisher wins).
-  int spec_wins = 0;
-  /// Clones cancelled because the original finished first.
-  int spec_cancelled = 0;
-  /// Reserved slot quanta returned to the build knapsack by cancellations.
-  double spec_cancelled_quanta = 0;
-  /// Duplicate storage reads issued after hedge_after elapsed, and how many
-  /// beat the primary.
-  int hedged_reads = 0;
-  int hedge_wins = 0;
-  /// @}
-  /// \name Overload & SLO accounting (open-loop runs; zero otherwise).
-  /// Open-loop identity: arrived == finished + failed + overran + shed.
-  /// @{
-  /// Dataflows dropped without execution (queue full, deadline-infeasible,
-  /// or stranded in the queue when the horizon closed).
-  int dataflows_shed = 0;
-  /// Sheds caused by a full queue (subset of dataflows_shed).
-  int shed_queue_full = 0;
-  /// Early drops of deadline-infeasible entries (subset of dataflows_shed).
-  int shed_infeasible = 0;
-  /// Dataflows that finished past their deadline (they still count as
-  /// finished; goodput = finished - deadlines_missed).
-  int deadlines_missed = 0;
-  /// Beneficial index builds excluded by the brownout knob.
-  int builds_shed = 0;
-  /// Times the storage circuit breaker opened (including re-opens).
-  int breaker_opens = 0;
-  /// Recovery attempts denied because the fleet-wide retry budget ran out.
-  int retries_denied = 0;
-  /// Total queue delay (quanta) summed over executed dataflows.
-  double queue_delay_quanta = 0;
-  /// Largest pending-queue length observed at any admission.
-  int peak_queue_len = 0;
-  /// Storage-billing clock regressions absorbed by the high-water clamp
-  /// (surfaced from StorageService; nonzero means callers settled storage
-  /// out of order).
-  int64_t storage_clock_clamps = 0;
-  /// @}
-  /// \name Integrity accounting (DESIGN.md §12; all zero with the knobs
-  /// off). Zero-slack corruption ledger, harvested from the storage service
-  /// at the end of the run:
-  ///   injected == detected_on_read + detected_by_scrub + dead + latent.
-  /// Zero-slack quarantine ledger:
-  ///   quarantined == repairs_completed + quarantine_evicted
-  ///                  + (still quarantined at the end).
-  /// @{
-  /// Corruptions realized in storage (torn persists + bit-rot onsets).
-  int64_t corruptions_injected = 0;
-  /// First detections at dataflow bind time (verified reads).
-  int corruptions_detected_on_read = 0;
-  /// First detections by the background scrub.
-  int corruptions_detected_by_scrub = 0;
-  /// Corrupt objects overwritten/deleted before any verification saw them.
-  int64_t corruptions_dead = 0;
-  /// Corrupt-but-undetected objects still stored at the horizon.
-  int64_t corruptions_latent = 0;
-  /// Generation mismatches caught at bind time (stale overwrite races;
-  /// quarantined like corruptions but not part of the checksum ledger).
-  int stale_reads = 0;
-  /// Cache-miss fetches that ran (and were charged) checksum verification.
-  int verified_reads = 0;
-  /// Ops that fell back to base scans after a failed verify (degraded,
-  /// never wrong).
-  int degraded_reads = 0;
-  /// Built index partitions quarantined after a failed verification.
-  int partitions_quarantined = 0;
-  /// Quarantine entries evicted by drops/invalidations before repair.
-  int quarantine_evicted = 0;
-  /// Repair build ops packed into idle slots.
-  int repairs_scheduled = 0;
-  /// Repair builds that completed and persisted (quarantine lifted).
-  int repairs_completed = 0;
-  /// Objects verified by the background scrub.
-  int64_t scrub_reads = 0;
-  /// Persist attempts that issued a hedged duplicate, and how many times
-  /// the hedge landed while the primary faulted.
-  int hedged_persists = 0;
-  int persist_hedge_wins = 0;
-  /// Double-landed hedged persists absorbed by the idempotency token (the
-  /// second Put was a no-op at the same generation).
-  int idempotent_replays = 0;
-  /// @}
-  /// \name Elastic fleet & provider faults (DESIGN.md §13; all zero with
-  /// the knobs off). The ledger-derived counters are harvested absolute
-  /// from the fleet authority (Cluster::ledger()) and obey its zero-slack
-  /// identities:
-  ///   fleet_acquire_requests == fleet_granted + acquires_denied_capacity
-  ///                             + acquires_denied_quota
-  ///   fleet_granted == containers_reaped + containers_preempted
-  ///                    + crashed + (alive at the end)
-  /// (`containers_drained` is the autoscaler-initiated subset of
-  /// containers_reaped; crashes are visible as ledger().crashed.)
-  /// @{
-  /// Containers released at lease expiry without a failure (idle reap),
-  /// including autoscaler drains.
-  int containers_reaped = 0;
-  /// Idle containers the autoscaler released ahead of a lease renewal.
-  int containers_drained = 0;
-  /// Containers lost to provider spot reclaims (subset of the losses also
-  /// counted in containers_failed, which keeps its historical meaning of
-  /// "containers that died mid-execution for any reason").
-  int containers_preempted = 0;
-  /// Fresh-VM acquisition requests issued to the provider, and their fates.
-  int64_t fleet_acquire_requests = 0;
-  int64_t fleet_granted = 0;
-  int64_t acquires_denied_quota = 0;
-  int64_t acquires_denied_capacity = 0;
-  /// Whole quanta pre-paid at the fleet level (allocation + lease
-  /// extensions + drain/reap truncation never refunds).
-  int64_t fleet_quanta_charged = 0;
-  /// Autoscaler target moves (grow / shrink events actually applied).
-  int fleet_grow_events = 0;
-  int fleet_shrink_events = 0;
-  /// Times a provider denial armed (or escalated) the acquire backoff.
-  int acquire_backoffs = 0;
-  /// Quanta the service spent waiting for a usable container (boot delays,
-  /// denial backoffs with an empty fleet).
-  double boot_wait_quanta = 0;
-  /// @}
-  std::vector<TimelinePoint> timeline;
-
-  double AvgTimeQuantaPerDataflow() const {
-    return dataflows_finished > 0 ? total_time_quanta / dataflows_finished : 0;
-  }
-  /// VM quanta plus storage (converted at Mc) per finished dataflow.
-  double AvgCostQuantaPerDataflow(const PricingModel& pricing) const {
-    if (dataflows_finished == 0) return 0;
-    double storage_quanta = storage_cost / pricing.vm_price_per_quantum;
-    return (static_cast<double>(total_vm_quanta) + storage_quanta) /
-           dataflows_finished;
-  }
-};
-
 /// \brief The QaaS service: executes a stream of dataflows on the simulated
 /// cloud, running the configured index-management policy (paper Fig. 1).
 ///
@@ -579,6 +226,10 @@ struct ServiceMetrics {
 /// scheduled, executed on pooled containers (warm caches survive while a
 /// container's lease is alive), and its realized/what-if index gains are
 /// appended to the history Hd that drives future tuning decisions.
+///
+/// One instance is one tenant's isolation unit: it owns the tenant's
+/// catalog binding, storage service, fleet, tuner EWMA state, admission
+/// controller and history. The sharded service runs one per tenant.
 class QaasService {
  public:
   QaasService(Catalog* catalog, ServiceOptions options);
@@ -597,6 +248,14 @@ class QaasService {
   /// Partial build progress carried across preemptions (resumable_builds).
   const BuildProgress& build_progress() const { return build_progress_; }
 
+  /// Attaches the cross-shard fairness gate (sharded service only): every
+  /// persist this service lands is arbitrated by `gate` under `shard`'s
+  /// fair share. Null (the default) leaves the persist path untouched.
+  void set_persist_gate(PersistGate* gate, int shard) {
+    persist_gate_ = gate;
+    gate_shard_ = shard;
+  }
+
  private:
   /// Outcome of one dataflow execution (including recovery attempts).
   struct RunOutcome {
@@ -609,18 +268,17 @@ class QaasService {
     Seconds settled = 0;
   };
 
-  /// One entry of the open-loop pending queue.
-  struct Pending {
-    Dataflow df;
-    Seconds arrival = 0;
-    /// Makespan estimate used for admission decisions: the DAG critical
-    /// path, scaled by the app family's observed EWMA ratio when
-    /// estimate_ewma_alpha > 0.
-    Seconds estimate = 0;
-    /// Raw critical-path bound (feeds the EWMA ratio after execution).
-    Seconds raw_estimate = 0;
-    /// Absolute deadline (0 = none); always off the raw estimate.
-    Seconds deadline = 0;
+  /// What the recovery-capable execution loop settled on.
+  struct ExecOutcome {
+    /// Wall time from `start` through the last attempt (includes fleet
+    /// waits, recovery attempts and persist backoff).
+    Seconds elapsed = 0;
+    /// VM quanta charged across all attempts.
+    int64_t total_leased = 0;
+    /// True when recovery was exhausted and the dataflow was dropped.
+    bool failed = false;
+    /// Latest persist instant (0 when nothing persisted).
+    Seconds last_persist = 0;
   };
 
   /// Executes one dataflow starting at `start`, retrying crash-lost DAG
@@ -631,28 +289,50 @@ class QaasService {
                             ServiceMetrics* metrics,
                             double build_fraction = 1.0);
 
+  /// Batched admission (DESIGN.md §14): tunes every member against the
+  /// same catalog/history snapshot, merges the combined DAGs, schedules the
+  /// union through a single skyline pass, re-packs the union of build ops
+  /// into the merged schedule's idle slots, and executes once. Members
+  /// share the realized finish; per-member accounting (queue delay,
+  /// deadlines, history) stays distinct. Requires batch.size() >= 2.
+  Result<RunOutcome> RunBatch(const std::vector<PendingDataflow>& batch,
+                              Seconds start, ServiceMetrics* metrics,
+                              double build_fraction);
+
+  /// The tuning step of one dataflow: policy decision (gain tuner or
+  /// baseline) bounded by the fleet plan, plus the builds-shed accounting.
+  Result<TunerDecision> Decide(const Dataflow& df, Seconds start,
+                               ServiceMetrics* metrics, double build_fraction,
+                               int fleet_bound);
+
+  /// The recovery-capable execution loop of one decision: attempt 0 runs
+  /// the chosen schedule, later attempts reschedule crash-lost suffixes;
+  /// persists (with retries, breaker, hedging, integrity stamps and the
+  /// cross-shard gate) land completed builds. `df` keys the fault draws
+  /// (batches use their head member) and the adaptive speculation
+  /// watermark; `initial_wait` is the fleet plan's boot/backoff wait.
+  Result<ExecOutcome> ExecuteDecision(TunerDecision* decision,
+                                      const Dataflow& df, Seconds start,
+                                      Seconds initial_wait,
+                                      ServiceMetrics* metrics);
+
+  /// Appends the dataflow's history record (what-if gains, realized
+  /// time/money) and refreshes the last-useful clocks of its gainful
+  /// candidates.
+  void RecordHistory(const Dataflow& df, Seconds finish, double time_quanta,
+                     double money_quanta);
+
+  /// Applies grace-gated index deletions (Gain policy decisions only).
+  void ApplyDeletions(const std::vector<std::string>& to_delete,
+                      Seconds finish, ServiceMetrics* metrics);
+
+  /// Appends one timeline point at `finish` with every mirrored counter
+  /// stamped and the catalog's built-index state sampled.
+  void StampTimeline(Seconds finish, double makespan_quanta,
+                     ServiceMetrics* metrics);
+
   /// The arrival-driven service loop (admission.open_loop).
   Result<ServiceMetrics> RunOpenLoop(WorkloadClient* client);
-
-  /// Admits one arrival into the pending queue, shedding per policy.
-  void Admit(Dataflow df, std::deque<Pending>* queue, ServiceMetrics* metrics);
-
-  /// Brownout knob from queue pressure (quanta), with hysteresis.
-  double BuildFraction(double pressure_quanta);
-
-  /// Folds one queue-length observation into the smoothed pressure signal
-  /// (no-op when brownout.queue_ewma_alpha == 0). Sampled at every arrival
-  /// (Admit) and dequeue event.
-  void SampleQueuePressure(int queue_len);
-
-  /// Admission estimate for `app`: `raw` scaled by the family's observed
-  /// EWMA makespan/critical-path ratio (identity until the family has
-  /// estimate_ewma_warmup observations).
-  Seconds CorrectedEstimate(AppType app, Seconds raw) const;
-
-  /// Folds one observed (makespan, critical path) pair into the family's
-  /// EWMA ratio (no-op when estimate_ewma_alpha == 0).
-  void ObserveMakespan(AppType app, Seconds raw_estimate, Seconds observed);
 
   /// Policy step for kNoIndex / kRandom. `max_containers` > 0 overrides the
   /// configured fleet cap (elastic fleet); 0 keeps it bit-identically.
@@ -742,6 +422,9 @@ class QaasService {
   /// The fleet authority: owns every container, the zero-slack acquisition
   /// ledger, and all charge/reap/release bookkeeping (DESIGN.md §13).
   Cluster fleet_;
+  /// The admission loop's policy state (shed policies, estimate EWMA,
+  /// smoothed pressure, brownout hysteresis) — the per-tenant carve-out.
+  AdmissionController admission_;
   /// Last time each index earned a positive per-dataflow gain (or was
   /// built); drives the deletion grace period.
   std::map<std::string, Seconds> last_useful_;
@@ -749,6 +432,9 @@ class QaasService {
   BuildProgress build_progress_;
   /// Next scheduled update batch (update_interval_quanta > 0 only).
   Seconds next_update_ = 0;
+  /// Cross-shard fairness gate (null outside the sharded service).
+  PersistGate* persist_gate_ = nullptr;
+  int gate_shard_ = 0;
   /// \name Elastic-fleet state (DESIGN.md §13)
   /// @{
   /// Autoscaler fleet-size target (containers).
@@ -765,20 +451,6 @@ class QaasService {
   /// @{
   /// Remaining fleet-wide recovery attempts (admission.retry_budget >= 0).
   int retry_budget_left_ = -1;
-  /// Per-app-family EWMA of observed makespan / critical-path ratios
-  /// (estimate_ewma_alpha > 0 only). The ratio blends from a prior of 1.0;
-  /// `count` gates application behind estimate_ewma_warmup.
-  struct EwmaState {
-    double ratio = 1.0;
-    int count = 0;
-  };
-  std::map<AppType, EwmaState> ewma_ratio_;
-  /// Brownout hysteresis: true once pressure crossed pressure_hi_quanta,
-  /// until it falls below pressure_lo_quanta x resume_fraction.
-  bool brownout_off_ = false;
-  /// Smoothed queue-length pressure (brownout.queue_ewma_alpha > 0 only),
-  /// updated at every arrival and dequeue event.
-  double queue_ewma_ = 0;
   /// Storage persist circuit breaker.
   enum class BreakerState { kClosed, kOpen, kHalfOpen };
   BreakerState breaker_state_ = BreakerState::kClosed;

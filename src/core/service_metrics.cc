@@ -1,0 +1,23 @@
+#include "core/service_metrics.h"
+
+namespace dfim {
+
+ServiceMetrics AggregateMetrics(const std::vector<ServiceMetrics>& per_tenant) {
+  ServiceMetrics agg;
+  for (const ServiceMetrics& m : per_tenant) {
+#define DFIM_SUM_COUNTER(type, name) agg.name += m.name;
+    DFIM_MIRRORED_COUNTERS(DFIM_SUM_COUNTER)
+#undef DFIM_SUM_COUNTER
+    // Non-mirrored numeric fields (see the macro's exclusion list).
+    agg.storage_cost += m.storage_cost;
+    agg.queue_delay_quanta += m.queue_delay_quanta;
+    agg.storage_clock_clamps += m.storage_clock_clamps;
+    agg.corruptions_injected += m.corruptions_injected;
+    agg.corruptions_dead += m.corruptions_dead;
+    agg.corruptions_latent += m.corruptions_latent;
+    agg.quarantine_evicted += m.quarantine_evicted;
+  }
+  return agg;
+}
+
+}  // namespace dfim

@@ -27,6 +27,9 @@ std::string_view AppTypeToString(AppType app);
 /// of Table 6").
 struct Dataflow {
   int id = 0;
+  /// Owning tenant (multi-tenant sharded service; 0 = the default tenant,
+  /// bit-identical to a pre-tenant dataflow).
+  int tenant = 0;
   AppType app = AppType::kMontage;
   std::string expr;  // free-form definition label
   Dag dag;

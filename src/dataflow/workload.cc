@@ -111,7 +111,17 @@ std::optional<Dataflow> OpenLoopWorkloadClient::Next(Seconds /*not_before*/,
   AppType app = phases_.empty()
                     ? static_cast<AppType>(mix_rng_.UniformInt(0, 2))
                     : AppAt(at);
-  return gen_->Generate(app, seq_++, at);
+  Dataflow df = gen_->Generate(app, seq_, at);
+  if (num_tenants_ > 1) df.tenant = seq_ % num_tenants_;
+  ++seq_;
+  return df;
+}
+
+std::optional<Dataflow> ReplayWorkloadClient::Next(Seconds /*not_before*/,
+                                                   Seconds horizon) {
+  if (pos_ >= dataflows_.size()) return std::nullopt;
+  if (dataflows_[pos_].issued_at > horizon) return std::nullopt;
+  return dataflows_[pos_++];
 }
 
 }  // namespace dfim

@@ -131,13 +131,40 @@ class OpenLoopWorkloadClient : public WorkloadClient {
   /// Family active at time `t` (uniform mix when no phases were given).
   AppType AppAt(Seconds t) const;
 
+  /// Tenant identity for the sharded service: arrivals are stamped
+  /// round-robin (tenant = sequence % n), so every tenant sees the same
+  /// long-run mix and rate. 1 (the default) leaves every dataflow on
+  /// tenant 0, bit-identical to the pre-tenant stream.
+  void set_num_tenants(int n) { num_tenants_ = n < 1 ? 1 : n; }
+
  private:
   DataflowGenerator* gen_;
   ArrivalProcess arrivals_;
   std::vector<WorkloadPhase> phases_;
   Rng mix_rng_;
   int seq_ = 0;
+  int num_tenants_ = 1;
   bool exhausted_ = false;
+};
+
+/// \brief Replays a pre-drained arrival stream verbatim.
+///
+/// The sharded service drains its client up front to partition arrivals per
+/// tenant, then feeds each tenant's sub-stream to its own service instance
+/// through one of these. Open-loop semantics: `not_before` is ignored and
+/// the stream ends once an issue time passes `horizon` — exactly how
+/// OpenLoopWorkloadClient behaves, so a replayed stream is indistinguishable
+/// from the original.
+class ReplayWorkloadClient : public WorkloadClient {
+ public:
+  explicit ReplayWorkloadClient(std::vector<Dataflow> dataflows)
+      : dataflows_(std::move(dataflows)) {}
+
+  std::optional<Dataflow> Next(Seconds not_before, Seconds horizon) override;
+
+ private:
+  std::vector<Dataflow> dataflows_;
+  size_t pos_ = 0;
 };
 
 /// \brief The paper's "phase generator" (§6.1): Cybershake for 33.3 quanta,

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/service.h"
+#include "core/sharded_service.h"
 #include "dataflow/workload.h"
 
 namespace dfim {
@@ -463,6 +464,130 @@ TEST(ChaosTest, EachSeedReproducesBitIdentically) {
     EXPECT_EQ(a.metrics.repairs_completed, b.metrics.repairs_completed);
     EXPECT_EQ(a.metrics.scrub_reads, b.metrics.scrub_reads);
   }
+}
+
+
+// ---------------------------------------------------------------------------
+// Shard axis (DESIGN.md §14): multi-tenant sharded runs crossed with the
+// fault and control lattices. Per-tenant invariants must hold tenant by
+// tenant, and the aggregate must equal the per-tenant sum with zero slack.
+
+struct ShardProfile {
+  std::string name;
+  int num_tenants = 1;
+  ShardOptions shards;
+  BatchOptions batch;
+};
+
+std::vector<ShardProfile> ShardProfiles() {
+  std::vector<ShardProfile> out;
+  ShardProfile flat;
+  flat.name = "2-tenants-1-shard";
+  flat.num_tenants = 2;
+  out.push_back(flat);
+
+  ShardProfile batched;
+  batched.name = "4-tenants-2-shards-batched";
+  batched.num_tenants = 4;
+  batched.shards.num_shards = 2;
+  batched.batch.max_batch = 3;
+  batched.batch.window_quanta = 5.0;
+  out.push_back(batched);
+
+  ShardProfile fair;
+  fair.name = "4-tenants-4-shards-fair";
+  fair.num_tenants = 4;
+  fair.shards.num_shards = 4;
+  fair.shards.num_threads = 4;
+  fair.shards.fairness.enabled = true;
+  fair.shards.fairness.window_quanta = 4.0;
+  fair.shards.fairness.max_puts_per_window = 8;
+  out.push_back(fair);
+  return out;
+}
+
+TEST(ChaosTest, ShardedInvariantsHoldAcrossSweep) {
+  const auto faults = FaultProfiles();
+  const auto controls = ControlProfiles();
+  const auto ap = ArrivalProfiles()[0];  // poisson
+  const auto sprofiles = ShardProfiles();
+  int configs = 0;
+  for (uint64_t seed : {1u, 2u}) {
+    for (const auto& fp : faults) {
+      for (const auto& cp : controls) {
+        for (const auto& shp : sprofiles) {
+          const std::string label = "seed=" + std::to_string(seed) + " " +
+                                    fp.name + " " + cp.name + " " + shp.name;
+          // One identically-populated world per tenant.
+          std::vector<std::unique_ptr<Catalog>> catalogs;
+          std::vector<std::unique_ptr<FileDatabase>> dbs;
+          std::vector<Catalog*> cptrs;
+          for (int t = 0; t < shp.num_tenants; ++t) {
+            catalogs.push_back(std::make_unique<Catalog>());
+            FileDatabaseOptions fdo;
+            fdo.montage_files = 4;
+            fdo.ligo_files = 4;
+            fdo.cybershake_files = 4;
+            dbs.push_back(std::make_unique<FileDatabase>(catalogs.back().get(),
+                                                         fdo));
+            ASSERT_TRUE(dbs.back()->Populate().ok()) << label;
+            cptrs.push_back(catalogs.back().get());
+          }
+          DataflowGenerator gen(dbs.front().get(), seed);
+          ServiceOptions so;
+          so.policy =
+              seed % 2 == 0 ? IndexPolicy::kGain : IndexPolicy::kGainNoDelete;
+          so.total_time = 25.0 * 60.0;
+          so.tuner.sched.max_containers = 12;
+          so.tuner.sched.skyline_cap = 3;
+          so.sim.time_error = 0.1;
+          so.sim.data_error = 0.1;
+          so.faults = fp.faults;
+          so.admission = cp.admission;
+          so.brownout = cp.brownout;
+          so.breaker = cp.breaker;
+          so.batch = shp.batch;
+          so.seed = seed;
+          ShardedQaasService svc(cptrs, so, shp.shards);
+          OpenLoopWorkloadClient client(&gen, ap.arrivals, {}, seed * 7 + 1);
+          client.set_num_tenants(shp.num_tenants);
+          auto agg = svc.Run(&client);
+          ASSERT_TRUE(agg.ok()) << label << ": " << agg.status().ToString();
+          const auto& per = svc.per_tenant();
+          ASSERT_EQ(per.size(), static_cast<size_t>(shp.num_tenants)) << label;
+          for (const auto& m : per) {
+            EXPECT_EQ(m.dataflows_arrived,
+                      m.dataflows_finished + m.dataflows_failed +
+                          m.dataflows_overran + m.dataflows_shed)
+                << label << " tenant " << m.tenant;
+            EXPECT_GE(m.dataflows_shed, m.shed_queue_full + m.shed_infeasible)
+                << label;
+            EXPECT_EQ(m.storage_clock_clamps, 0) << label;
+            if (cp.admission.max_queue > 0) {
+              EXPECT_LE(m.peak_queue_len, cp.admission.max_queue) << label;
+            }
+          }
+          // Zero-slack aggregation identity over every mirrored counter.
+#define DFIM_CHAOS_SUM(type, name)                      \
+  {                                                     \
+    type sum = 0;                                       \
+    for (const auto& m : per) sum += m.name;            \
+    EXPECT_EQ(sum, agg->name) << label << " " << #name; \
+  }
+          DFIM_MIRRORED_COUNTERS(DFIM_CHAOS_SUM)
+#undef DFIM_CHAOS_SUM
+          if (shp.shards.fairness.enabled) {
+            ASSERT_NE(svc.gate(), nullptr) << label;
+            EXPECT_EQ(agg->gate_puts, svc.gate()->puts()) << label;
+          } else {
+            EXPECT_EQ(agg->gate_puts, 0) << label;
+          }
+          ++configs;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(configs, 72);
 }
 
 }  // namespace
