@@ -144,6 +144,47 @@ IntegrityResult RunIntegrityArm(const IntegrityArm& arm, Seconds horizon,
   return r;
 }
 
+// ---- Control-plane recovery sweep (DESIGN.md §15) ---------------------------
+
+struct RecoveryArmResult {
+  ServiceMetrics m;
+  double wall_ms = 0;
+  bool consistent = true;
+  /// Zero-slack journal record ledger residue (must be exactly 0):
+  ///   written - replayed - truncated - tail_discarded - live.
+  int64_t ledger_slack = 0;
+  int64_t generation = 0;
+};
+
+RecoveryArmResult RunRecoveryArm(bool journal, double ctl_rate,
+                                 Seconds horizon, uint64_t seed) {
+  bench::PaperSetup setup(seed);
+  ServiceOptions so = bench::PaperServiceOptions(IndexPolicy::kGain);
+  so.total_time = horizon;
+  so.faults.seed = 17;
+  so.journal.enabled = journal;
+  so.faults.ctl_crash_rate = ctl_rate;
+  so.seed = seed;
+  QaasService service(&setup.catalog, so);
+  PhaseWorkloadClient client(setup.generator.get(), 60.0,
+                             {{AppType::kMontage, 1e9}}, seed);
+  auto t0 = std::chrono::steady_clock::now();
+  auto m = service.Run(&client);
+  auto t1 = std::chrono::steady_clock::now();
+  if (!m.ok()) {
+    std::fprintf(stderr, "recovery arm (journal=%d rate=%.3f) failed: %s\n",
+                 journal ? 1 : 0, ctl_rate, m.status().ToString().c_str());
+    std::exit(1);
+  }
+  RecoveryArmResult r;
+  r.m = *m;
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.ledger_slack = service.journal().LedgerSlack();
+  r.generation = service.journal().generation();
+  r.consistent = CatalogStorageConsistent(setup.catalog, service);
+  return r;
+}
+
 // ---- Tail-tolerance sweep ---------------------------------------------------
 
 /// Issues exactly `count` dataflows, ignoring the service horizon: both arms
@@ -264,8 +305,10 @@ int main(int argc, char** argv) {
   json += "  \"seed\": " + std::to_string(seed) + ",\n  \"arms\": [\n";
 
   bool all_ok = true;
+  ServiceMetrics fault_free;  // the crash_0.000 arm, kept as ground truth
   for (size_t i = 0; i < arms.size(); ++i) {
     ArmResult r = RunArm(arms[i], horizon, seed);
+    if (i == 0) fault_free = r.m;
     const ServiceMetrics& m = r.m;
     bool ok = r.consistent && r.accounting_slack >= 0 &&
               r.accounting_slack <= 1;
@@ -486,6 +529,99 @@ int main(int argc, char** argv) {
         ok ? "true" : "false", off.wall_ms + on.wall_ms);
     json += buf;
     json += (i + 1 < ipairs.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+
+  // ---- Control-plane recovery: journal off / on / on + crashes. ------------
+  // MTTR and journal overhead, self-checked: the off arm is bit-identical to
+  // the fault-free baseline (the journal must be arithmetically absent when
+  // disabled), both journaled arms balance the record ledger with zero
+  // slack, and the crashed arm reproduces the uncrashed arm's results on
+  // every pre-existing counter — recovery replay is exactly-once.
+  const double ctl_rate = 0.01;
+  RecoveryArmResult joff = RunRecoveryArm(false, 0.0, horizon, seed);
+  RecoveryArmResult jon = RunRecoveryArm(true, 0.0, horizon, seed);
+  RecoveryArmResult jcrash = RunRecoveryArm(true, ctl_rate, horizon, seed);
+
+  const bool off_identical =
+      joff.m.dataflows_finished == fault_free.dataflows_finished &&
+      joff.m.dataflows_failed == fault_free.dataflows_failed &&
+      joff.m.total_vm_quanta == fault_free.total_vm_quanta &&
+      joff.m.total_time_quanta == fault_free.total_time_quanta &&
+      joff.m.storage_cost == fault_free.storage_cost &&
+      joff.m.index_partitions_built == fault_free.index_partitions_built &&
+      joff.m.journal_records == 0 && joff.m.journal_bytes == 0;
+  const bool on_balanced = jon.ledger_slack == 0 && jon.m.ctl_crashes == 0 &&
+                           jon.m.journal_records > 0 && jon.consistent;
+  const bool crash_exact =
+      jcrash.ledger_slack == 0 && jcrash.m.ctl_crashes > 0 &&
+      jcrash.generation == jcrash.m.replayed_records &&
+      jcrash.m.dataflows_finished == jon.m.dataflows_finished &&
+      jcrash.m.dataflows_failed == jon.m.dataflows_failed &&
+      jcrash.m.total_vm_quanta == jon.m.total_vm_quanta &&
+      jcrash.m.total_time_quanta == jon.m.total_time_quanta &&
+      jcrash.m.storage_cost == jon.m.storage_cost &&
+      jcrash.m.index_partitions_built == jon.m.index_partitions_built &&
+      jcrash.consistent;
+  all_ok = all_ok && off_identical && on_balanced && crash_exact;
+
+  const double mttr = jcrash.m.ctl_crashes > 0
+                          ? jcrash.m.recovery_replay_quanta /
+                                static_cast<double>(jcrash.m.ctl_crashes)
+                          : 0.0;
+  bench::Header("Control-plane recovery: journal off / on / on + crashes");
+  std::printf("%-14s %8s %9s %10s %8s %8s %9s %8s %6s\n", "arm", "finished",
+              "jrecords", "jbytes", "crashes", "deduped", "replay.q",
+              "wall.ms", "ok?");
+  auto print_rec = [&](const char* name, const RecoveryArmResult& r, bool ok) {
+    std::printf("%-14s %8d %9lld %10lld %8lld %8lld %9.2f %8.1f %6s\n", name,
+                r.m.dataflows_finished,
+                static_cast<long long>(r.m.journal_records),
+                static_cast<long long>(r.m.journal_bytes),
+                static_cast<long long>(r.m.ctl_crashes),
+                static_cast<long long>(r.m.persists_deduped),
+                r.m.recovery_replay_quanta, r.wall_ms, ok ? "yes" : "NO");
+  };
+  print_rec("journal_off", joff, off_identical);
+  print_rec("journal_on", jon, on_balanced);
+  print_rec("ctl_crash_0.01", jcrash, crash_exact);
+  std::printf("mean replay cost per crash: %.2f quanta\n", mttr);
+
+  json += "  \"recovery\": [\n";
+  const RecoveryArmResult* recs[] = {&joff, &jon, &jcrash};
+  const char* rec_names[] = {"journal_off", "journal_on", "ctl_crash_0.01"};
+  const bool rec_ok[] = {off_identical, on_balanced, crash_exact};
+  const double rec_rates[] = {0.0, 0.0, ctl_rate};
+  for (int i = 0; i < 3; ++i) {
+    const RecoveryArmResult& r = *recs[i];
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"arm\": \"%s\", \"ctl_crash_rate\": %.3f,\n"
+        "     \"dataflows_finished\": %d, \"dataflows_failed\": %d, "
+        "\"total_vm_quanta\": %lld, \"index_partitions_built\": %d,\n"
+        "     \"journal_records\": %lld, \"journal_bytes\": %lld, "
+        "\"ctl_crashes\": %lld, \"replayed_records\": %lld, "
+        "\"persists_deduped\": %lld,\n"
+        "     \"recovery_replay_quanta\": %.4f, \"mttr_quanta\": %.4f, "
+        "\"ledger_slack\": %lld, \"ok\": %s, \"wall_ms\": %.1f}",
+        rec_names[i], rec_rates[i], r.m.dataflows_finished,
+        r.m.dataflows_failed, static_cast<long long>(r.m.total_vm_quanta),
+        r.m.index_partitions_built,
+        static_cast<long long>(r.m.journal_records),
+        static_cast<long long>(r.m.journal_bytes),
+        static_cast<long long>(r.m.ctl_crashes),
+        static_cast<long long>(r.m.replayed_records),
+        static_cast<long long>(r.m.persists_deduped),
+        r.m.recovery_replay_quanta,
+        r.m.ctl_crashes > 0
+            ? r.m.recovery_replay_quanta /
+                  static_cast<double>(r.m.ctl_crashes)
+            : 0.0,
+        static_cast<long long>(r.ledger_slack), rec_ok[i] ? "true" : "false",
+        r.wall_ms);
+    json += buf;
+    json += (i + 1 < 3) ? ",\n" : "\n";
   }
   json += "  ]\n}\n";
 

@@ -183,6 +183,27 @@ int Cluster::UsableCount(Seconds now) const {
   return n;
 }
 
+Cluster::State Cluster::SaveState() const {
+  State s;
+  s.next_id = next_id_;
+  s.total_quanta = total_quanta_;
+  s.ledger = ledger_;
+  s.containers.reserve(alive_.size());
+  for (const auto& c : alive_) s.containers.push_back(*c);
+  return s;
+}
+
+void Cluster::RestoreState(const State& s) {
+  next_id_ = s.next_id;
+  total_quanta_ = s.total_quanta;
+  ledger_ = s.ledger;
+  alive_.clear();
+  alive_.reserve(s.containers.size());
+  for (const auto& c : s.containers) {
+    alive_.push_back(std::make_unique<Container>(c));
+  }
+}
+
 Seconds Cluster::NextUsableAt(Seconds now) const {
   Seconds next = kNeverFails;
   for (const auto& c : alive_) {

@@ -174,6 +174,23 @@ class Cluster {
   const PricingModel& pricing() const { return pricing_; }
   const ContainerSpec& spec() const { return spec_; }
 
+  /// \name Journaled recovery (DESIGN.md §15)
+  /// The fleet is control-plane state: a crash loses the lease map and the
+  /// ledger, and recovery restores both from the last snapshot. Containers
+  /// are deep-copied by value (their LRU caches included); the fault-model
+  /// binding is configuration and survives untouched.
+  /// @{
+  struct State {
+    int next_id = 0;
+    int64_t total_quanta = 0;
+    FleetLedger ledger;
+    std::vector<Container> containers;
+  };
+
+  State SaveState() const;
+  void RestoreState(const State& s);
+  /// @}
+
  private:
   /// Allocates, charges, and fault-stamps one fresh container.
   Container* AllocateFresh(Seconds now);

@@ -30,6 +30,7 @@ constexpr uint64_t kRotStream = 0x726f7434ULL;       // "rot4"
 constexpr uint64_t kAcquireStream = 0x61637166ULL;   // "acqf"
 constexpr uint64_t kBootStream = 0x626f6f74ULL;      // "boot"
 constexpr uint64_t kPreemptStream = 0x7072656dULL;   // "prem"
+constexpr uint64_t kCtlStream = 0x63746c63ULL;       // "ctlc"
 
 /// Uniform double in [0, 1) from one hashed value.
 double ToUnit(uint64_t x) {
@@ -81,6 +82,15 @@ Status ValidateFaultOptions(const FaultOptions& opts) {
   }
   if (!(opts.preempt_notice >= 0)) {
     return Status::InvalidArgument("preempt_notice must be >= 0");
+  }
+  if (bad_rate(opts.ctl_crash_rate)) {
+    return Status::InvalidArgument("ctl_crash_rate must be in [0, 1]");
+  }
+  if (opts.crash_at_boundary < -1) {
+    return Status::InvalidArgument("crash_at_boundary must be >= -1");
+  }
+  if (opts.crash_at_boundary_2 < -1) {
+    return Status::InvalidArgument("crash_at_boundary_2 must be >= -1");
   }
   return Status::OK();
 }
@@ -175,6 +185,19 @@ Seconds FaultModel::PreemptOnset(uint64_t container_id, Seconds quantum,
     }
   }
   return kNeverFails;
+}
+
+bool FaultModel::CtlCrashAt(uint64_t boundary_index) const {
+  const int64_t idx = static_cast<int64_t>(boundary_index);
+  if (opts_.crash_at_boundary >= 0 && idx == opts_.crash_at_boundary) {
+    return true;
+  }
+  if (opts_.crash_at_boundary_2 >= 0 && idx == opts_.crash_at_boundary_2) {
+    return true;
+  }
+  if (opts_.ctl_crash_rate <= 0) return false;
+  return ToUnit(Mix(opts_.seed, boundary_index, 0, kCtlStream)) <
+         opts_.ctl_crash_rate;
 }
 
 }  // namespace dfim

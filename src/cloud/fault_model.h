@@ -73,6 +73,23 @@ struct FaultOptions {
   /// staged off. 0 = unannounced reclaim (progress dies with the disk).
   Seconds preempt_notice = 0;
   /// @}
+  /// \name Control-plane crashes (journaled recovery, DESIGN.md §15).
+  /// These kill the *service brain* — catalog runtime state, tuner history,
+  /// admission queue, fleet ledger — at a stage boundary of the decision
+  /// loop; the storage service (the durable cloud) survives. Requires
+  /// `ServiceOptions::journal.enabled` (checked at service entry): a crash
+  /// without a journal would simply lose the run. Draws come from a
+  /// dedicated stream keyed by the service's monotone boundary counter, so
+  /// all other fault traces are bit-identical whether or not these are set.
+  /// @{
+  /// Per-boundary probability the control plane dies at that boundary.
+  double ctl_crash_rate = 0;
+  /// Directed mode: crash exactly at boundary-counter value `k` (-1 = off).
+  /// The exhaustive recovery sweep drives this through every boundary.
+  int64_t crash_at_boundary = -1;
+  /// Second directed crash (double-crash tests: the replay itself dies).
+  int64_t crash_at_boundary_2 = -1;
+  /// @}
   /// Seed of the fault universe; independent of all other seeds.
   uint64_t seed = 1;
 
@@ -85,6 +102,12 @@ struct FaultOptions {
   }
   bool provider_enabled() const {
     return acquire_fail_rate > 0 || boot_delay_max > 0 || preempt_rate > 0;
+  }
+  /// Deliberately not part of enabled(): control-plane crashes must not
+  /// perturb the container/storage draw streams.
+  bool ctl_enabled() const {
+    return ctl_crash_rate > 0 || crash_at_boundary >= 0 ||
+           crash_at_boundary_2 >= 0;
   }
 };
 
@@ -204,6 +227,13 @@ class FaultModel {
   /// from the lease start, or kNeverFails.
   Seconds PreemptOnset(uint64_t container_id, Seconds quantum,
                        int64_t max_quanta) const;
+
+  /// \brief Deterministic control-plane crash draw at one stage boundary.
+  ///
+  /// `boundary_index` is the service's monotone boundary counter (never
+  /// restored by recovery, so a directed crash fires exactly once and a
+  /// replayed boundary re-draws at a fresh index instead of re-firing).
+  bool CtlCrashAt(uint64_t boundary_index) const;
 
  private:
   FaultOptions opts_;

@@ -109,7 +109,37 @@ VerifyResult StorageService::VerifyRead(const std::string& path, Seconds now) {
   if (it->second.detected) return VerifyResult::kAlreadyDetected;
   it->second.detected = true;
   ++corruptions_detected_;
+  if (record_detections_) {
+    detection_log_.push_back(
+        Detection{++detection_seq_, it->second.generation, path});
+  }
   return VerifyResult::kCorrupt;
+}
+
+int64_t StorageService::RewindDetectionsTo(int64_t seq) {
+  int64_t rewound = 0;
+  while (!detection_log_.empty() && detection_log_.back().seq > seq) {
+    const Detection& d = detection_log_.back();
+    auto it = objects_.find(d.path);
+    // Generation-guarded: an overwrite since the detection replaced the
+    // object — its detected flag belongs to the new write, leave it alone.
+    if (it != objects_.end() && it->second.generation == d.generation &&
+        it->second.detected) {
+      it->second.detected = false;
+      --corruptions_detected_;
+      ++rewound;
+    }
+    detection_log_.pop_back();
+  }
+  detection_seq_ = seq;
+  return rewound;
+}
+
+bool StorageService::TokenMatches(const std::string& path,
+                                  uint64_t token) const {
+  if (token == 0) return false;
+  auto it = objects_.find(path);
+  return it != objects_.end() && it->second.token == token;
 }
 
 int64_t StorageService::LatentCorrupt(Seconds now) {

@@ -161,6 +161,34 @@ class StorageService {
   int64_t LatentCorrupt(Seconds now);
   /// @}
 
+  /// \name Detection watermark (journaled recovery, DESIGN.md §15)
+  /// The store is the durable half of a control-plane crash: it keeps the
+  /// pre-crash detections while the service's counters roll back to the
+  /// last journal snapshot. Replay would then see kAlreadyDetected where
+  /// the original run saw kCorrupt — a different verdict, a different
+  /// counter. The detection log lets recovery *rewind* detections past the
+  /// snapshot's watermark so the replayed verifications re-discover them
+  /// identically. Off (zero overhead) until EnableDetectionLog().
+  /// @{
+
+  /// Starts recording first-detections; call before any VerifyRead when
+  /// the control plane journals its state.
+  void EnableDetectionLog() { record_detections_ = true; }
+
+  /// Monotone sequence number of the latest first-detection (0 = none) —
+  /// the watermark a journal snapshot captures.
+  int64_t detection_seq() const { return detection_seq_; }
+
+  /// Un-detects every logged detection with sequence > `seq` whose object
+  /// still exists at the logged generation, decrementing the detected
+  /// counter, and truncates the log. Returns how many were rewound.
+  int64_t RewindDetectionsTo(int64_t seq);
+
+  /// True when the object at `path` exists and carries exactly `token`
+  /// (a pre-crash landed persist the replay must not re-bill).
+  bool TokenMatches(const std::string& path, uint64_t token) const;
+  /// @}
+
   /// \brief Latency semantics of one (possibly hedged) read — pure, the
   /// fault draws are the caller's (the execution simulator draws them
   /// deterministically per (run_key, op_key, attempt)).
@@ -210,6 +238,15 @@ class StorageService {
   int64_t corruptions_injected_ = 0;
   int64_t corruptions_detected_ = 0;
   int64_t corruptions_dead_ = 0;
+  /// One logged first-detection (EnableDetectionLog only).
+  struct Detection {
+    int64_t seq = 0;
+    int64_t generation = 0;
+    std::string path;
+  };
+  bool record_detections_ = false;
+  int64_t detection_seq_ = 0;
+  std::vector<Detection> detection_log_;
 };
 
 }  // namespace dfim

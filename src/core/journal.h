@@ -1,0 +1,315 @@
+#ifndef DFIM_CORE_JOURNAL_H_
+#define DFIM_CORE_JOURNAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cloud/cluster.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/admission.h"
+#include "core/service_metrics.h"
+#include "core/tuner.h"
+#include "data/catalog.h"
+#include "dataflow/build_index_ops.h"
+#include "dataflow/dataflow.h"
+
+namespace dfim {
+
+/// \brief Control-plane durability knobs (DESIGN.md §15).
+///
+/// Off by default: with `enabled` false the service takes no snapshots,
+/// writes no records, and every execution path is bit-identical to a
+/// service without the journal layer. The control-plane crash knobs in
+/// FaultOptions (`ctl_crash_rate`, `crash_at_boundary`) require the journal
+/// — a crash without a journal would simply lose the run.
+struct JournalOptions {
+  bool enabled = false;
+  /// Physically erase records superseded by a snapshot. Compaction is a
+  /// pure space optimization: recovery, the ledger identity and every
+  /// metric are equivalent with it on or off.
+  bool compact = true;
+  /// Consecutive recoveries allowed without completing an iteration before
+  /// further crash injection is suppressed (fail open: the run terminates
+  /// instead of crash-looping forever under ctl_crash_rate = 1).
+  int max_resume_attempts = 8;
+};
+
+/// Rejects a non-positive resume bound while the journal is enabled.
+Status ValidateJournalOptions(const JournalOptions& opts);
+
+/// \brief What a journal record describes.
+enum class JournalRecordType {
+  /// A full control-plane snapshot (group commit point).
+  kSnapshot,
+  /// A stage of the decision pipeline completed.
+  kStage,
+  /// A dataflow was pulled from the workload client.
+  kArrival,
+};
+
+/// \brief The five crash boundaries of one service iteration, in pipeline
+/// order. `MaybeCtlCrash` draws at each; stage records are stamped with the
+/// stage that just completed.
+enum class StageBoundary {
+  kDecide = 0,
+  kExecute = 1,
+  kRecordHistory = 2,
+  kApplyDeletions = 3,
+  kStampTimeline = 4,
+};
+
+/// \brief Zero-slack accounting of every journal record ever written
+/// (DESIGN.md §15).
+///
+/// Each record ends up in exactly one bucket, so the identity
+///
+///   records_written == replayed + truncated_by_snapshot
+///                      + tail_discarded + live-right-now
+///
+/// holds at all times. `truncated_by_snapshot` counts records group-
+/// committed into (and superseded by) a later snapshot; `tail_discarded`
+/// counts open-segment records a crash threw away; `replayed` counts
+/// snapshot records a recovery consumed. The ledger also owns the recovery
+/// counters surfaced in ServiceMetrics: like the storage service, the
+/// journal survives a control-plane crash, so counters kept here are never
+/// rolled back by a state restore.
+struct JournalLedger {
+  int64_t records_written = 0;
+  int64_t bytes_written = 0;
+  int64_t truncated_by_snapshot = 0;
+  int64_t tail_discarded = 0;
+  int64_t replayed = 0;
+  /// Snapshot commits (one per iteration start + one per pre-execute).
+  int64_t commits = 0;
+  /// Injected control-plane crashes taken.
+  int64_t ctl_crashes = 0;
+  /// Replayed persists resolved by idempotency token (landed pre-crash,
+  /// acknowledged without re-billing).
+  int64_t persists_deduped = 0;
+  /// Execution quanta re-spent replaying crashed iterations.
+  double recovery_replay_quanta = 0;
+
+  /// Slack of the record identity given the live count; zero when exact.
+  int64_t Slack(int64_t live_now) const {
+    return records_written - replayed - truncated_by_snapshot -
+           tail_discarded - live_now;
+  }
+};
+
+/// \brief The B-phase hand-off: everything `FinishRun` needs to resume an
+/// iteration from the pre-execute boundary (the decision is final, the
+/// fleet plan is made; execution has not started).
+struct InFlightDecision {
+  TunerDecision decision;
+  /// Fleet plan wait (boot delays / backoff) folded into the elapsed time.
+  Seconds fleet_wait = 0;
+};
+
+/// \brief A destructive storage delete deferred to the next group commit.
+///
+/// While the journal is on, service-side deletes are staged instead of
+/// applied: a crash between the delete and the next snapshot must not have
+/// destroyed an object the replay still reads. Applied generation-guarded —
+/// if the object was overwritten since staging (a repair rebuilt the
+/// partition), the delete is moot and skipped.
+struct StagedDelete {
+  std::string path;
+  Seconds at = 0;
+  int64_t generation = 0;
+};
+
+/// \brief One full control-plane snapshot: the minimal by-value clone of
+/// every piece of QaasService state a crash would lose (DESIGN.md §15).
+///
+/// Two snapshots bracket each iteration: `kIterStart` (after arrivals,
+/// batch formation and due updates; before the scrub/decide A-phase) and
+/// `kPreExecute` (decision final, before execution). Recovery restores the
+/// latest one; its kind tells the driver where to resume — re-run the whole
+/// iteration, or re-enter the B-phase from the saved in-flight decision.
+struct ServiceSnapshot {
+  enum class Kind { kIterStart, kPreExecute };
+
+  /// The driver loop's locals, captured so a restore can re-run the
+  /// current iteration (batch, start instant, brownout fraction) and then
+  /// continue the outer loop (clock, settled, pending queue, next pull).
+  struct LoopState {
+    Seconds clock = 0;
+    Seconds settled = 0;
+    std::deque<PendingDataflow> queue;
+    std::optional<Dataflow> pending_arrival;
+    std::vector<PendingDataflow> batch;
+    Seconds start = 0;
+    double build_fraction = 1.0;
+  };
+
+  Kind kind = Kind::kIterStart;
+
+  // --- catalog / tuner / admission / fleet ---
+  Catalog::RuntimeState catalog;
+  Rng rng;
+  std::deque<DataflowRecord> history;
+  Cluster::State fleet;
+  /// Optional only because AdmissionController has no default constructor;
+  /// always engaged in a committed snapshot.
+  std::optional<AdmissionController> admission;
+  std::map<std::string, Seconds> last_useful;
+  BuildProgress build_progress;
+  Seconds next_update = 0;
+
+  // --- elastic fleet / overload / integrity scalars ---
+  int fleet_target = 1;
+  Seconds acquire_backoff_until = 0;
+  double acquire_backoff_quanta = 0;
+  double last_pressure = 0;
+  int retry_budget_left = -1;
+  int breaker_state = 0;
+  int breaker_faults = 0;
+  Seconds breaker_open_until = 0;
+  std::deque<std::pair<std::string, int>> repair_queue;
+  double scrub_credit = 0;
+  Seconds last_scrub = 0;
+  std::string scrub_cursor;
+
+  // --- storage shadows (the data plane itself survives the crash) ---
+  /// Control-plane mirror of the storage billing clock: replay must not
+  /// see the inflated post-crash `last_billed()`.
+  Seconds storage_clock_mirror = 0;
+  std::vector<StagedDelete> staged_deletes;
+  /// Detection-log watermark; recovery rewinds storage detections past it
+  /// so replayed verifies return kCorrupt again identically.
+  int64_t detection_watermark = 0;
+
+  // --- driver loop & metrics ---
+  LoopState loop;
+  ServiceMetrics metrics;
+
+  // --- in-flight decision (kPreExecute only) ---
+  std::optional<InFlightDecision> in_flight;
+};
+
+/// \brief One record header: generation-stamped, checksummed, byte-sized.
+///
+/// The simulator journals logically (records live in memory), but each
+/// record carries the metadata a physical log would: a monotone LSN, the
+/// journal generation it was written under (bumped per recovery), a
+/// deterministic canonical-encoding size estimate, and an FNV-1a checksum
+/// over the header fields and a payload digest. Recovery re-verifies the
+/// snapshot checksum before trusting it.
+struct JournalRecord {
+  int64_t lsn = 0;
+  JournalRecordType type = JournalRecordType::kStage;
+  StageBoundary stage = StageBoundary::kDecide;
+  int64_t generation = 0;
+  int64_t bytes = 0;
+  uint64_t checksum = 0;
+};
+
+/// \brief The write-ahead journal + snapshot layer (DESIGN.md §15).
+///
+/// Group-commit batching: stage and arrival records appended since the
+/// last snapshot form the open segment; the next `CommitSnapshot` bakes
+/// them into the snapshot (they move to `truncated_by_snapshot`). A crash
+/// discards the open segment (`tail_discarded`) and `Recover` consumes the
+/// latest snapshot (`replayed`), re-seating the restored state as a fresh
+/// snapshot under a bumped generation so a second crash during replay
+/// recovers from the same point.
+class Journal {
+ public:
+  explicit Journal(const JournalOptions& opts) : opts_(opts) {}
+
+  bool enabled() const { return opts_.enabled; }
+  const JournalOptions& options() const { return opts_; }
+
+  /// Appends one stage-completion record to the open segment. `items` is
+  /// the payload cardinality (history rows, deleted paths, stamps...) and
+  /// only feeds the deterministic byte estimate.
+  void AppendStage(StageBoundary stage, Seconds at, int64_t items);
+
+  /// Appends one arrival record (a dataflow pulled from the client).
+  void AppendArrival(int dataflow_id, Seconds at);
+
+  /// Group commit: writes a snapshot record; the open segment and the
+  /// previous snapshot are superseded (truncated) by it.
+  void CommitSnapshot(ServiceSnapshot snap);
+
+  bool HasSnapshot() const { return snapshot_ != nullptr; }
+
+  /// Crash recovery: discards the open segment, checksum-verifies and
+  /// consumes the latest snapshot, bumps the generation, and re-seats the
+  /// restored state as a fresh snapshot. Returns the consumed snapshot, or
+  /// null when there is nothing to recover from (or the checksum fails).
+  std::shared_ptr<const ServiceSnapshot> Recover();
+
+  /// \name Gate-outcome log (exactly-once external arbitration)
+  /// The cross-shard persist gate is shared state the journal cannot
+  /// restore, so its answers are recorded positionally per iteration: the
+  /// first execution consults the gate live and records each delay; a
+  /// replay consumes the recorded outcomes instead of re-consulting (the
+  /// pre-crash call already reserved the slot). Reset at each pre-execute
+  /// commit; rewound (not cleared) on recovery.
+  /// @{
+  void ResetGateLog() {
+    gate_log_.clear();
+    gate_pos_ = 0;
+  }
+  void RewindGateLog() { gate_pos_ = 0; }
+  /// Consumes the next recorded outcome; false when the log is exhausted
+  /// (the caller consults the gate live and records the answer).
+  bool NextGateOutcome(Seconds* delay) {
+    if (gate_pos_ >= gate_log_.size()) return false;
+    *delay = gate_log_[gate_pos_++];
+    return true;
+  }
+  void RecordGateOutcome(Seconds delay) {
+    gate_log_.push_back(delay);
+    gate_pos_ = gate_log_.size();
+  }
+  /// @}
+
+  const JournalLedger& ledger() const { return ledger_; }
+  JournalLedger* mutable_ledger() { return &ledger_; }
+
+  /// Records currently live: the latest snapshot plus the open segment.
+  int64_t live_records() const {
+    return open_records_ + (snapshot_ != nullptr ? 1 : 0);
+  }
+
+  /// Slack of the ledger identity right now; zero when exact.
+  int64_t LedgerSlack() const { return ledger_.Slack(live_records()); }
+
+  /// Journal generation (recoveries survived).
+  int64_t generation() const { return generation_; }
+
+  /// Retained record headers (all of them with compact off; only the live
+  /// segment with compact on). Inspection/testing.
+  const std::vector<JournalRecord>& records() const { return records_; }
+
+ private:
+  JournalRecord MakeRecord(JournalRecordType type, StageBoundary stage,
+                           int64_t bytes, uint64_t payload_digest);
+
+  JournalOptions opts_;
+  JournalLedger ledger_;
+  int64_t next_lsn_ = 1;
+  int64_t generation_ = 0;
+  /// Records appended since the latest snapshot (the open segment).
+  int64_t open_records_ = 0;
+  std::shared_ptr<const ServiceSnapshot> snapshot_;
+  JournalRecord snapshot_record_;
+  std::vector<JournalRecord> records_;
+  std::vector<Seconds> gate_log_;
+  size_t gate_pos_ = 0;
+};
+
+}  // namespace dfim
+
+#endif  // DFIM_CORE_JOURNAL_H_

@@ -89,7 +89,8 @@ QaasService::QaasService(Catalog* catalog, ServiceOptions options)
       fleet_(options.container, options.tuner.pricing,
              options.autoscaler.enabled ? options.autoscaler.max_containers
                                         : std::numeric_limits<int>::max()),
-      admission_(options.admission, options.brownout) {
+      admission_(options.admission, options.brownout),
+      journal_(options.journal) {
   // Plumb/normalize the scheduler knobs once: every SkylineScheduler the
   // service constructs (directly or via the tuner's interleaver) sees the
   // same options, and a zero/negative thread count means "serial".
@@ -322,7 +323,7 @@ void QaasService::QuarantineAndScheduleRepair(const std::string& index_id,
   // re-persists a fresh generation. (Detected corruptions were already
   // counted by the VerifyRead, so this Delete does not mark them dead.)
   auto def = catalog_->GetIndexDef(index_id);
-  if (def.ok()) storage_.Delete((*def)->PartitionPath(partition), now);
+  if (def.ok()) StorageDelete((*def)->PartitionPath(partition), now);
   if (opts_.integrity.repair) {
     repair_queue_.push_back(RepairEntry{index_id, partition});
   }
@@ -334,8 +335,10 @@ void QaasService::VerifyIndexBindings(TunerDecision* decision, Seconds now,
   // previous dataflow's persists land inside its paid lease tail, beyond the
   // next arrival). Verify at the billing high-water mark so the settle order
   // stays monotone; every rot onset due by then was already realized, so
-  // the verdicts are identical.
-  now = std::max(now, storage_.last_billed());
+  // the verdicts are identical. Under the journal the mark is the journaled
+  // mirror: replay must not clamp to the inflated post-crash clock.
+  now = std::max(now, BillingClock());
+  BumpClockMirror(now);
   // One verdict per distinct index the decision binds: every built partition
   // must pass both the checksum and the expected-generation check. The op
   // granularity is the index — a dataflow op cannot read half an index.
@@ -397,7 +400,8 @@ void QaasService::RunScrub(Seconds now, ServiceMetrics* metrics) {
   if (per_quantum <= 0) return;
   // Same high-water clamp as VerifyIndexBindings: scrub reads must never
   // regress the storage billing clock.
-  now = std::max(now, storage_.last_billed());
+  now = std::max(now, BillingClock());
+  BumpClockMirror(now);
   const Seconds quantum = opts_.tuner.sched.quantum;
   if (now > last_scrub_) {
     scrub_credit_ += (now - last_scrub_) / quantum * per_quantum;
@@ -430,7 +434,7 @@ void QaasService::RunScrub(Seconds now, ServiceMetrics* metrics) {
       QuarantineAndScheduleRepair(id, pid, now, metrics);
     } else {
       // Orphan (already invalidated in the catalog): just drop it.
-      storage_.Delete(path, now);
+      StorageDelete(path, now);
     }
   }
 }
@@ -531,6 +535,9 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
                                                     Seconds start,
                                                     ServiceMetrics* metrics,
                                                     double build_fraction) {
+  RunOutcome crashed_out;
+  crashed_out.crashed = true;
+  if (MaybeCtlCrash()) return crashed_out;  // b0: pre-Decide
   // Background scrub first (DESIGN.md §12): latent rot caught here is
   // quarantined before the tuner consults the catalog, so this very
   // decision already plans around (and can repair) the loss.
@@ -557,22 +564,103 @@ Result<QaasService::RunOutcome> QaasService::RunOne(const Dataflow& df,
     ScheduleRepairs(&decision, metrics);
   }
 
+  // The decision is final: commit it as the in-flight B-phase state. A
+  // crash past this point resumes from here — the A-phase (whose scrub
+  // verifies and quarantine deletes already happened) never re-runs.
+  in_flight_ = InFlightDecision{std::move(decision), fleet_plan.wait};
+  if (JournalOn()) {
+    journal_.AppendStage(
+        StageBoundary::kDecide, start,
+        static_cast<int64_t>(in_flight_->decision.combined.num_ops()));
+    CommitJournal(ServiceSnapshot::Kind::kPreExecute, *metrics);
+  }
+  if (MaybeCtlCrash()) return crashed_out;  // b1: pre-Execute
+  return FinishRun(metrics);
+}
+
+Result<QaasService::RunOutcome> QaasService::FinishRun(
+    ServiceMetrics* metrics) {
+  const std::vector<PendingDataflow>& batch = loop_->batch;
+  const Seconds start = loop_->start;
+  const bool is_batch = batch.size() > 1;
+  InFlightDecision& fl = *in_flight_;
+  RunOutcome crashed_out;
+  crashed_out.crashed = true;
+
   DFIM_ASSIGN_OR_RETURN(
       ExecOutcome exec,
-      ExecuteDecision(&decision, df, start, fleet_plan.wait, metrics));
+      ExecuteDecision(&fl.decision, batch.front().df, start, fl.fleet_wait,
+                      metrics));
+  if (recovering_) {
+    journal_.mutable_ledger()->recovery_replay_quanta +=
+        exec.elapsed / opts_.tuner.sched.quantum;
+  }
+  if (JournalOn()) {
+    journal_.AppendStage(StageBoundary::kExecute, start + exec.elapsed,
+                         static_cast<int64_t>(exec.total_leased));
+  }
+  if (MaybeCtlCrash()) return crashed_out;  // b2: pre-RecordHistory
+
+  // ExecuteDecision counted one failure; a failed batch loses every member.
+  if (is_batch && exec.failed) {
+    metrics->dataflows_failed += static_cast<int>(batch.size()) - 1;
+  }
   const Seconds quantum = opts_.tuner.sched.quantum;
   const Seconds finish = start + exec.elapsed;
   if (!exec.failed) {
-    RecordHistory(df, finish, exec.elapsed / quantum,
-                  static_cast<double>(exec.total_leased));
-    ApplyDeletions(decision.to_delete, finish, metrics);
+    if (is_batch) {
+      // Per-member history: members share the realized makespan (they ran
+      // as one merged schedule) and split the VM bill into equal shares, so
+      // the batch's total money matches the one-at-a-time accounting
+      // identity.
+      const double share =
+          static_cast<double>(exec.total_leased) / batch.size();
+      for (const auto& p : batch) {
+        RecordHistory(p.df, finish, exec.elapsed / quantum, share);
+      }
+    } else {
+      RecordHistory(batch.front().df, finish, exec.elapsed / quantum,
+                    static_cast<double>(exec.total_leased));
+    }
+  }
+  if (JournalOn()) {
+    journal_.AppendStage(StageBoundary::kRecordHistory, finish,
+                         static_cast<int64_t>(batch.size()));
+  }
+  if (MaybeCtlCrash()) return crashed_out;  // b3: pre-ApplyDeletions
+
+  if (!exec.failed) {
+    ApplyDeletions(fl.decision.to_delete, finish, metrics);
   }
   const Seconds settled = std::max(finish, exec.last_persist);
-  storage_.AdvanceTo(settled);
+  SettleStorage(settled);
+  // Server occupancy: the iteration held the service for one makespan.
   metrics->total_time_quanta += exec.elapsed / quantum;
+  if (is_batch) {
+    ++metrics->dataflow_batches;
+    metrics->batched_dataflows += static_cast<int>(batch.size());
+  }
   HarvestFleet(metrics);
-  StampTimeline(finish, exec.elapsed / quantum, metrics);
-  return RunOutcome{finish, exec.failed, settled};
+  if (JournalOn()) {
+    journal_.AppendStage(StageBoundary::kApplyDeletions, finish,
+                         static_cast<int64_t>(fl.decision.to_delete.size()));
+  }
+  if (MaybeCtlCrash()) return crashed_out;  // b4: pre-StampTimeline
+
+  if (JournalOn()) HarvestJournal(metrics);
+  // One timeline point per member (the open loop re-stamps queue state).
+  const int stamps = is_batch ? static_cast<int>(batch.size()) : 1;
+  for (int i = 0; i < stamps; ++i) {
+    StampTimeline(finish, exec.elapsed / quantum, metrics);
+  }
+  if (JournalOn()) {
+    journal_.AppendStage(StageBoundary::kStampTimeline, finish, stamps);
+  }
+  RunOutcome out;
+  out.finish = finish;
+  out.failed = exec.failed;
+  out.settled = settled;
+  return out;
 }
 
 Result<QaasService::ExecOutcome> QaasService::ExecuteDecision(
@@ -854,9 +942,13 @@ Result<QaasService::ExecOutcome> QaasService::ExecuteDecision(
                 PathHash(path), storage_.Generation(path) + 1, built_at,
                 sim.quantum, max_q);
           }
-          if (fi.spec.hedge_persists) {
+          if (fi.spec.hedge_persists || JournalOn()) {
             // Idempotency token: both landings of a hedged persist carry
             // it, so a double landing is a no-op at the same generation.
+            // The journal sets it on *every* persist — recovery replay
+            // re-resolves in-flight persists exactly-once through it (a
+            // landing that survived the crash is acknowledged, never
+            // re-billed; one that did not is re-issued).
             stamp.token =
                 PersistKey(b.index_id, b.partition, landed_attempt) | 1ULL;
           }
@@ -866,19 +958,36 @@ Result<QaasService::ExecOutcome> QaasService::ExecuteDecision(
           // completion. Bill from the high-water mark, which is what
           // StorageService's settle clamp would do anyway, without tripping
           // the clock-regression counter.
-          Seconds persist_at = std::max(built_at, storage_.last_billed());
+          Seconds persist_at = std::max(built_at, BillingClock());
           // Cross-shard fairness gate (sharded service only): a hot shard's
           // persists past its fair share are delayed to the next window,
           // extending the dataflow's wall time like persist backoff does.
+          // Under the journal the gate — shared, unrestorable state — is
+          // consulted exactly once per logical persist: the first execution
+          // records each outcome, a recovery replay consumes the records.
           if (persist_gate_ != nullptr) {
             ++metrics->gate_puts;
-            Seconds gd = persist_gate_->OnPersist(gate_shard_, persist_at);
+            Seconds gd = 0;
+            if (!JournalOn()) {
+              gd = persist_gate_->OnPersist(gate_shard_, persist_at);
+            } else if (!journal_.NextGateOutcome(&gd)) {
+              gd = persist_gate_->OnPersist(gate_shard_, persist_at);
+              journal_.RecordGateOutcome(gd);
+            }
             if (gd > 0) {
               ++metrics->gate_throttled;
               metrics->gate_throttle_quanta += gd / sim.quantum;
               persist_delay += gd;
               persist_at += gd;
             }
+          }
+          BumpClockMirror(persist_at);
+          // Exactly-once replay accounting: a persist whose pre-crash
+          // landing survives in storage dedupes by token (same generation,
+          // stamps ignored, nothing re-billed).
+          if (recovering_ && stamp.token != 0 &&
+              storage_.TokenMatches(path, stamp.token)) {
+            ++journal_.mutable_ledger()->persists_deduped;
           }
           int64_t gen = storage_.Put(path, part.size, persist_at, stamp);
           if (double_landed) {
@@ -1090,7 +1199,7 @@ void QaasService::ApplyDeletions(const std::vector<std::string>& to_delete,
     }
     auto dropped = catalog_->DropIndex(idx);
     if (dropped.ok() && !dropped->empty()) {
-      for (const auto& path : *dropped) storage_.Delete(path, finish);
+      for (const auto& path : *dropped) StorageDelete(path, finish);
       ++metrics->indexes_deleted;
     }
   }
@@ -1126,6 +1235,9 @@ Result<QaasService::RunOutcome> QaasService::RunBatch(
   // same catalog/history snapshot, the combined DAGs are merged (build ops
   // for the same partition deduped), and a single skyline pass schedules
   // the union — one member's builds pack into another's idle slots.
+  RunOutcome crashed_out;
+  crashed_out.crashed = true;
+  if (MaybeCtlCrash()) return crashed_out;  // b0: pre-Decide
   if (opts_.integrity.scrub_objects_per_quantum > 0) {
     RunScrub(start, metrics);
   }
@@ -1210,41 +1322,18 @@ Result<QaasService::RunOutcome> QaasService::RunBatch(
     ScheduleRepairs(&merged, metrics);
   }
 
-  // One execution for the whole batch; the head member keys the fault
-  // draws and the adaptive speculation watermark.
-  DFIM_ASSIGN_OR_RETURN(
-      ExecOutcome exec,
-      ExecuteDecision(&merged, batch.front().df, start, fleet_plan.wait,
-                      metrics));
-  // ExecuteDecision counted one failure; a failed batch loses every member.
-  if (exec.failed) {
-    metrics->dataflows_failed += static_cast<int>(batch.size()) - 1;
+  // The merged decision is final: commit it as the in-flight B-phase
+  // state; one execution covers the whole batch (the head member keys the
+  // fault draws and the adaptive speculation watermark in FinishRun).
+  in_flight_ = InFlightDecision{std::move(merged), fleet_plan.wait};
+  if (JournalOn()) {
+    journal_.AppendStage(
+        StageBoundary::kDecide, start,
+        static_cast<int64_t>(in_flight_->decision.combined.num_ops()));
+    CommitJournal(ServiceSnapshot::Kind::kPreExecute, *metrics);
   }
-  const Seconds quantum = opts_.tuner.sched.quantum;
-  const Seconds finish = start + exec.elapsed;
-  if (!exec.failed) {
-    // Per-member history: members share the realized makespan (they ran as
-    // one merged schedule) and split the VM bill into equal shares, so the
-    // batch's total money matches the one-at-a-time accounting identity.
-    const double share =
-        static_cast<double>(exec.total_leased) / batch.size();
-    for (const auto& p : batch) {
-      RecordHistory(p.df, finish, exec.elapsed / quantum, share);
-    }
-    ApplyDeletions(merged.to_delete, finish, metrics);
-  }
-  const Seconds settled = std::max(finish, exec.last_persist);
-  storage_.AdvanceTo(settled);
-  // Server occupancy: the batch held the service for one merged makespan.
-  metrics->total_time_quanta += exec.elapsed / quantum;
-  ++metrics->dataflow_batches;
-  metrics->batched_dataflows += static_cast<int>(batch.size());
-  HarvestFleet(metrics);
-  // One timeline point per member (the open loop re-stamps queue state).
-  for (size_t i = 0; i < batch.size(); ++i) {
-    StampTimeline(finish, exec.elapsed / quantum, metrics);
-  }
-  return RunOutcome{finish, exec.failed, settled};
+  if (MaybeCtlCrash()) return crashed_out;  // b1: pre-Execute
+  return FinishRun(metrics);
 }
 
 void QaasService::ApplyDueUpdates(Seconds now, ServiceMetrics* metrics) {
@@ -1269,7 +1358,7 @@ void QaasService::ApplyDueUpdates(Seconds now, ServiceMetrics* metrics) {
       auto invalidated = catalog_->ApplyBatchUpdate(name, ids);
       if (invalidated.ok()) {
         for (const auto& path : *invalidated) {
-          storage_.Delete(path, next_update_);
+          StorageDelete(path, next_update_);
         }
         metrics->index_partitions_invalidated +=
             static_cast<int>(invalidated->size());
@@ -1280,6 +1369,176 @@ void QaasService::ApplyDueUpdates(Seconds now, ServiceMetrics* metrics) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Crash-consistent control plane (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+bool QaasService::MaybeCtlCrash() {
+  if (!JournalOn() || !opts_.faults.ctl_enabled()) return false;
+  // The boundary counter ticks monotonically across crashes and replays
+  // (it is deliberately not journaled), so a directed crash_at_boundary
+  // fires exactly once and rate draws never repeat.
+  const uint64_t idx = static_cast<uint64_t>(ctl_boundary_counter_++);
+  // Fail open: past the resume bound the run proceeds uncrashed until an
+  // iteration completes, instead of crash-looping under ctl_crash_rate = 1.
+  if (resume_attempts_ >= opts_.journal.max_resume_attempts) return false;
+  if (!provider_faults_.CtlCrashAt(idx)) return false;
+  ++journal_.mutable_ledger()->ctl_crashes;
+  return true;
+}
+
+void QaasService::StorageDelete(const std::string& path, Seconds at) {
+  BumpClockMirror(at);
+  if (!JournalOn()) {
+    storage_.Delete(path, at);
+    return;
+  }
+  // Deferred: a crash between this delete and the next commit must not
+  // have destroyed an object the replay still reads. The generation guard
+  // skips the delete if the object was overwritten since staging.
+  staged_deletes_.push_back(StagedDelete{path, at, storage_.Generation(path)});
+}
+
+void QaasService::FlushStagedDeletes() {
+  for (const auto& d : staged_deletes_) {
+    if (storage_.Generation(d.path) == d.generation) {
+      storage_.Delete(d.path, d.at);
+    }
+  }
+  staged_deletes_.clear();
+}
+
+void QaasService::SettleStorage(Seconds t) {
+  BumpClockMirror(t);
+  // A replayed settle may lag the storage high-water mark; clamp silently
+  // (journal off keeps AdvanceTo's regression warning path bit-identical).
+  storage_.AdvanceTo(JournalOn() ? std::max(t, storage_.last_billed()) : t);
+}
+
+ServiceSnapshot QaasService::MakeSnapshot(ServiceSnapshot::Kind kind,
+                                          const ServiceMetrics& metrics) const {
+  ServiceSnapshot s;
+  s.kind = kind;
+  s.catalog = catalog_->SaveState();
+  s.rng = rng_;
+  s.history = history_;
+  s.fleet = fleet_.SaveState();
+  s.admission = admission_;
+  s.last_useful = last_useful_;
+  s.build_progress = build_progress_;
+  s.next_update = next_update_;
+  s.fleet_target = fleet_target_;
+  s.acquire_backoff_until = acquire_backoff_until_;
+  s.acquire_backoff_quanta = acquire_backoff_quanta_;
+  s.last_pressure = last_pressure_;
+  s.retry_budget_left = retry_budget_left_;
+  s.breaker_state = static_cast<int>(breaker_state_);
+  s.breaker_faults = breaker_faults_;
+  s.breaker_open_until = breaker_open_until_;
+  for (const auto& e : repair_queue_) {
+    s.repair_queue.emplace_back(e.index_id, e.partition);
+  }
+  s.scrub_credit = scrub_credit_;
+  s.last_scrub = last_scrub_;
+  s.scrub_cursor = scrub_cursor_;
+  s.storage_clock_mirror = storage_clock_mirror_;
+  s.staged_deletes = staged_deletes_;
+  s.detection_watermark = storage_.detection_seq();
+  s.loop = *loop_;
+  s.metrics = metrics;
+  if (kind == ServiceSnapshot::Kind::kPreExecute) s.in_flight = in_flight_;
+  return s;
+}
+
+void QaasService::RestoreSnapshot(const ServiceSnapshot& s,
+                                  ServiceMetrics* metrics) {
+  catalog_->RestoreState(s.catalog);
+  rng_ = s.rng;
+  history_ = s.history;
+  fleet_.RestoreState(s.fleet);
+  admission_ = *s.admission;
+  last_useful_ = s.last_useful;
+  build_progress_ = s.build_progress;
+  next_update_ = s.next_update;
+  fleet_target_ = s.fleet_target;
+  acquire_backoff_until_ = s.acquire_backoff_until;
+  acquire_backoff_quanta_ = s.acquire_backoff_quanta;
+  last_pressure_ = s.last_pressure;
+  retry_budget_left_ = s.retry_budget_left;
+  breaker_state_ = static_cast<BreakerState>(s.breaker_state);
+  breaker_faults_ = s.breaker_faults;
+  breaker_open_until_ = s.breaker_open_until;
+  repair_queue_.clear();
+  for (const auto& [id, pid] : s.repair_queue) {
+    repair_queue_.push_back(RepairEntry{id, pid});
+  }
+  scrub_credit_ = s.scrub_credit;
+  last_scrub_ = s.last_scrub;
+  scrub_cursor_ = s.scrub_cursor;
+  storage_clock_mirror_ = s.storage_clock_mirror;
+  staged_deletes_ = s.staged_deletes;
+  // Un-detect every storage detection logged after the snapshot, so the
+  // replayed verifies return kCorrupt again identically.
+  storage_.RewindDetectionsTo(s.detection_watermark);
+  *loop_ = s.loop;
+  *metrics = s.metrics;
+  in_flight_ = s.in_flight;
+}
+
+void QaasService::CommitJournal(ServiceSnapshot::Kind kind,
+                                const ServiceMetrics& metrics) {
+  // Group commit: the deferred destructive deletes apply first, so the
+  // snapshot captures the post-flush storage view (staged list empty).
+  FlushStagedDeletes();
+  if (kind == ServiceSnapshot::Kind::kPreExecute) journal_.ResetGateLog();
+  journal_.CommitSnapshot(MakeSnapshot(kind, metrics));
+}
+
+Status QaasService::RunIteration(RunOutcome* out, ServiceMetrics* metrics) {
+  bool resume_b_phase = false;
+  while (true) {
+    Result<RunOutcome> r =
+        resume_b_phase
+            ? FinishRun(metrics)
+            : (loop_->batch.size() == 1
+                   ? RunOne(loop_->batch.front().df, loop_->start, metrics,
+                            loop_->build_fraction)
+                   : RunBatch(loop_->batch, loop_->start, metrics,
+                              loop_->build_fraction));
+    if (!r.ok()) return r.status();
+    if (!r->crashed) {
+      *out = *r;
+      recovering_ = false;
+      resume_attempts_ = 0;
+      in_flight_.reset();
+      return Status::OK();
+    }
+    // Injected control-plane crash. The journal (like the storage service)
+    // survives; restore the latest snapshot and resume exactly-once: a
+    // kIterStart snapshot re-runs the iteration from the top, a kPreExecute
+    // snapshot re-enters the B-phase with the saved in-flight decision.
+    ++resume_attempts_;
+    std::shared_ptr<const ServiceSnapshot> snap = journal_.Recover();
+    if (snap == nullptr) {
+      return Status::Internal(
+          "control-plane crash with no recoverable journal snapshot");
+    }
+    RestoreSnapshot(*snap, metrics);
+    recovering_ = true;
+    resume_b_phase = snap->kind == ServiceSnapshot::Kind::kPreExecute;
+  }
+}
+
+void QaasService::HarvestJournal(ServiceMetrics* metrics) const {
+  const JournalLedger& ledger = journal_.ledger();
+  metrics->ctl_crashes = ledger.ctl_crashes;
+  metrics->journal_records = ledger.records_written;
+  metrics->journal_bytes = ledger.bytes_written;
+  metrics->replayed_records = ledger.replayed;
+  metrics->persists_deduped = ledger.persists_deduped;
+  metrics->recovery_replay_quanta = ledger.recovery_replay_quanta;
+}
+
 Result<ServiceMetrics> QaasService::Run(WorkloadClient* client) {
   // Fail fast on misconfigured knobs before any draw consumes them —
   // DrawTrace would otherwise walk negative/>1 hazards raw.
@@ -1288,6 +1547,13 @@ Result<ServiceMetrics> QaasService::Run(WorkloadClient* client) {
   DFIM_RETURN_NOT_OK(ValidateIntegrityOptions(opts_.integrity));
   DFIM_RETURN_NOT_OK(ValidateAutoscalerOptions(opts_.autoscaler));
   DFIM_RETURN_NOT_OK(ValidateBatchOptions(opts_.batch));
+  DFIM_RETURN_NOT_OK(ValidateJournalOptions(opts_.journal));
+  if (opts_.faults.ctl_enabled() && !opts_.journal.enabled) {
+    return Status::InvalidArgument(
+        "control-plane crash injection (ctl_crash_rate / crash_at_boundary) "
+        "requires journal.enabled: a crash without a journal loses the run");
+  }
+  if (JournalOn()) storage_.EnableDetectionLog();
   if (opts_.autoscaler.enabled && !opts_.admission.open_loop) {
     return Status::InvalidArgument(
         "autoscaler requires admission.open_loop: the closed loop has no "
@@ -1300,18 +1566,30 @@ Result<ServiceMetrics> QaasService::Run(WorkloadClient* client) {
   }
   if (opts_.admission.open_loop) return RunOpenLoop(client);
   ServiceMetrics metrics;
-  Seconds clock = 0;
-  Seconds settled = 0;
+  ServiceSnapshot::LoopState loop;
+  loop_ = &loop;
   while (true) {
-    std::optional<Dataflow> df = client->Next(clock, opts_.total_time);
+    std::optional<Dataflow> df = client->Next(loop.clock, opts_.total_time);
     if (!df.has_value()) break;
+    if (JournalOn()) journal_.AppendArrival(df->id, df->issued_at);
     ++metrics.dataflows_arrived;
-    Seconds start = std::max(df->issued_at, clock);
+    Seconds start = std::max(df->issued_at, loop.clock);
     if (start >= opts_.total_time) break;
     ApplyDueUpdates(start, &metrics);
-    DFIM_ASSIGN_OR_RETURN(RunOutcome out, RunOne(*df, start, &metrics));
-    clock = out.finish;
-    settled = std::max(settled, out.settled);
+    loop.batch.clear();
+    PendingDataflow p;
+    p.df = std::move(*df);
+    p.arrival = start;
+    loop.batch.push_back(std::move(p));
+    loop.start = start;
+    loop.build_fraction = 1.0;
+    // C0: all of this iteration's inputs (the arrival, due updates) are in;
+    // a crash anywhere past this point re-runs from here.
+    if (JournalOn()) CommitJournal(ServiceSnapshot::Kind::kIterStart, metrics);
+    RunOutcome out;
+    DFIM_RETURN_NOT_OK(RunIteration(&out, &metrics));
+    loop.clock = out.finish;
+    loop.settled = std::max(loop.settled, out.settled);
     if (!out.failed) {
       if (out.finish <= opts_.total_time) {
         ++metrics.dataflows_finished;
@@ -1322,13 +1600,13 @@ Result<ServiceMetrics> QaasService::Run(WorkloadClient* client) {
   }
   // The last dataflow may legitimately finish (and persist builds) past the
   // horizon; the bill is already settled through `settled` in that case.
-  Seconds final_t = std::max({opts_.total_time, clock, settled});
+  Seconds final_t = std::max({opts_.total_time, loop.clock, loop.settled});
   // A final scrub pass spends whatever budget the idle horizon tail
   // accrued, so end-of-run rot is detected rather than silently latent.
   if (opts_.integrity.scrub_objects_per_quantum > 0) {
     RunScrub(final_t, &metrics);
   }
-  storage_.AdvanceTo(final_t);
+  SettleStorage(final_t);
   metrics.storage_cost = storage_.accrued_cost();
   metrics.storage_clock_clamps = storage_.clock_clamps();
   HarvestIntegrity(final_t, &metrics);
@@ -1340,16 +1618,23 @@ Result<ServiceMetrics> QaasService::Run(WorkloadClient* client) {
   }
   fleet_.ReapExpired(std::max(final_t, opts_.total_time));
   HarvestFleet(&metrics);
+  if (JournalOn()) HarvestJournal(&metrics);
+  loop_ = nullptr;
   return metrics;
 }
 
 Result<ServiceMetrics> QaasService::RunOpenLoop(WorkloadClient* client) {
   ServiceMetrics metrics;
   const Seconds quantum = opts_.tuner.sched.quantum;
-  Seconds clock = 0;    // when the service front door is next free
-  Seconds settled = 0;
-  std::deque<PendingDataflow> queue;
-  std::optional<Dataflow> next_df = client->Next(0, opts_.total_time);
+  ServiceSnapshot::LoopState loop;  // clock: when the front door is next free
+  loop_ = &loop;
+  loop.pending_arrival = client->Next(0, opts_.total_time);
+  if (JournalOn() && loop.pending_arrival.has_value()) {
+    journal_.AppendArrival(loop.pending_arrival->id,
+                           loop.pending_arrival->issued_at);
+  }
+  std::deque<PendingDataflow>& queue = loop.queue;
+  std::optional<Dataflow>& next_df = loop.pending_arrival;
 
   // Event loop in virtual-time order: an arrival is admitted the moment it
   // occurs; the head of the queue is dequeued when the server frees up.
@@ -1358,16 +1643,19 @@ Result<ServiceMetrics> QaasService::RunOpenLoop(WorkloadClient* client) {
   while (next_df.has_value() || !queue.empty()) {
     Seconds dequeue_at = queue.empty()
                              ? std::numeric_limits<Seconds>::infinity()
-                             : std::max(clock, queue.front().arrival);
+                             : std::max(loop.clock, queue.front().arrival);
     if (next_df.has_value() && next_df->issued_at <= dequeue_at) {
       admission_.Admit(std::move(*next_df), &queue, &metrics);
       next_df = client->Next(0, opts_.total_time);
+      if (JournalOn() && next_df.has_value()) {
+        journal_.AppendArrival(next_df->id, next_df->issued_at);
+      }
       continue;
     }
 
     PendingDataflow p = std::move(queue.front());
     queue.pop_front();
-    Seconds start = std::max(clock, p.arrival);
+    Seconds start = std::max(loop.clock, p.arrival);
     if (start >= opts_.total_time) {
       // Stranded: the horizon closed while this entry waited.
       ++metrics.dataflows_shed;
@@ -1387,7 +1675,8 @@ Result<ServiceMetrics> QaasService::RunOpenLoop(WorkloadClient* client) {
     // fall within the head's window join — the dequeue never waits for
     // future arrivals. Infeasible entries are shed here exactly as the head
     // check above would have shed them one dequeue later.
-    std::vector<PendingDataflow> batch;
+    std::vector<PendingDataflow>& batch = loop.batch;
+    batch.clear();
     batch.push_back(std::move(p));
     if (opts_.batch.max_batch > 1) {
       const Seconds window = opts_.batch.window_quanta * quantum;
@@ -1416,16 +1705,15 @@ Result<ServiceMetrics> QaasService::RunOpenLoop(WorkloadClient* client) {
         opts_.brownout.queue_ewma_alpha > 0 ? admission_.queue_ewma()
                                             : pressure);
     ApplyDueUpdates(start, &metrics);
+    loop.start = start;
+    loop.build_fraction = fraction;
+    // C0: arrivals pulled, batch formed, due updates applied; a crash
+    // anywhere in the iteration below re-runs from here.
+    if (JournalOn()) CommitJournal(ServiceSnapshot::Kind::kIterStart, metrics);
     RunOutcome out;
-    if (batch.size() == 1) {
-      DFIM_ASSIGN_OR_RETURN(out,
-                            RunOne(batch.front().df, start, &metrics,
-                                   fraction));
-    } else {
-      DFIM_ASSIGN_OR_RETURN(out, RunBatch(batch, start, &metrics, fraction));
-    }
-    clock = out.finish;
-    settled = std::max(settled, out.settled);
+    DFIM_RETURN_NOT_OK(RunIteration(&out, &metrics));
+    loop.clock = out.finish;
+    loop.settled = std::max(loop.settled, out.settled);
     for (const auto& m : batch) {
       metrics.queue_delay_quanta += (start - m.arrival) / quantum;
       if (!out.failed) {
@@ -1456,11 +1744,11 @@ Result<ServiceMetrics> QaasService::RunOpenLoop(WorkloadClient* client) {
     }
   }
 
-  Seconds final_t = std::max({opts_.total_time, clock, settled});
+  Seconds final_t = std::max({opts_.total_time, loop.clock, loop.settled});
   if (opts_.integrity.scrub_objects_per_quantum > 0) {
     RunScrub(final_t, &metrics);
   }
-  storage_.AdvanceTo(final_t);
+  SettleStorage(final_t);
   metrics.storage_cost = storage_.accrued_cost();
   metrics.storage_clock_clamps = storage_.clock_clamps();
   HarvestIntegrity(final_t, &metrics);
@@ -1472,6 +1760,8 @@ Result<ServiceMetrics> QaasService::RunOpenLoop(WorkloadClient* client) {
   }
   fleet_.ReapExpired(std::max(final_t, opts_.total_time));
   HarvestFleet(&metrics);
+  if (JournalOn()) HarvestJournal(&metrics);
+  loop_ = nullptr;
   return metrics;
 }
 

@@ -11,6 +11,7 @@
 #include "cloud/fault_model.h"
 #include "cloud/storage_service.h"
 #include "core/admission.h"
+#include "core/journal.h"
 #include "core/service_metrics.h"
 #include "core/tuner.h"
 #include "dataflow/workload.h"
@@ -216,6 +217,11 @@ struct ServiceOptions {
   /// @{
   AutoscalerOptions autoscaler;
   /// @}
+  /// \name Control-plane durability (off by default — journal disabled is
+  /// byte-for-byte identical to a service without the layer, DESIGN.md §15).
+  /// @{
+  JournalOptions journal;
+  /// @}
   uint64_t seed = 99;
 };
 
@@ -245,6 +251,10 @@ class QaasService {
   /// The fleet authority (inspection/testing: ledger identities, bill).
   const Cluster& fleet() const { return fleet_; }
 
+  /// The control-plane journal (inspection/testing: ledger identity,
+  /// generation, retained records).
+  const Journal& journal() const { return journal_; }
+
   /// Partial build progress carried across preemptions (resumable_builds).
   const BuildProgress& build_progress() const { return build_progress_; }
 
@@ -266,6 +276,10 @@ class QaasService {
     /// Time storage was settled through: >= finish when index partitions
     /// were persisted inside the paid lease tail past the makespan.
     Seconds settled = 0;
+    /// True when an injected control-plane crash interrupted the iteration
+    /// (journal on only); the driver recovers and resumes. `finish` and
+    /// `settled` are meaningless in that case.
+    bool crashed = false;
   };
 
   /// What the recovery-capable execution loop settled on.
@@ -410,6 +424,77 @@ class QaasService {
   /// invalidation + storage release).
   void ApplyDueUpdates(Seconds now, ServiceMetrics* metrics);
 
+  /// \name Crash-consistent control plane (DESIGN.md §15)
+  /// @{
+
+  bool JournalOn() const { return opts_.journal.enabled; }
+
+  /// The control-plane view of the storage billing clock. Journal off:
+  /// the storage service's own high-water mark (bit-identical to today).
+  /// Journal on: the journaled mirror — replay must not see the inflated
+  /// post-crash `last_billed()`, which would shift rot realization and
+  /// verify verdicts one iteration early.
+  Seconds BillingClock() const {
+    return JournalOn() ? storage_clock_mirror_ : storage_.last_billed();
+  }
+
+  /// Advances the billing-clock mirror (monotone).
+  void BumpClockMirror(Seconds t) {
+    if (t > storage_clock_mirror_) storage_clock_mirror_ = t;
+  }
+
+  /// Service-side storage delete: immediate when the journal is off;
+  /// staged for the next group commit (generation-guarded) when on, so a
+  /// crash never finds an object destroyed that replay still reads.
+  void StorageDelete(const std::string& path, Seconds at);
+
+  /// Applies every staged delete whose object generation is unchanged
+  /// since staging; called at each group-commit point.
+  void FlushStagedDeletes();
+
+  /// Settles storage through `t` and bumps the mirror. Under the journal
+  /// a replayed settle may lag the storage high-water mark; the clamp is
+  /// silent (journal off keeps the warning path bit-identical).
+  void SettleStorage(Seconds t);
+
+  /// Draws one control-plane crash at the current stage boundary. The
+  /// boundary counter is monotone across recoveries (deliberately not
+  /// restored — a directed crash fires exactly once); draws are suppressed
+  /// after max_resume_attempts consecutive resumes without a completed
+  /// iteration (fail open, never a crash loop).
+  bool MaybeCtlCrash();
+
+  /// Captures the full control-plane state (loop locals via `loop_`).
+  ServiceSnapshot MakeSnapshot(ServiceSnapshot::Kind kind,
+                               const ServiceMetrics& metrics) const;
+
+  /// Restores a snapshot into the live service (loop locals via `loop_`,
+  /// metrics via the out-param), rewinding storage detections to the
+  /// snapshot watermark.
+  void RestoreSnapshot(const ServiceSnapshot& s, ServiceMetrics* metrics);
+
+  /// Flushes staged deletes and group-commits a snapshot of the current
+  /// state into the journal.
+  void CommitJournal(ServiceSnapshot::Kind kind, const ServiceMetrics& metrics);
+
+  /// The B-phase of one iteration: execute the in-flight decision, record
+  /// history, apply deletions, settle, harvest, stamp — with the b2..b4
+  /// crash boundaries between stages. Reads `in_flight_` and the driver
+  /// loop's batch/start via `loop_`.
+  Result<RunOutcome> FinishRun(ServiceMetrics* metrics);
+
+  /// Runs the current iteration (loop_->batch/start/fraction) to
+  /// completion, recovering and resuming across any injected control-plane
+  /// crashes: restore the latest snapshot, then re-run the iteration
+  /// (kIterStart) or re-enter the B-phase (kPreExecute). In-flight
+  /// persists are re-resolved exactly-once via idempotency tokens.
+  Status RunIteration(RunOutcome* out, ServiceMetrics* metrics);
+
+  /// Copies the journal ledger's recovery counters into the metrics
+  /// (absolute values; the ledger, like storage, survives crashes).
+  void HarvestJournal(ServiceMetrics* metrics) const;
+  /// @}
+
   Catalog* catalog_;
   ServiceOptions opts_;
   OnlineIndexTuner tuner_;
@@ -471,6 +556,29 @@ class QaasService {
   Seconds last_scrub_ = 0;
   /// Last object path the scrub verified (walk resumes after it, wrapping).
   std::string scrub_cursor_;
+  /// @}
+  /// \name Crash-consistent control-plane state (DESIGN.md §15)
+  /// @{
+  /// The write-ahead journal + snapshot layer (no-op when disabled).
+  Journal journal_;
+  /// Monotone stage-boundary counter keying crash draws; deliberately NOT
+  /// restored by recovery so a directed crash fires exactly once.
+  int64_t ctl_boundary_counter_ = 0;
+  /// Consecutive recoveries without a completed iteration (fail-open bound).
+  int resume_attempts_ = 0;
+  /// True while re-executing a journaled iteration after a recovery.
+  bool recovering_ = false;
+  /// Journaled mirror of the storage billing clock (== last_billed() in an
+  /// uncrashed run; restored to its snapshot value on recovery).
+  Seconds storage_clock_mirror_ = 0;
+  /// Deletes staged for the next group commit (journal on only).
+  std::vector<StagedDelete> staged_deletes_;
+  /// The decision in flight between the pre-execute commit and the end of
+  /// the iteration (what a kPreExecute snapshot restores).
+  std::optional<InFlightDecision> in_flight_;
+  /// The active driver loop's locals; set by Run/RunOpenLoop for the
+  /// lifetime of the loop so snapshots can capture and restore them.
+  ServiceSnapshot::LoopState* loop_ = nullptr;
   /// @}
 };
 

@@ -85,7 +85,13 @@ namespace dfim {
   X(int, batched_dataflows)             \
   X(int64_t, gate_puts)                 \
   X(int, gate_throttled)                \
-  X(double, gate_throttle_quanta)
+  X(double, gate_throttle_quanta)       \
+  X(int64_t, ctl_crashes)               \
+  X(int64_t, journal_records)           \
+  X(int64_t, journal_bytes)             \
+  X(int64_t, replayed_records)          \
+  X(int64_t, persists_deduped)          \
+  X(double, recovery_replay_quanta)
 
 /// \brief One sample of the service state over time (Fig. 13 series).
 ///
@@ -307,6 +313,29 @@ struct ServiceMetrics {
   /// Quanta the service spent waiting for a usable container (boot delays,
   /// denial backoffs with an empty fleet).
   double boot_wait_quanta = 0;
+  /// @}
+  /// \name Control-plane durability & recovery (DESIGN.md §15; all zero
+  /// with the journal off). Harvested absolute from the journal's ledger —
+  /// which, like the storage service, survives a control-plane crash — so
+  /// the counters are monotone even though the rest of the metrics roll
+  /// back to the last snapshot on recovery. These six are the *only*
+  /// mirrored counters allowed to differ between a crashed-and-recovered
+  /// run and its uncrashed twin.
+  /// @{
+  /// Control-plane crashes injected (directed or drawn).
+  int64_t ctl_crashes = 0;
+  /// Journal records written, ever (== the ledger's records_written).
+  int64_t journal_records = 0;
+  /// Canonical-encoding bytes of those records (estimate; deterministic).
+  int64_t journal_bytes = 0;
+  /// Snapshot records a recovery consumed to rebuild state.
+  int64_t replayed_records = 0;
+  /// Replayed persists acknowledged via their idempotency token instead of
+  /// re-billed (== pre-crash landed in-flight persists, exactly).
+  int64_t persists_deduped = 0;
+  /// Simulated quanta spent re-executing journaled iterations after
+  /// recoveries (the MTTR integrand of the bench sweep).
+  double recovery_replay_quanta = 0;
   /// @}
   std::vector<TimelinePoint> timeline;
 

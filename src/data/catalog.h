@@ -109,6 +109,33 @@ class Catalog {
 
   const BTreeCostModel& cost_model() const { return cost_model_; }
 
+  /// \name Journaled recovery (DESIGN.md §15)
+  /// The catalog's mutable runtime state, snapshotted by value into the
+  /// control-plane journal and restored on crash recovery. The cost model
+  /// is configuration and stays put.
+  /// @{
+  struct RuntimeState {
+    std::map<std::string, Table> tables;
+    std::map<std::string, IndexDef> defs;
+    std::map<std::string, IndexState> states;
+    std::set<std::pair<std::string, int>> quarantined;
+    int64_t quarantine_evictions = 0;
+  };
+
+  RuntimeState SaveState() const {
+    return RuntimeState{tables_, defs_, states_, quarantined_,
+                        quarantine_evictions_};
+  }
+
+  void RestoreState(const RuntimeState& s) {
+    tables_ = s.tables;
+    defs_ = s.defs;
+    states_ = s.states;
+    quarantined_ = s.quarantined;
+    quarantine_evictions_ = s.quarantine_evictions;
+  }
+  /// @}
+
  private:
   BTreeCostModel cost_model_;
   std::map<std::string, Table> tables_;

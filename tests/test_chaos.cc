@@ -184,6 +184,24 @@ std::vector<FleetProfile> FleetProfiles() {
   return out;
 }
 
+struct RecoveryProfile {
+  std::string name;
+  JournalOptions journal;
+  /// Control-plane crash hazard per stage boundary (folded into faults).
+  double ctl_crash_rate = 0;
+};
+
+std::vector<RecoveryProfile> RecoveryProfiles() {
+  std::vector<RecoveryProfile> out;
+  out.push_back({"journal-off", JournalOptions{}, 0});
+  RecoveryProfile on;
+  on.name = "journal+ctl-crashes";
+  on.journal.enabled = true;
+  on.ctl_crash_rate = 0.02;
+  out.push_back(on);
+  return out;
+}
+
 struct ChaosRun {
   ServiceMetrics metrics;
   std::unique_ptr<Catalog> catalog;
@@ -195,7 +213,8 @@ ChaosRun RunConfig(uint64_t seed, const FaultProfile& fp,
                    const ControlProfile& cp, const ArrivalProfile& ap,
                    const SpecProfile& sp = SpecProfile{},
                    const IntegrityProfile& ip = IntegrityProfile{},
-                   const FleetProfile& ep = FleetProfile{}) {
+                   const FleetProfile& ep = FleetProfile{},
+                   const RecoveryProfile& rp = RecoveryProfile{}) {
   ChaosRun run;
   run.catalog = std::make_unique<Catalog>();
   FileDatabaseOptions fdo;
@@ -227,6 +246,8 @@ ChaosRun RunConfig(uint64_t seed, const FaultProfile& fp,
   so.faults.boot_delay_max = ep.boot_delay_max;
   so.faults.preempt_rate = ep.preempt_rate;
   so.faults.preempt_notice = ep.preempt_notice;
+  so.journal = rp.journal;
+  so.faults.ctl_crash_rate = rp.ctl_crash_rate;
   so.seed = seed;
   run.service = std::make_unique<QaasService>(run.catalog.get(), so);
 
@@ -430,6 +451,44 @@ TEST(ChaosTest, ZeroRateFleetArmIsBitIdentical) {
     EXPECT_EQ(b.metrics.acquire_backoffs, 0);
     EXPECT_DOUBLE_EQ(b.metrics.boot_wait_quanta, 0.0);
   }
+}
+
+TEST(ChaosTest, RecoveryAxisInvariantsHoldAcrossSweep) {
+  // The control-plane crash axis (DESIGN.md §15): journaled runs that crash
+  // and recover mid-iteration must uphold every structural invariant the
+  // uncrashed lattice does — the accounting identities are over the final
+  // metrics, which replay reconstructs exactly-once.
+  const auto faults = FaultProfiles();
+  const auto controls = ControlProfiles();
+  const auto ap = ArrivalProfiles()[0];      // poisson
+  const auto ip = IntegrityProfiles()[1];    // corruption + verify/scrub
+  const auto rp = RecoveryProfiles()[1];     // journal + ctl crashes
+  int configs = 0;
+  int64_t crashes = 0;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    for (const auto& fp : faults) {
+      for (const auto& cp : controls) {
+        std::string label = "seed=" + std::to_string(seed) + " " + fp.name +
+                            " " + cp.name + " " + ap.name + " " + rp.name;
+        ChaosRun run = RunConfig(seed, fp, cp, ap, SpecProfile{}, ip,
+                                 FleetProfile{}, rp);
+        CheckInvariants(run, label, cp, ip);
+        // Journal sanity on top: the record ledger is exact, and recovery
+        // counters are consistent with each other.
+        EXPECT_EQ(run.service->journal().LedgerSlack(), 0) << label;
+        EXPECT_EQ(run.service->journal().generation(),
+                  run.metrics.replayed_records)
+            << label;
+        EXPECT_EQ(run.metrics.ctl_crashes, run.metrics.replayed_records)
+            << label << ": every crash consumes exactly one snapshot";
+        crashes += run.metrics.ctl_crashes;
+        ++configs;
+      }
+    }
+  }
+  EXPECT_EQ(configs, 36);
+  // The axis is live: the hazard actually crashed some control planes.
+  EXPECT_GT(crashes, 0);
 }
 
 TEST(ChaosTest, EachSeedReproducesBitIdentically) {
